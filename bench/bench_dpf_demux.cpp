@@ -1,0 +1,102 @@
+// Section IV-A — DPF demultiplexing: the compiled (dynamic-code-generation
+// analogue) engine versus the classic interpreted filter engine, as the
+// number of installed filters grows. The paper's claim: DPF is an order of
+// magnitude faster than the best interpreted engines.
+//
+// Native timings via google-benchmark, plus the structural work counts
+// (atoms evaluated vs tree nodes visited) that drive the simulator's demux
+// cost model.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "dpf/dpf.hpp"
+
+namespace ash::bench {
+namespace {
+
+using dpf::atom_be16;
+using dpf::atom_u8;
+using dpf::CompiledEngine;
+using dpf::Filter;
+using dpf::InterpretedEngine;
+using dpf::MatchStats;
+
+Filter udp_port_filter(std::uint16_t port) {
+  Filter f;
+  f.atoms = {atom_be16(12, 0x0800), atom_u8(23, 17), atom_be16(34, port)};
+  return f;
+}
+
+std::vector<std::uint8_t> packet_for_port(std::uint16_t port) {
+  std::vector<std::uint8_t> p(64, 0);
+  p[12] = 0x08;
+  p[13] = 0x00;
+  p[23] = 17;
+  p[34] = static_cast<std::uint8_t>(port >> 8);
+  p[35] = static_cast<std::uint8_t>(port);
+  return p;
+}
+
+template <typename Engine>
+void install(Engine& engine, int n) {
+  for (int i = 0; i < n; ++i) {
+    engine.insert(udp_port_filter(static_cast<std::uint16_t>(1000 + i)),
+                  i);
+  }
+}
+
+template <typename Engine>
+void bm_match(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine engine;
+  install(engine, n);
+  // Match the last-installed (worst case for the linear scan).
+  const auto pkt = packet_for_port(static_cast<std::uint16_t>(1000 + n - 1));
+  for (auto _ : state) {
+    const int owner = engine.match(pkt);
+    benchmark::DoNotOptimize(owner);
+  }
+}
+
+void bm_interpreted(benchmark::State& state) {
+  bm_match<InterpretedEngine>(state);
+}
+void bm_compiled(benchmark::State& state) { bm_match<CompiledEngine>(state); }
+BENCHMARK(bm_interpreted)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(bm_compiled)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void print_work_counts() {
+  std::printf("\nstructural work per demultiplex (drives the simulated "
+              "kernel's demux cost):\n");
+  std::printf("%8s %24s %24s\n", "filters", "interpreted atoms",
+              "compiled nodes");
+  for (int n : {1, 4, 16, 64, 256}) {
+    InterpretedEngine interp;
+    CompiledEngine compiled;
+    install(interp, n);
+    install(compiled, n);
+    const auto pkt =
+        packet_for_port(static_cast<std::uint16_t>(1000 + n - 1));
+    MatchStats is, cs;
+    interp.match(pkt, &is);
+    compiled.match(pkt, &cs);
+    std::printf("%8d %24u %24u\n", n, is.atoms_evaluated, cs.nodes_visited);
+  }
+  std::printf("paper claim: DPF's dynamic code generation beats interpreted "
+              "engines by an order\nof magnitude; the compiled tree visits "
+              "O(depth) nodes regardless of filter count.\n");
+}
+
+}  // namespace
+}  // namespace ash::bench
+
+int main(int argc, char** argv) {
+  std::printf("=== Sec. IV-A: DPF compiled vs interpreted demultiplexing "
+              "===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ash::bench::print_work_counts();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Extension (not a paper table): the TCP receive fast path as a sandboxed
+// ASH over the *Ethernet*, where the message sits in a striped kernel
+// buffer and the handler works through trusted message access — the paper
+// evaluated TCP handlers on the AN2 only (Table VI).
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "ashlib/tcp_fastpath.hpp"
+#include "proto/eth_link.hpp"
+
+namespace ash::bench {
+namespace {
+
+using proto::EthLink;
+using proto::Ipv4Addr;
+using proto::MacAddr;
+using proto::TcpConfig;
+using proto::TcpConnection;
+using sim::Process;
+using sim::Task;
+using sim::us;
+
+const Ipv4Addr kIpA = Ipv4Addr::of(192, 168, 0, 1);
+const Ipv4Addr kIpB = Ipv4Addr::of(192, 168, 0, 2);
+const MacAddr kMacA{{{2, 0, 0, 0, 0, 1}}};
+const MacAddr kMacB{{{2, 0, 0, 0, 0, 2}}};
+
+enum class Mode { SandboxedAsh, UnsafeAsh, UserPoll, UserInterrupt };
+
+TcpConfig cfg_for(bool client) {
+  TcpConfig c;
+  c.local_ip = client ? kIpA : kIpB;
+  c.remote_ip = client ? kIpB : kIpA;
+  c.local_port = client ? 4000 : 5000;
+  c.remote_port = client ? 5000 : 4000;
+  c.iss = client ? 100 : 900;
+  c.mss = 1456;
+  return c;
+}
+
+struct ExtResult {
+  double mbps = 0;
+  std::uint32_t commits = 0;
+  std::uint32_t fallbacks = 0;
+  double kernel_cycles_per_kb = 0;
+};
+
+ExtResult throughput_mbps(Mode mode, std::uint32_t total) {
+  EthWorld w;
+  core::AshSystem ash_b(*w.b);
+  sim::Cycles t0 = 0, t1 = 0;
+  ExtResult res;
+
+  w.b->kernel().spawn("sink", [&](Process& self) -> Task {
+    EthLink::Config lc{kMacB, kMacA};
+    lc.rx_buffers = 24;
+    lc.mode = mode == Mode::UserInterrupt ? proto::RecvMode::Interrupt
+                                          : proto::RecvMode::Polling;
+    EthLink link(self, *w.dev_b, lc);
+    TcpConnection conn(link, cfg_for(false));
+    if (mode == Mode::SandboxedAsh || mode == Mode::UnsafeAsh) {
+      core::AshOptions opts;
+      opts.sandboxed = mode == Mode::SandboxedAsh;
+      std::string error;
+      const auto fp = ashlib::install_tcp_fastpath_eth(
+          ash_b, *w.dev_b, link.endpoint(), conn, kMacB, kMacA, opts,
+          &error);
+      if (!fp.has_value()) std::fprintf(stderr, "%s\n", error.c_str());
+    }
+    const bool ok = co_await conn.accept();
+    (void)ok;
+    std::uint32_t got = 0;
+    while (got < total) {
+      const std::uint32_t n = co_await conn.read_discard(total - got);
+      if (n == 0) break;
+      got += n;
+    }
+    t1 = self.node().now();
+    res.commits = conn.shm().get(proto::tcb::kAshCommits);
+    res.fallbacks = conn.shm().get(proto::tcb::kAshFallbacks);
+  });
+  w.a->kernel().spawn("source", [&](Process& self) -> Task {
+    EthLink link(self, *w.dev_a, {kMacA, kMacB});
+    TcpConnection conn(link, cfg_for(true));
+    co_await self.sleep_for(us(500.0));
+    const bool ok = co_await conn.connect();
+    (void)ok;
+    const std::uint32_t buf = self.segment().base;
+    fill_pattern(self.node(), buf, 8192, 3);
+    t0 = self.node().now();
+    for (std::uint32_t off = 0; off < total; off += 8192) {
+      const bool sent =
+          co_await conn.write_from(buf, std::min(8192u, total - off));
+      (void)sent;
+    }
+  });
+  w.sim.run(us(6e7));
+  const double seconds = sim::to_us(t1 - t0) / 1e6;
+  res.mbps = static_cast<double>(total) / seconds / 1e6;
+  res.kernel_cycles_per_kb =
+      static_cast<double>(w.b->kernel_cycles_total()) / (total / 1024.0);
+  return res;
+}
+
+}  // namespace
+}  // namespace ash::bench
+
+int main() {
+  using namespace ash::bench;
+  const std::uint32_t total = 1u << 20;
+  const struct {
+    const char* name;
+    Mode mode;
+  } spec[] = {
+      {"Sandboxed ASH (striped kernel buffers)", Mode::SandboxedAsh},
+      {"Unsafe ASH", Mode::UnsafeAsh},
+      {"User-level (polling)", Mode::UserPoll},
+      {"User-level (interrupt)", Mode::UserInterrupt},
+  };
+  std::vector<Row> rows;
+  ExtResult sandboxed{};
+  for (const auto& sp : spec) {
+    const ExtResult r = throughput_mbps(sp.mode, total);
+    if (sp.mode == Mode::SandboxedAsh) sandboxed = r;
+    rows.push_back({std::string(sp.name) + "  throughput", r.mbps, -1,
+                    "MB/s"});
+    rows.push_back({std::string(sp.name) + "  receiver kernel work",
+                    r.kernel_cycles_per_kb, -1, "cycles/KB"});
+  }
+  print_table("Extension", "TCP fast path as an ASH over Ethernet "
+                           "(beyond the paper's AN2-only Table VI)", rows);
+  std::printf(
+      "the 10 Mb/s wire bounds throughput near 1.1 MB/s in every mode. In "
+      "the ASH modes the\nper-segment protocol work moved INTO kernel "
+      "context (higher kernel cycles/KB, with the\nprocess freed to run "
+      "other work — Fig. 4's mechanism); the sandboxed handler consumed\n"
+      "%u segments in the interrupt path (%u fell back to the library).\n",
+      sandboxed.commits, sandboxed.fallbacks);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Shared harness pieces for the reproduction benches.
+//
+// Every bench binary prints the paper's rows with the measured (simulated)
+// value beside the paper's published value, so `for b in build/bench/*; do
+// $b; done` regenerates the whole evaluation section in one pass.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/an2.hpp"
+#include "net/ethernet.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ash::bench {
+
+struct Row {
+  std::string label;
+  double measured;
+  double paper;  // <0 = not reported in the paper
+  std::string unit;
+};
+
+inline void print_table(const char* id, const char* title,
+                        const std::vector<Row>& rows) {
+  std::printf("\n=== %s: %s ===\n", id, title);
+  std::printf("%-44s %12s %12s  %s\n", "configuration", "measured",
+              "paper", "unit");
+  for (const Row& r : rows) {
+    if (r.paper >= 0) {
+      std::printf("%-44s %12.2f %12.2f  %s\n", r.label.c_str(), r.measured,
+                  r.paper, r.unit.c_str());
+    } else {
+      std::printf("%-44s %12.2f %12s  %s\n", r.label.c_str(), r.measured,
+                  "-", r.unit.c_str());
+    }
+  }
+}
+
+inline void print_series(const char* id, const char* title,
+                         const char* x_label,
+                         const std::vector<std::string>& col_names,
+                         const std::vector<std::pair<double,
+                                                     std::vector<double>>>&
+                             points,
+                         const char* unit) {
+  std::printf("\n=== %s: %s (%s) ===\n", id, title, unit);
+  std::printf("%-12s", x_label);
+  for (const auto& c : col_names) std::printf(" %16s", c.c_str());
+  std::printf("\n");
+  for (const auto& [x, ys] : points) {
+    std::printf("%-12.0f", x);
+    for (double y : ys) std::printf(" %16.2f", y);
+    std::printf("\n");
+  }
+}
+
+/// Two nodes joined by an AN2 link (the standard testbed).
+struct An2World {
+  sim::Simulator sim;
+  sim::Node* a;
+  sim::Node* b;
+  net::An2Device* dev_a;
+  net::An2Device* dev_b;
+
+  explicit An2World(const net::An2Config& cfg = {},
+                    const sim::NodeConfig& node_cfg = {}) {
+    a = &sim.add_node("a", node_cfg);
+    b = &sim.add_node("b", node_cfg);
+    dev_a = new net::An2Device(*a, cfg);
+    dev_b = new net::An2Device(*b, cfg);
+    dev_a->connect(*dev_b);
+  }
+  ~An2World() {
+    delete dev_a;
+    delete dev_b;
+  }
+  An2World(const An2World&) = delete;
+  An2World& operator=(const An2World&) = delete;
+};
+
+/// Two nodes joined by Ethernet.
+struct EthWorld {
+  sim::Simulator sim;
+  sim::Node* a;
+  sim::Node* b;
+  net::EthernetDevice* dev_a;
+  net::EthernetDevice* dev_b;
+
+  explicit EthWorld(const net::EthernetConfig& cfg = {}) {
+    a = &sim.add_node("a");
+    b = &sim.add_node("b");
+    dev_a = new net::EthernetDevice(*a, cfg);
+    dev_b = new net::EthernetDevice(*b, cfg);
+    dev_a->connect(*dev_b);
+  }
+  ~EthWorld() {
+    delete dev_a;
+    delete dev_b;
+  }
+  EthWorld(const EthWorld&) = delete;
+  EthWorld& operator=(const EthWorld&) = delete;
+};
+
+inline void fill_pattern(sim::Node& node, std::uint32_t addr,
+                         std::uint32_t len, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::uint8_t* p = node.mem(addr, len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    p[i] = static_cast<std::uint8_t>(rng.next());
+  }
+}
+
+}  // namespace ash::bench

@@ -1,0 +1,240 @@
+#include "ashlib/handlers.hpp"
+
+#include "vcode/builder.hpp"
+
+namespace ash::ashlib {
+
+using vcode::Builder;
+using vcode::kRegArg0;  // r1: message address
+using vcode::kRegArg1;  // r2: message length
+using vcode::kRegArg2;  // r3: user argument
+using vcode::kRegArg3;  // r4: reply channel
+using vcode::kRegZero;
+using vcode::Label;
+using vcode::Reg;
+
+vcode::Program make_remote_increment() {
+  Builder b;
+  const Reg v = b.reg();
+  // Protocol sanity: the message must carry at least 4 bytes.
+  const Reg four = b.reg();
+  Label bad = b.label();
+  b.movi(four, 4);
+  b.bltu(kRegArg1, four, bad);
+  // Increment the counter the application bound at attach time.
+  b.lw(v, kRegArg2, 0);
+  b.addiu(v, v, 1);
+  b.sw(v, kRegArg2, 0);
+  // Message initiation: echo the message as the reply.
+  b.t_send(kRegArg3, kRegArg0, kRegArg1);
+  b.movi(kRegArg0, 1);
+  b.halt();
+  b.bind(bad);
+  b.abort(1);
+  return b.take();
+}
+
+vcode::Program make_remote_write_specific() {
+  Builder b;
+  const Reg dst = b.reg();
+  const Reg len = b.reg();
+  const Reg hdr = b.reg();
+  Label bad = b.label();
+  // Need at least the 4-byte pointer header.
+  b.movi(hdr, 4);
+  b.bltu(kRegArg1, hdr, bad);
+  // Trusted-peer protocol: the destination pointer rides in the message.
+  b.lw_u(dst, kRegArg0, 0);
+  b.subu(len, kRegArg1, hdr);       // payload length
+  const Reg src = b.reg();
+  b.addiu(src, kRegArg0, 4);
+  b.t_usercopy(dst, src, len);      // kernel-checked bulk transfer
+  b.bne(kRegArg0, kRegZero, bad);   // nonzero status = copy rejected
+  b.movi(kRegArg0, 1);
+  b.halt();
+  b.bind(bad);
+  b.abort(2);
+  return b.take();
+}
+
+vcode::Program make_remote_write_generic() {
+  Builder b;
+  const Reg seg = b.reg();
+  const Reg off = b.reg();
+  const Reg size = b.reg();
+  const Reg hdr = b.reg();
+  const Reg n = b.reg();
+  const Reg t = b.reg();
+  const Reg base = b.reg();
+  const Reg limit = b.reg();
+  const Reg dst = b.reg();
+  const Reg src = b.reg();
+  const Reg end = b.reg();
+  Label bad = b.label();
+
+  // Message must carry the 12-byte descriptor.
+  b.movi(hdr, 12);
+  b.bltu(kRegArg1, hdr, bad);
+  b.lw_u(seg, kRegArg0, 0);
+  b.lw_u(off, kRegArg0, 4);
+  b.lw_u(size, kRegArg0, 8);
+
+  // size must fit in the message.
+  b.subu(t, kRegArg1, hdr);         // available payload
+  b.bltu(t, size, bad);
+
+  // Translation table: r3 -> [n | {base, limit}...].
+  b.lw(n, kRegArg2, 0);
+  b.bgeu(seg, n, bad);              // segment number out of range
+
+  // entry address = r3 + 4 + 8*seg
+  b.slli(t, seg, 3);
+  b.addu(t, t, kRegArg2);
+  b.lw(base, t, 4);
+  b.lw(limit, t, 8);
+
+  // offset + size <= limit (also rejects wraparound: end >= off).
+  b.addu(end, off, size);
+  b.bltu(end, off, bad);
+  b.bltu(limit, end, bad);
+
+  b.addu(dst, base, off);
+  b.addiu(src, kRegArg0, 12);
+  b.t_usercopy(dst, src, size);
+  b.bne(kRegArg0, kRegZero, bad);
+  b.movi(kRegArg0, 1);
+  b.halt();
+
+  b.bind(bad);
+  b.abort(3);
+  return b.take();
+}
+
+vcode::Program make_active_message_dispatcher(std::uint32_t n_handlers) {
+  Builder b;
+  const Reg idx = b.reg();
+  const Reg n = b.reg();
+  const Reg target = b.reg();
+  const Reg acc = b.reg();
+  const Reg four = b.reg();
+  Label bad = b.label();
+  Label done = b.label();
+
+  b.movi(four, 4);
+  b.bltu(kRegArg1, four, bad);
+  b.lw_u(idx, kRegArg0, 0);
+  b.movi(n, n_handlers);
+  b.bgeu(idx, n, bad);
+
+  // Dispatch through a jump table of label addresses: the sandbox rewrites
+  // this Jr into a translated, checked JrChk (Section III-B2).
+  std::vector<Label> table;
+  table.reserve(n_handlers);
+  for (std::uint32_t i = 0; i < n_handlers; ++i) table.push_back(b.label());
+
+  // target = table_base[idx] — emit an if-chain loading the label address
+  // (the VCODE machine has no data-section jump tables; a chain of
+  // compares selecting a movi_label is the moral equivalent).
+  for (std::uint32_t i = 0; i < n_handlers; ++i) {
+    Label next = b.label();
+    const Reg want = b.reg();
+    b.movi(want, i);
+    b.bne(idx, want, next);
+    b.movi_label(target, table[i]);
+    b.jr(target);
+    b.bind(next);
+  }
+  b.jmp(bad);  // unreachable (idx already bounded), defensive
+
+  for (std::uint32_t i = 0; i < n_handlers; ++i) {
+    b.bind(table[i]);
+    b.mark_indirect(table[i]);
+    // Handler body i: acc += i + 1 into the cell at r3.
+    b.lw(acc, kRegArg2, 0);
+    b.addiu(acc, acc, i + 1);
+    b.sw(acc, kRegArg2, 0);
+    b.jmp(done);
+  }
+
+  b.bind(done);
+  b.t_send(kRegArg3, kRegArg0, kRegArg1);  // active-message style reply
+  b.movi(kRegArg0, 1);
+  b.halt();
+  b.bind(bad);
+  b.abort(4);
+  return b.take();
+}
+
+vcode::Program make_dsm_lock_handler(std::uint32_t n_locks) {
+  Builder b;
+  const Reg op = b.reg();
+  const Reg id = b.reg();
+  const Reg who = b.reg();
+  const Reg n = b.reg();
+  const Reg addr = b.reg();
+  const Reg cur = b.reg();
+  const Reg t = b.reg();
+  Label bad = b.label();
+  Label release = b.label();
+  Label busy = b.label();
+  Label reply = b.label();
+
+  // Message: [op | lock_id | requester], 12 bytes minimum.
+  b.movi(t, 12);
+  b.bltu(kRegArg1, t, bad);
+  b.lw_u(op, kRegArg0, 0);
+  b.lw_u(id, kRegArg0, 4);
+  b.lw_u(who, kRegArg0, 8);
+  b.movi(n, n_locks);
+  b.bgeu(id, n, bad);
+
+  // addr = locks_base + 4*id
+  b.slli(addr, id, 2);
+  b.addu(addr, addr, kRegArg2);
+
+  // Reply scratch lives right after the lock array (owner memory — the
+  // message itself may be a read-only kernel buffer on some devices).
+  const Reg scratch = b.reg();
+  b.movi(scratch, 4 * n_locks);
+  b.addu(scratch, scratch, kRegArg2);
+  b.sw(id, scratch, 4);
+  b.sw(who, scratch, 8);
+
+  const Reg two = b.reg();
+  b.movi(two, 2);
+  b.beq(op, two, release);
+  const Reg one = b.reg();
+  b.movi(one, 1);
+  b.bne(op, one, bad);
+
+  // acquire: grant iff free.
+  b.lw(cur, addr, 0);
+  b.bne(cur, kRegZero, busy);
+  b.sw(who, addr, 0);
+  b.movi(t, 1);  // granted
+  b.sw(t, scratch, 0);
+  b.jmp(reply);
+
+  b.bind(busy);
+  b.sw(kRegZero, scratch, 0);  // busy
+  b.jmp(reply);
+
+  b.bind(release);
+  b.lw(cur, addr, 0);
+  b.bne(cur, who, bad);  // releasing a lock you do not hold: fall back
+  b.sw(kRegZero, addr, 0);
+  b.movi(t, 2);  // released
+  b.sw(t, scratch, 0);
+
+  b.bind(reply);
+  const Reg twelve = b.reg();
+  b.movi(twelve, 12);
+  b.t_send(kRegArg3, scratch, twelve);
+  b.movi(kRegArg0, 1);
+  b.halt();
+  b.bind(bad);
+  b.abort(5);
+  return b.take();
+}
+
+}  // namespace ash::ashlib

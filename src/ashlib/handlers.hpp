@@ -1,0 +1,53 @@
+// Pre-built application-specific handlers — the workloads of the paper's
+// evaluation (Sections V-B through V-D) plus the control-initiation
+// examples its introduction motivates.
+//
+// Each builder returns a VCODE Program ready to download with
+// core::AshSystem::download (sandboxed or kernel-trusted). Invocation
+// convention (set by the ASH system): r1 = message address, r2 = message
+// length, r3 = the user argument bound at attach, r4 = reply channel.
+#pragma once
+
+#include <cstdint>
+
+#include "vcode/program.hpp"
+
+namespace ash::ashlib {
+
+/// Table V's workload: remote increment. r3 points at a 32-bit counter in
+/// the owner's memory; the handler increments it and echoes the message
+/// back on the reply channel.
+vcode::Program make_remote_increment();
+
+/// Section V-D's *application-specific* remote write: the message is
+/// [dst_pointer(4) | payload...] from a trusted peer — the handler writes
+/// payload at dst_pointer with no translation machinery (the paper's
+/// "uses a different protocol ... assumes it is given a pointer to
+/// memory"). The sandbox still confines the write to the owner segment.
+vcode::Program make_remote_write_specific();
+
+/// Section V-D's *generic* remote write, modeled after Thekkath et al.:
+/// message = [segment#(4) | offset(4) | size(4) | payload...]; r3 points
+/// at a translation table in owner memory: [n_entries | {base, limit}...].
+/// The handler validates segment number, bounds-checks offset+size against
+/// the segment limit and size against the message, translates, and copies.
+vcode::Program make_remote_write_generic();
+
+/// Active-message dispatcher (Section V-C): message = [handler_index(4) |
+/// args...]. A jump table of `n_handlers` small routines dispatches via an
+/// indirect jump — each routine here adds its index+1 into the 32-bit cell
+/// at r3 and replies with the message. Exists chiefly to exercise
+/// control initiation and sandboxed indirect-jump translation.
+vcode::Program make_active_message_dispatcher(std::uint32_t n_handlers);
+
+/// Distributed-shared-memory lock service (the CRL-style use from the
+/// paper's conclusion). r3 points at an array of `n_locks` 32-bit lock
+/// words FOLLOWED by a 12-byte reply scratch area (allocate n_locks + 3
+/// words). Message = [op(4): 1=acquire 2=release | lock_id(4) |
+/// requester(4)]. Acquire: if the lock word is 0, set it to requester and
+/// reply [1 (granted) | lock_id | requester]; else reply [0 (busy) | ...].
+/// Release: clear the word if held by requester; reply [2 | ...].
+/// Malformed ops abort voluntarily (fall back to user level).
+vcode::Program make_dsm_lock_handler(std::uint32_t n_locks);
+
+}  // namespace ash::ashlib

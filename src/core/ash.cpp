@@ -1,0 +1,208 @@
+#include "core/ash.hpp"
+
+#include <stdexcept>
+
+#include "core/ash_env.hpp"
+#include "vcode/verifier.hpp"
+
+namespace ash::core {
+
+AshSystem::AshSystem(sim::Node& node) : node_(node) {}
+
+AshSystem::Installed& AshSystem::at(int ash_id) {
+  if (ash_id < 0 || static_cast<std::size_t>(ash_id) >= installed_.size()) {
+    throw std::out_of_range("AshSystem: bad ash id");
+  }
+  return *installed_[static_cast<std::size_t>(ash_id)];
+}
+
+const AshSystem::Installed& AshSystem::at(int ash_id) const {
+  return const_cast<AshSystem*>(this)->at(ash_id);
+}
+
+int AshSystem::download(sim::Process& owner, const vcode::Program& prog,
+                        const AshOptions& opts, std::string* error,
+                        sandbox::Report* report) {
+  auto entry = std::make_unique<Installed>();
+  entry->owner = &owner;
+  entry->opts = opts;
+
+  if (opts.sandboxed) {
+    sandbox::Options sb;
+    sb.segment = {owner.segment().base, owner.segment().size};
+    sb.mode = opts.mode;
+    sb.software_budget_checks = opts.software_budget_checks;
+    sb.general_epilogue = opts.general_epilogue;
+    auto result = sandbox::sandbox(prog, sb, error);
+    if (!result.has_value()) return -1;
+    if (report != nullptr) *report = result->report;
+    entry->prog = std::move(result->program);
+  } else {
+    // Kernel-trusted handler: verified, not rewritten.
+    vcode::VerifyPolicy policy;
+    policy.allow_fp = false;
+    policy.allow_signed_trap = false;
+    policy.allow_trusted = true;
+    policy.allow_pipe_io = false;
+    const auto verdict = vcode::verify(prog, policy);
+    if (!verdict.ok()) {
+      if (error) *error = "verification failed:\n" + verdict.to_string();
+      return -1;
+    }
+    if (report != nullptr) {
+      *report = sandbox::Report{};
+      report->original_insns = report->final_insns =
+          static_cast<std::uint32_t>(prog.insns.size());
+    }
+    entry->prog = prog;
+  }
+
+  installed_.push_back(std::move(entry));
+  return static_cast<int>(installed_.size() - 1);
+}
+
+void AshSystem::set_livelock_quota(std::uint32_t quota, sim::Cycles window) {
+  livelock_quota_ = quota;
+  livelock_window_ = window;
+}
+
+const AshStats& AshSystem::stats(int ash_id) const { return at(ash_id).stats; }
+
+const vcode::Program& AshSystem::program(int ash_id) const {
+  return at(ash_id).prog;
+}
+
+const sim::Process& AshSystem::owner(int ash_id) const {
+  return *at(ash_id).owner;
+}
+
+bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
+                       sim::Cycles tx_cost) {
+  Installed& ash = at(ash_id);
+  AshStats& stats = ash.stats;
+
+  // Receive-livelock guard (Section VI-4).
+  if (livelock_quota_ != 0) {
+    const sim::Cycles now = node_.now();
+    if (now - ash.window_start >= livelock_window_) {
+      ash.window_start = now;
+      ash.window_count = 0;
+    }
+    if (ash.window_count >= livelock_quota_) {
+      ++stats.livelock_deferrals;
+      return false;  // over quota: normal delivery path
+    }
+    ++ash.window_count;
+  }
+
+  ++stats.invocations;
+
+  AshEnv::Config env_cfg;
+  env_cfg.node = &node_;
+  env_cfg.owner_seg = ash.owner->segment();
+  env_cfg.msg_addr = msg.addr;
+  env_cfg.msg_len = msg.len;
+  env_cfg.stripe_chunk = msg.stripe_chunk;
+  env_cfg.engine = &dilp_;
+  env_cfg.tx_cost = tx_cost;
+  AshEnv env(env_cfg);
+
+  vcode::Interpreter interp(ash.prog, env);
+  // Calling convention: r1 = message address, r2 = length, r3 = the
+  // application argument bound at attach, r4 = reply channel.
+  interp.set_args(msg.addr, msg.len, msg.user_arg,
+                  static_cast<std::uint32_t>(msg.channel));
+
+  vcode::ExecLimits limits;
+  limits.max_insns = 1u << 20;
+  if (ash.opts.software_budget_checks) {
+    limits.software_budget = node_.cost().ash_max_runtime;
+  } else {
+    // Hardware timer mode: two clock ticks, then involuntary abort.
+    limits.max_cycles = node_.cost().ash_max_runtime;
+  }
+
+  const vcode::ExecResult exec = interp.run(limits);
+  stats.cycles += exec.cycles;
+  stats.insns += exec.insns;
+
+  const sim::CostModel& cost = node_.cost();
+  const sim::Cycles dispatch =
+      cost.ash_timer_setup +
+      (ash.opts.prebound_translation ? 0 : cost.ash_context_install);
+  const sim::Cycles total = dispatch + exec.cycles + cost.ash_timer_clear;
+
+  bool consumed = false;
+  switch (exec.outcome) {
+    case vcode::Outcome::Halted:
+      ++stats.commits;
+      consumed = true;
+      break;
+    case vcode::Outcome::VoluntaryAbort:
+      ++stats.voluntary_aborts;
+      break;
+    default:
+      ++stats.involuntary_aborts;
+      break;
+  }
+
+  // Occupy the CPU for the handler's runtime; release collected sends when
+  // it "finishes" so replies cannot precede the work that produced them.
+  // Sends were snapshotted at TSend time, so later handler stores to the
+  // same buffer cannot corrupt an in-flight reply.
+  if (exec.outcome == vcode::Outcome::Halted && !env.sends().empty()) {
+    auto sends = env.sends();
+    node_.kernel_work(total,
+                      [send_fn = std::move(send_fn), sends = std::move(sends)] {
+                        for (const auto& req : sends) {
+                          send_fn(req.channel, req.bytes);
+                        }
+                      });
+  } else {
+    node_.kernel_work(total);
+  }
+
+  return consumed;
+}
+
+void AshSystem::attach_an2(net::An2Device& dev, int vc, int ash_id,
+                           std::uint32_t user_arg) {
+  at(ash_id);  // validate
+  net::An2Device* device = &dev;
+  dev.set_kernel_hook(vc, [this, device, ash_id, user_arg](
+                              const net::An2Device::RxEvent& ev) {
+    MsgContext msg;
+    msg.addr = ev.desc.addr;
+    msg.len = ev.desc.len;
+    msg.stripe_chunk = 0;
+    msg.channel = ev.vc;
+    msg.user_arg = user_arg;
+    return invoke(ash_id, msg,
+                  [device](int chan, std::span<const std::uint8_t> bytes) {
+                    return device->send(chan, bytes);
+                  },
+                  device->config().tx_kernel_work);
+  });
+}
+
+void AshSystem::attach_eth(net::EthernetDevice& dev, int endpoint, int ash_id,
+                           std::uint32_t user_arg) {
+  at(ash_id);  // validate
+  net::EthernetDevice* device = &dev;
+  dev.set_kernel_hook(endpoint, [this, device, ash_id, user_arg](
+                                    const net::EthernetDevice::RxEvent& ev) {
+    MsgContext msg;
+    msg.addr = ev.striped.addr;
+    msg.len = ev.striped.len;
+    msg.stripe_chunk = 16;
+    msg.channel = ev.endpoint;
+    msg.user_arg = user_arg;
+    return invoke(ash_id, msg,
+                  [device](int, std::span<const std::uint8_t> bytes) {
+                    return device->send(bytes);
+                  },
+                  device->config().tx_kernel_work);
+  });
+}
+
+}  // namespace ash::core

@@ -1,0 +1,154 @@
+// The ASH system — the paper's primary contribution.
+//
+// Application-specific safe message handlers are user-written VCODE
+// routines, downloaded into the (simulated) kernel, verified and — unless
+// the application is kernel-trusted — SFI-sandboxed, then attached to a
+// demultiplexing point (an AN2 virtual circuit or an Ethernet/DPF
+// endpoint). When a message for that point arrives, the handler runs in
+// kernel context, in the address-space of its owning process, before any
+// scheduling decision:
+//
+//   * it can direct message placement (dynamic message vectoring), via
+//     sandboxed stores, TUserCopy, or a DILP integrated transfer;
+//   * it can reply immediately (message initiation) via TSend — sends are
+//     collected during execution and released when the handler's simulated
+//     runtime has elapsed, so reply latency is accounted faithfully;
+//   * it can perform bounded general computation (control initiation).
+//
+// Exit protocol (Section II-A): Halt = commit — the message is consumed.
+// Abort = voluntary abort — the handler's own fix-up code ran and the
+// message falls back to the normal delivery path. Any fault or budget
+// exhaustion is an involuntary abort: the kernel kills the handler and
+// falls back, and the owning application may be left inconsistent (its
+// problem, not the kernel's — exactly the paper's contract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dilp/engine.hpp"
+#include "net/an2.hpp"
+#include "net/ethernet.hpp"
+#include "sandbox/sfi.hpp"
+#include "sim/node.hpp"
+#include "sim/process.hpp"
+#include "vcode/program.hpp"
+
+namespace ash::core {
+
+/// Registers through which DILP persistent values are exchanged between an
+/// ASH and a TDilp invocation: persistent k of the invoked ilp is seeded
+/// from r(kDilpPersistentBase + k) and written back there afterwards.
+inline constexpr vcode::Reg kDilpPersistentBase = 48;
+inline constexpr vcode::Reg kDilpPersistentMax = 8;
+
+struct AshOptions {
+  /// False = kernel-trusted "unsafe ASH" (Tables V/VI's comparison): the
+  /// program is verified but not rewritten.
+  bool sandboxed = true;
+  /// Pre-bind the owner's address translations at download time (the
+  /// Section III-A note: "the physical address a virtual address maps to
+  /// can be pre-bound into the ASH when it is imported into the kernel").
+  /// Invocation then skips installing the context identifier/page-table
+  /// pointer. Requires the owner's pages to stay pinned (they are, here).
+  bool prebound_translation = false;
+  /// Bound runtime with sandbox-inserted Budget checks instead of the
+  /// hardware timer (Section III-B3's software alternative).
+  bool software_budget_checks = false;
+  sandbox::Mode mode = sandbox::Mode::Mips;
+  bool general_epilogue = true;
+};
+
+struct AshStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t voluntary_aborts = 0;
+  std::uint64_t involuntary_aborts = 0;
+  std::uint64_t livelock_deferrals = 0;
+  std::uint64_t cycles = 0;  // handler execution cycles (excl. dispatch)
+  std::uint64_t insns = 0;   // dynamic instruction count
+};
+
+/// Everything the kernel knows about one message being offered to an ASH.
+struct MsgContext {
+  std::uint32_t addr = 0;        // where the message currently lives
+  std::uint32_t len = 0;         // logical message length in bytes
+  std::uint32_t stripe_chunk = 0;  // nonzero: message is device-striped
+  int channel = 0;               // reply channel (VC / endpoint id)
+  std::uint32_t user_arg = 0;    // application argument bound at attach
+};
+
+class AshSystem {
+ public:
+  explicit AshSystem(sim::Node& node);
+
+  sim::Node& node() noexcept { return node_; }
+
+  /// The node's DILP engine; compile pipe lists here and invoke them from
+  /// handlers with TDilp.
+  dilp::Engine& dilp() noexcept { return dilp_; }
+
+  /// Download a handler for `owner`: verify, (optionally) sandbox, and
+  /// install. Returns the ASH id, or -1 with `error` set. `report`, when
+  /// non-null, receives the sandboxer's added-instruction accounting
+  /// (Section V-D's numbers).
+  int download(sim::Process& owner, const vcode::Program& prog,
+               const AshOptions& opts, std::string* error,
+               sandbox::Report* report = nullptr);
+
+  /// Attach a downloaded ASH to an AN2 virtual circuit. Replies via TSend
+  /// go out on this device.
+  void attach_an2(net::An2Device& dev, int vc, int ash_id,
+                  std::uint32_t user_arg = 0);
+
+  /// Attach to an Ethernet/DPF endpoint. The message offered to the
+  /// handler is the striped kernel buffer; TDilp with a striped-layout ilp
+  /// or TUserCopy (which destripes) moves it out.
+  void attach_eth(net::EthernetDevice& dev, int endpoint, int ash_id,
+                  std::uint32_t user_arg = 0);
+
+  /// Receive-livelock guard (Section VI-4): at most `quota` handler runs
+  /// per owning process per `window` cycles; beyond that, messages fall
+  /// back to the normal path ("refuse to execute any more for processes
+  /// receiving more than their share"). quota = 0 disables the guard.
+  void set_livelock_quota(std::uint32_t quota, sim::Cycles window);
+
+  const AshStats& stats(int ash_id) const;
+  const vcode::Program& program(int ash_id) const;
+  const sim::Process& owner(int ash_id) const;
+
+  /// Delivers one collected TSend at handler completion: (channel, bytes).
+  using SendFn = std::function<bool(int, std::span<const std::uint8_t>)>;
+
+  /// Invoke handler `ash_id` on a message, in kernel context. Returns true
+  /// if the handler consumed the message (commit). Exposed for tests and
+  /// for custom demux points; devices call it through the attach hooks.
+  bool invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
+              sim::Cycles tx_cost);
+
+ private:
+  struct Installed {
+    sim::Process* owner;
+    vcode::Program prog;
+    AshOptions opts;
+    AshStats stats;
+    // livelock window state
+    sim::Cycles window_start = 0;
+    std::uint32_t window_count = 0;
+  };
+
+  Installed& at(int ash_id);
+  const Installed& at(int ash_id) const;
+
+  sim::Node& node_;
+  dilp::Engine dilp_;
+  std::vector<std::unique_ptr<Installed>> installed_;
+  std::uint32_t livelock_quota_ = 0;  // 0 = disabled
+  sim::Cycles livelock_window_ = 0;
+};
+
+}  // namespace ash::core

@@ -1,0 +1,64 @@
+#include "core/upcall.hpp"
+
+namespace ash::core {
+
+bool UpcallManager::run(
+    Handler& handler, const Ctx& base,
+    const std::function<bool(int, std::span<const std::uint8_t>)>& send_fn) {
+  ++invocations_;
+
+  auto pending = std::make_shared<std::vector<PendingSend>>();
+  Ctx ctx = base;
+  ctx.send = [pending](int chan, std::span<const std::uint8_t> bytes) {
+    pending->push_back({chan, {bytes.begin(), bytes.end()}});
+  };
+
+  const Result r = handler(ctx);
+
+  const sim::CostModel& cost = node_.cost();
+  // Address-space switch + user-level entry/exit, handler runtime, and the
+  // batching machinery's overhead.
+  const sim::Cycles total =
+      cost.upcall_dispatch + r.cycles + cost.upcall_batching;
+  node_.kernel_work(total, [send_fn, pending] {
+    for (const PendingSend& s : *pending) send_fn(s.channel, s.bytes);
+  });
+  return r.consumed;
+}
+
+void UpcallManager::attach_an2(net::An2Device& dev, int vc, Handler handler) {
+  handlers_.push_back(std::make_unique<Handler>(std::move(handler)));
+  Handler* h = handlers_.back().get();
+  net::An2Device* device = &dev;
+  dev.set_kernel_hook(vc, [this, h, device](const net::An2Device::RxEvent& ev) {
+    Ctx ctx;
+    ctx.msg_addr = ev.desc.addr;
+    ctx.msg_len = ev.desc.len;
+    ctx.channel = ev.vc;
+    return run(*h, ctx,
+               [device](int chan, std::span<const std::uint8_t> bytes) {
+                 return device->send(chan, bytes);
+               });
+  });
+}
+
+void UpcallManager::attach_eth(net::EthernetDevice& dev, int endpoint,
+                               Handler handler) {
+  handlers_.push_back(std::make_unique<Handler>(std::move(handler)));
+  Handler* h = handlers_.back().get();
+  net::EthernetDevice* device = &dev;
+  dev.set_kernel_hook(
+      endpoint, [this, h, device](const net::EthernetDevice::RxEvent& ev) {
+        Ctx ctx;
+        ctx.msg_addr = ev.striped.addr;
+        ctx.msg_len = ev.striped.len;
+        ctx.stripe_chunk = 16;
+        ctx.channel = ev.endpoint;
+        return run(*h, ctx,
+                   [device](int, std::span<const std::uint8_t> bytes) {
+                     return device->send(bytes);
+                   });
+      });
+}
+
+}  // namespace ash::core

@@ -1,0 +1,283 @@
+#include "dilp/compiler.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ash::dilp {
+
+using vcode::Insn;
+using vcode::Op;
+using vcode::op_info;
+using vcode::Program;
+using vcode::Reg;
+
+namespace {
+
+/// Simple register allocator for the fused loop. Leaves the top three
+/// registers free as sandbox scratch so a fused loop can itself be
+/// sandboxed if desired.
+class RegAlloc {
+ public:
+  bool alloc(Reg* out) {
+    if (next_ >= vcode::kNumRegs - 3) return false;
+    *out = next_++;
+    return true;
+  }
+
+ private:
+  Reg next_ = vcode::kRegArg3 + 1;  // r5; r1..r4 are the loop's arguments
+};
+
+std::uint32_t applications_per_word(Gauge g) {
+  return 4u / static_cast<std::uint32_t>(g);
+}
+
+bool is_pin(Op op) {
+  return op == Op::Pin8 || op == Op::Pin16 || op == Op::Pin32;
+}
+bool is_pout(Op op) {
+  return op == Op::Pout8 || op == Op::Pout16 || op == Op::Pout32;
+}
+
+}  // namespace
+
+std::optional<CompiledIlp> compile_pipes(const PipeList& pl, Direction dir,
+                                         std::string* error,
+                                         const LoopLayout& layout) {
+  auto fail = [&](const std::string& msg) -> std::optional<CompiledIlp> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  if (layout.src_stripe_chunk != 0 &&
+      (layout.src_stripe_chunk % 4 != 0 || layout.src_stripe_chunk < 4)) {
+    return fail("stripe chunk must be a nonzero multiple of 4");
+  }
+
+  // Order of composition: Write = list order, Read = reverse.
+  std::vector<int> order(pl.size());
+  for (std::size_t i = 0; i < pl.size(); ++i) order[i] = static_cast<int>(i);
+  if (dir == Direction::Read) std::reverse(order.begin(), order.end());
+
+  CompiledIlp out;
+  RegAlloc regs;
+  Reg r_stride, r_word, r_out_acc, r_tmp;
+  if (!regs.alloc(&r_stride) || !regs.alloc(&r_word) ||
+      !regs.alloc(&r_out_acc) || !regs.alloc(&r_tmp)) {
+    return fail("register exhaustion in loop skeleton");
+  }
+
+  // Per-pipe register renaming (stable across applications so persistent
+  // registers really persist).
+  std::vector<std::map<Reg, Reg>> pipe_regs(pl.size());
+  auto map_reg = [&](int pipe_id, Reg r, Reg* out_reg) -> bool {
+    if (r == vcode::kRegZero) {
+      *out_reg = vcode::kRegZero;
+      return true;
+    }
+    auto& m = pipe_regs[static_cast<std::size_t>(pipe_id)];
+    auto it = m.find(r);
+    if (it == m.end()) {
+      Reg fresh;
+      if (!regs.alloc(&fresh)) return false;
+      it = m.emplace(r, fresh).first;
+    }
+    *out_reg = it->second;
+    return true;
+  };
+
+  std::vector<Insn>& code = out.loop.insns;
+  const Reg r_src = vcode::kRegArg0;   // r1
+  const Reg r_dst = vcode::kRegArg1;   // r2
+  const Reg r_len = vcode::kRegArg2;   // r3, counts down to 0
+
+  const std::uint32_t chunk = layout.src_stripe_chunk;
+  if (chunk != 0) {
+    // Stripe countdown: bytes of data left in the current source chunk.
+    code.push_back({Op::Movi, r_stride, 0, 0, chunk});
+  }
+
+  std::vector<std::uint32_t> done_fixups;  // branches to the loop exit
+
+  // Pre-test once so a zero-length transfer never enters the loop; the
+  // loop itself tests at the bottom (one branch per word, like the hand
+  // loops the cost model describes).
+  done_fixups.push_back(static_cast<std::uint32_t>(code.size()));
+  code.push_back({Op::Beq, r_len, vcode::kRegZero, 0, 0});
+
+  const std::uint32_t loop_top = static_cast<std::uint32_t>(code.size());
+  // word = *(u32*)src  (unaligned-capable: device buffers may be odd)
+  code.push_back({Op::Lwu_u, r_word, r_src, 0, 0});
+
+  // Gauge-32 stream-register aliasing: a 32-bit pipe's Pin register is
+  // mapped onto the loop's word register itself, eliminating the Pin/Pout
+  // moves — the pipe transforms the stream value in place, which is
+  // exactly the streaming semantics. Persistent registers are excluded
+  // (they must survive across words).
+  for (int pipe_id : order) {
+    const Pipe& pipe = pl.at(pipe_id);
+    if (pipe.in_gauge != Gauge::G32) continue;
+    vcode::Reg pin_target = vcode::kRegZero;
+    for (const Insn& insn : pipe.body.insns) {
+      if (insn.op == Op::Pin32) pin_target = insn.a;
+    }
+    if (pin_target == vcode::kRegZero) continue;
+    bool persistent = false;
+    for (vcode::Reg pr : pipe.persistent) persistent |= pr == pin_target;
+    if (persistent) continue;
+    pipe_regs[static_cast<std::size_t>(pipe_id)].emplace(pin_target, r_word);
+  }
+
+  // Inline every pipe.
+  for (int pipe_id : order) {
+    const Pipe& pipe = pl.at(pipe_id);
+    const std::uint32_t apps = applications_per_word(pipe.in_gauge);
+    const std::uint32_t gauge_bits =
+        8u * static_cast<std::uint32_t>(pipe.in_gauge);
+    const std::uint32_t gauge_mask =
+        gauge_bits >= 32 ? 0xffffffffu : (1u << gauge_bits) - 1;
+
+    for (std::uint32_t k = 0; k < apps; ++k) {
+      const std::size_t body_n = pipe.body.insns.size();
+      std::vector<std::uint32_t> new_index(body_n, 0);
+      struct BodyFixup {
+        std::uint32_t out_pos;
+        std::uint32_t body_target;
+      };
+      std::vector<BodyFixup> body_fixups;
+      std::vector<std::uint32_t> end_jumps;  // Halts lowered to Jmp app-end
+
+      for (std::size_t bi = 0; bi < body_n; ++bi) {
+        new_index[bi] = static_cast<std::uint32_t>(code.size());
+        Insn insn = pipe.body.insns[bi];
+        const auto& info = op_info(insn.op);
+
+        if (is_pin(insn.op)) {
+          Reg rd;
+          if (!map_reg(pipe_id, insn.a, &rd)) {
+            return fail("register exhaustion inlining pipe " + pipe.name);
+          }
+          const std::uint32_t shift = k * gauge_bits;
+          if (gauge_bits == 32) {
+            if (rd != r_word) code.push_back({Op::Mov, rd, r_word, 0, 0});
+          } else if (shift == 0) {
+            code.push_back({Op::Andi, rd, r_word, 0, gauge_mask});
+          } else {
+            code.push_back({Op::Srli, rd, r_word, 0, shift});
+            if (shift + gauge_bits < 32) {
+              code.push_back({Op::Andi, rd, rd, 0, gauge_mask});
+            }
+          }
+          continue;
+        }
+        if (is_pout(insn.op)) {
+          if (pipe.no_mod()) continue;  // checksum-style: data unchanged
+          Reg rs;
+          if (!map_reg(pipe_id, insn.a, &rs)) {
+            return fail("register exhaustion inlining pipe " + pipe.name);
+          }
+          const std::uint32_t shift = k * gauge_bits;
+          if (gauge_bits == 32) {
+            if (rs != r_word) code.push_back({Op::Mov, r_word, rs, 0, 0});
+          } else if (k == 0) {
+            // Start aggregating the output word.
+            code.push_back({Op::Andi, r_out_acc, rs, 0, gauge_mask});
+          } else {
+            if (shift + gauge_bits < 32) {
+              code.push_back({Op::Andi, r_tmp, rs, 0, gauge_mask});
+              code.push_back({Op::Slli, r_tmp, r_tmp, 0, shift});
+            } else {
+              code.push_back({Op::Slli, r_tmp, rs, 0, shift});
+            }
+            code.push_back({Op::Or, r_out_acc, r_out_acc, r_tmp, 0});
+            if (k + 1 == apps) {
+              code.push_back({Op::Mov, r_word, r_out_acc, 0, 0});
+            }
+          }
+          continue;
+        }
+        if (insn.op == Op::Halt) {
+          if (bi + 1 != body_n) {
+            end_jumps.push_back(static_cast<std::uint32_t>(code.size()));
+            code.push_back({Op::Jmp, 0, 0, 0, 0});
+          }
+          continue;  // terminal Halt: fall through to the next stage
+        }
+
+        // Rename registers.
+        if (info.reads_a || info.writes_a) {
+          if (!map_reg(pipe_id, insn.a, &insn.a)) {
+            return fail("register exhaustion inlining pipe " + pipe.name);
+          }
+        }
+        if (info.reads_b) {
+          if (!map_reg(pipe_id, insn.b, &insn.b)) {
+            return fail("register exhaustion inlining pipe " + pipe.name);
+          }
+        }
+        if (info.reads_c) {
+          if (!map_reg(pipe_id, insn.c, &insn.c)) {
+            return fail("register exhaustion inlining pipe " + pipe.name);
+          }
+        }
+        if (info.is_branch) {
+          body_fixups.push_back(
+              {static_cast<std::uint32_t>(code.size()), insn.imm});
+        }
+        code.push_back(insn);
+      }
+
+      const std::uint32_t app_end = static_cast<std::uint32_t>(code.size());
+      for (const BodyFixup& f : body_fixups) {
+        code[f.out_pos].imm = new_index[f.body_target];
+      }
+      for (std::uint32_t pos : end_jumps) code[pos].imm = app_end;
+    }
+  }
+
+  // Store the (possibly transformed) word and advance.
+  code.push_back({Op::Sw_u, r_word, r_dst, 0, 0});
+  code.push_back({Op::Addiu, r_src, r_src, 0, 4});
+  code.push_back({Op::Addiu, r_dst, r_dst, 0, 4});
+  code.push_back({Op::Addiu, r_len, r_len, 0,
+                  static_cast<std::uint32_t>(-4)});
+  if (chunk != 0) {
+    // End of a data chunk? Skip the equal-sized pad region.
+    code.push_back({Op::Addiu, r_stride, r_stride, 0,
+                    static_cast<std::uint32_t>(-4)});
+    const std::uint32_t cont = static_cast<std::uint32_t>(code.size()) + 3;
+    code.push_back({Op::Bne, r_stride, vcode::kRegZero, 0, cont});
+    code.push_back({Op::Addiu, r_src, r_src, 0, chunk});
+    code.push_back({Op::Movi, r_stride, 0, 0, chunk});
+  }
+  code.push_back({Op::Bne, r_len, vcode::kRegZero, 0, loop_top});
+
+  const std::uint32_t done = static_cast<std::uint32_t>(code.size());
+  for (std::uint32_t pos : done_fixups) code[pos].imm = done;
+  code.push_back({Op::Movi, vcode::kRegArg0, 0, 0, 0});
+  code.push_back({Op::Halt, 0, 0, 0, 0});
+
+  out.insns_per_word = done - loop_top;
+
+  // Persistent register bindings, in pipe-list order (not composition
+  // order), so callers can bind without caring about direction.
+  for (std::size_t pid = 0; pid < pl.size(); ++pid) {
+    for (Reg pr : pl.at(static_cast<int>(pid)).persistent) {
+      Reg loop_reg;
+      if (!map_reg(static_cast<int>(pid), pr, &loop_reg)) {
+        return fail("register exhaustion binding persistents");
+      }
+      out.persistents.push_back({static_cast<int>(pid), pr, loop_reg});
+    }
+  }
+
+  for (std::size_t i = 0; i < pl.size(); ++i) {
+    if (i) out.summary += '|';
+    out.summary += pl.at(static_cast<int>(i)).name;
+  }
+  if (out.summary.empty()) out.summary = "copy";
+  out.summary += dir == Direction::Write ? " (write)" : " (read)";
+  if (chunk != 0) out.summary += " [striped src]";
+  return out;
+}
+
+}  // namespace ash::dilp

@@ -1,0 +1,77 @@
+// The dynamic-ILP pipe compiler (Section II-B, Fig. 1's compile_pl).
+//
+// Fuses an ordered list of pipes into one integrated VCODE data-transfer
+// loop: per 32-bit message word, the loop loads once, streams the word
+// through every pipe body (inlined, with registers renamed and pipe I/O
+// lowered to register moves / gauge extraction), and stores once. The
+// message is therefore traversed exactly once regardless of how many
+// layers' manipulations are composed — the whole point of ILP — and the
+// composition is decided at runtime, which is what distinguishes this
+// from the static ILP of Abbott & Peterson.
+//
+// Gauge coupling: a 16-bit-gauge pipe inlined into the 32-bit loop is
+// applied twice per word (low, high halfword), an 8-bit-gauge pipe four
+// times; outputs are re-aggregated into the word register. This implements
+// the paper's "the ASH system performs conversions between the required
+// sizes ... aggregated into a single register".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dilp/pipe.hpp"
+#include "vcode/program.hpp"
+
+namespace ash::dilp {
+
+/// Transfer direction (the paper's PIPE_READ / PIPE_WRITE): Write composes
+/// the pipes in list order (memory -> network), Read composes them in
+/// reverse (network -> memory), so one pipe list can serve both sides of
+/// a symmetric transformation.
+enum class Direction : std::uint8_t { Read, Write };
+
+/// Network-interface-specific loop shape (Section III-C: "Different loops
+/// may be generated for different network interfaces"). A nonzero
+/// src_stripe_chunk generates the Ethernet variant that reads a source
+/// striped as chunk bytes of data alternating with chunk bytes of padding.
+struct LoopLayout {
+  std::uint32_t src_stripe_chunk = 0;  // 0 = contiguous source
+
+  friend bool operator==(const LoopLayout&, const LoopLayout&) = default;
+};
+
+/// Where one pipe's persistent register landed in the fused loop, so the
+/// caller can export (seed) and import (read back) accumulators.
+struct PersistentBinding {
+  int pipe_id;            // index in the source PipeList
+  vcode::Reg pipe_reg;    // register within the pipe body
+  vcode::Reg loop_reg;    // register in the fused program
+};
+
+struct CompiledIlp {
+  /// The fused transfer loop. Calling convention: r1 = src address,
+  /// r2 = dst address, r3 = length in bytes (must be a multiple of 4).
+  /// Halts with r1 = 0 on success. src == dst performs an in-place
+  /// transform; a no-mod-only pipeline with src != dst is a plain copy.
+  vcode::Program loop;
+
+  std::vector<PersistentBinding> persistents;
+
+  /// Static instruction count of one loop iteration (one 32-bit word) —
+  /// used by cost accounting and reported by the benches.
+  std::uint32_t insns_per_word = 0;
+
+  /// Human-readable composition summary, e.g. "cksum|byteswap32 (write)".
+  std::string summary;
+};
+
+/// Fuse `pl` into a single transfer loop. Returns nullopt and sets `error`
+/// if the pipes cannot be composed (register pressure, invalid pipe,
+/// unusable stripe chunk). An empty pipe list compiles to a bare copy loop.
+std::optional<CompiledIlp> compile_pipes(const PipeList& pl, Direction dir,
+                                         std::string* error,
+                                         const LoopLayout& layout = {});
+
+}  // namespace ash::dilp

@@ -1,0 +1,150 @@
+#include "dilp/native.hpp"
+
+#include <cstring>
+
+#include "util/byteorder.hpp"
+#include "util/checksum.hpp"
+
+namespace ash::dilp::native {
+namespace {
+
+std::uint32_t load_word(const std::uint8_t* p) { return util::load_u32(p); }
+void store_word(std::uint8_t* p, std::uint32_t w) { util::store_u32(p, w); }
+
+/// One stage applied to one word. Kept trivially inlinable so the fused
+/// template kernels compile to tight single loops.
+template <StageKind K>
+inline std::uint32_t apply_stage(std::uint32_t w, std::uint32_t& state) {
+  if constexpr (K == StageKind::Cksum) {
+    state = util::cksum32_accumulate(state, w);
+    return w;
+  } else if constexpr (K == StageKind::Bswap) {
+    return util::bswap32(w);
+  } else {
+    return w ^ state;  // Xor
+  }
+}
+
+template <StageKind... Ks>
+void fused(const std::uint8_t* src, std::uint8_t* dst, std::size_t len,
+           std::uint32_t* state) {
+  for (std::size_t i = 0; i < len; i += 4) {
+    std::uint32_t w = load_word(src + i);
+    std::size_t s = 0;
+    ((w = apply_stage<Ks>(w, state[s++])), ...);
+    (void)s;
+    store_word(dst + i, w);
+  }
+}
+
+std::uint32_t run_one(StageKind k, std::uint32_t w, std::uint32_t& state) {
+  switch (k) {
+    case StageKind::Cksum: return apply_stage<StageKind::Cksum>(w, state);
+    case StageKind::Bswap: return apply_stage<StageKind::Bswap>(w, state);
+    case StageKind::Xor: return apply_stage<StageKind::Xor>(w, state);
+  }
+  return w;
+}
+
+/// Generic fallback: per-word dispatch over the stage vector.
+void generic(std::vector<StageKind> stages, const std::uint8_t* src,
+             std::uint8_t* dst, std::size_t len, std::uint32_t* state) {
+  for (std::size_t i = 0; i < len; i += 4) {
+    std::uint32_t w = load_word(src + i);
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      w = run_one(stages[s], w, state[s]);
+    }
+    store_word(dst + i, w);
+  }
+}
+
+}  // namespace
+
+void copy_pass(const std::uint8_t* src, std::uint8_t* dst, std::size_t len) {
+  std::memcpy(dst, src, len);
+}
+
+std::uint32_t cksum_pass(const std::uint8_t* data, std::size_t len,
+                         std::uint32_t acc) {
+  for (std::size_t i = 0; i < len; i += 4) {
+    acc = util::cksum32_accumulate(acc, load_word(data + i));
+  }
+  return acc;
+}
+
+void bswap_pass(std::uint8_t* data, std::size_t len) {
+  for (std::size_t i = 0; i < len; i += 4) {
+    store_word(data + i, util::bswap32(load_word(data + i)));
+  }
+}
+
+void xor_pass(std::uint8_t* data, std::size_t len, std::uint32_t key) {
+  for (std::size_t i = 0; i < len; i += 4) {
+    store_word(data + i, load_word(data + i) ^ key);
+  }
+}
+
+std::uint32_t integrated_copy_cksum(const std::uint8_t* src,
+                                    std::uint8_t* dst, std::size_t len,
+                                    std::uint32_t acc) {
+  for (std::size_t i = 0; i < len; i += 4) {
+    const std::uint32_t w = load_word(src + i);
+    acc = util::cksum32_accumulate(acc, w);
+    store_word(dst + i, w);
+  }
+  return acc;
+}
+
+std::uint32_t integrated_copy_cksum_bswap(const std::uint8_t* src,
+                                          std::uint8_t* dst, std::size_t len,
+                                          std::uint32_t acc) {
+  for (std::size_t i = 0; i < len; i += 4) {
+    const std::uint32_t w = load_word(src + i);
+    acc = util::cksum32_accumulate(acc, w);
+    store_word(dst + i, util::bswap32(w));
+  }
+  return acc;
+}
+
+Composed compose(std::span<const StageKind> stages) {
+  using K = StageKind;
+  if (stages.empty()) {
+    return {Kernel(&fused<>), true};
+  }
+  if (stages.size() == 1) {
+    switch (stages[0]) {
+      case K::Cksum: return {Kernel(&fused<K::Cksum>), true};
+      case K::Bswap: return {Kernel(&fused<K::Bswap>), true};
+      case K::Xor: return {Kernel(&fused<K::Xor>), true};
+    }
+  }
+  if (stages.size() == 2) {
+    // Nested dispatch over the 9 two-stage compositions.
+    auto second = [&](auto first_tag) -> Kernel {
+      constexpr K F = decltype(first_tag)::value;
+      switch (stages[1]) {
+        case K::Cksum: return Kernel(&fused<F, K::Cksum>);
+        case K::Bswap: return Kernel(&fused<F, K::Bswap>);
+        case K::Xor: return Kernel(&fused<F, K::Xor>);
+      }
+      return {};
+    };
+    switch (stages[0]) {
+      case K::Cksum:
+        return {second(std::integral_constant<K, K::Cksum>{}), true};
+      case K::Bswap:
+        return {second(std::integral_constant<K, K::Bswap>{}), true};
+      case K::Xor:
+        return {second(std::integral_constant<K, K::Xor>{}), true};
+    }
+  }
+  // Longer compositions: generic per-word dispatch.
+  std::vector<StageKind> copy(stages.begin(), stages.end());
+  return {[copy = std::move(copy)](const std::uint8_t* src, std::uint8_t* dst,
+                                   std::size_t len, std::uint32_t* state) {
+            generic(copy, src, dst, len, state);
+          },
+          false};
+}
+
+}  // namespace ash::dilp::native

@@ -1,0 +1,75 @@
+// Native-host data-manipulation kernels.
+//
+// Two purposes:
+//  1. Reference implementations to cross-check the fused VCODE loops
+//     (property tests assert byte-identical results).
+//  2. The native halves of bench_table3/bench_table4: the paper's memory
+//     experiments (copy costs, integrated vs separate layer processing)
+//     rerun on the host CPU with google-benchmark, demonstrating that the
+//     single-traversal effect is real on modern hardware too.
+//
+// Mirrors the simulated pipeline structure: `separate_*` functions traverse
+// once per operation (non-ILP), `integrated_*` are the hand-fused "C
+// integrated" loops of Table IV, and `compose()` is the native analogue of
+// the DILP compiler — it composes stage functions at runtime, dispatching
+// to a pre-fused kernel when the composition is registered and falling
+// back to a per-word indirect-call loop otherwise (the cost of that
+// fallback is itself measured in the bench).
+//
+// All kernels operate on whole 32-bit words; lengths must be multiples
+// of 4 (same contract as the fused VCODE loops, per Fig. 2's comment).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ash::dilp::native {
+
+// --- separate (non-integrated) passes: one traversal each ---
+
+void copy_pass(const std::uint8_t* src, std::uint8_t* dst, std::size_t len);
+
+/// Ones'-complement accumulate over little-endian words (matches the
+/// checksum pipe); returns the updated accumulator.
+std::uint32_t cksum_pass(const std::uint8_t* data, std::size_t len,
+                         std::uint32_t acc);
+
+/// In-place 32-bit byteswap of every word.
+void bswap_pass(std::uint8_t* data, std::size_t len);
+
+/// In-place XOR of every word with `key`.
+void xor_pass(std::uint8_t* data, std::size_t len, std::uint32_t key);
+
+// --- hand-integrated loops (the "C integrated" rows of Table IV) ---
+
+std::uint32_t integrated_copy_cksum(const std::uint8_t* src,
+                                    std::uint8_t* dst, std::size_t len,
+                                    std::uint32_t acc);
+
+std::uint32_t integrated_copy_cksum_bswap(const std::uint8_t* src,
+                                          std::uint8_t* dst, std::size_t len,
+                                          std::uint32_t acc);
+
+// --- runtime-composed kernels (native analogue of the DILP compiler) ---
+
+enum class StageKind : std::uint8_t { Cksum, Bswap, Xor };
+
+/// A composed transfer kernel: copies src -> dst applying the stages in
+/// order. `state` has one word per stage (checksum accumulator seed / XOR
+/// key / ignored), updated in place.
+using Kernel = std::function<void(const std::uint8_t* src, std::uint8_t* dst,
+                                  std::size_t len, std::uint32_t* state)>;
+
+struct Composed {
+  Kernel kernel;
+  bool fused;  // true: pre-fused template kernel; false: generic fallback
+};
+
+/// Compose stages at runtime. Compositions of up to two stages dispatch to
+/// statically fused kernels; longer ones use the generic per-word loop.
+Composed compose(std::span<const StageKind> stages);
+
+}  // namespace ash::dilp::native

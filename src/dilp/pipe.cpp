@@ -1,0 +1,100 @@
+#include "dilp/pipe.hpp"
+
+#include <stdexcept>
+
+#include "vcode/verifier.hpp"
+
+namespace ash::dilp {
+namespace {
+
+bool gauge_matches(vcode::Op op, Gauge g, bool is_input) {
+  using vcode::Op;
+  switch (g) {
+    case Gauge::G8:
+      return op == (is_input ? Op::Pin8 : Op::Pout8);
+    case Gauge::G16:
+      return op == (is_input ? Op::Pin16 : Op::Pout16);
+    case Gauge::G32:
+      return op == (is_input ? Op::Pin32 : Op::Pout32);
+  }
+  return false;
+}
+
+bool is_pin(vcode::Op op) {
+  return op == vcode::Op::Pin8 || op == vcode::Op::Pin16 ||
+         op == vcode::Op::Pin32;
+}
+
+bool is_pout(vcode::Op op) {
+  return op == vcode::Op::Pout8 || op == vcode::Op::Pout16 ||
+         op == vcode::Op::Pout32;
+}
+
+}  // namespace
+
+std::string validate_pipe(const Pipe& pipe) {
+  vcode::VerifyPolicy policy;
+  policy.allow_fp = false;
+  policy.allow_signed_trap = false;
+  policy.allow_trusted = false;
+  policy.allow_pipe_io = true;
+  policy.allow_indirect = false;
+  const auto verdict = vcode::verify(pipe.body, policy);
+  if (!verdict.ok()) return "body verification failed:\n" + verdict.to_string();
+
+  int pins = 0;
+  int pouts = 0;
+  for (const auto& insn : pipe.body.insns) {
+    if (op_info(insn.op).is_mem) {
+      return "pipes may not access memory directly";
+    }
+    if (is_pin(insn.op)) {
+      if (!gauge_matches(insn.op, pipe.in_gauge, /*is_input=*/true)) {
+        return "pipe input width does not match declared in-gauge";
+      }
+      ++pins;
+    }
+    if (is_pout(insn.op)) {
+      if (!gauge_matches(insn.op, pipe.out_gauge, /*is_input=*/false)) {
+        return "pipe output width does not match declared out-gauge";
+      }
+      ++pouts;
+    }
+  }
+  if (pins != 1) return "pipe must consume exactly one input per invocation";
+  if (pipe.no_mod()) {
+    if (pouts > 1) return "no-mod pipe may have at most one (ignored) output";
+  } else {
+    if (pouts != 1) {
+      return "transforming pipe must produce exactly one output";
+    }
+    if (pipe.in_gauge != pipe.out_gauge) {
+      // Gauge *conversion between pipes* is the compiler's job; a single
+      // pipe transforms in place at one width in this implementation.
+      return "transforming pipe must have matching in/out gauges";
+    }
+  }
+  return {};
+}
+
+int PipeList::add(Pipe pipe) {
+  const std::string problem = validate_pipe(pipe);
+  if (!problem.empty()) {
+    throw std::invalid_argument("invalid pipe '" + pipe.name +
+                                "': " + problem);
+  }
+  pipes_.push_back(std::move(pipe));
+  return static_cast<int>(pipes_.size() - 1);
+}
+
+Pipe PipeBuilder::finish() {
+  builder_.halt();
+  pipe_.body = builder_.take();
+  const std::string problem = validate_pipe(pipe_);
+  if (!problem.empty()) {
+    throw std::invalid_argument("invalid pipe '" + name_ + "': " + problem);
+  }
+  return std::move(pipe_);
+}
+
+}  // namespace ash::dilp

@@ -1,0 +1,111 @@
+// Pipes: the unit of dynamic integrated layer processing (Section II-B).
+//
+// A pipe is a tiny streaming computation — it consumes `in_gauge` bytes of
+// message data per invocation, may transform them, and produces `out_gauge`
+// bytes for the next pipe. Pipes are written in VCODE against the
+// Pin*/Pout* pseudo-instructions; the DILP compiler (compiler.hpp) fuses a
+// list of pipes into one integrated data-transfer loop so the message is
+// traversed exactly once.
+//
+// Pipes carry the paper's attributes: P_COMMUTATIVE (the pipe may be
+// applied to message words out of order) and P_NO_MOD (the pipe does not
+// alter the data stream — e.g. a checksum), plus a gauge (P_GAUGE8/16/32).
+// Persistent registers are preserved across invocations and can be
+// exported/imported by the surrounding ASH (e.g. a checksum accumulator).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcode/builder.hpp"
+#include "vcode/program.hpp"
+
+namespace ash::dilp {
+
+enum class Gauge : std::uint8_t {
+  G8 = 1,
+  G16 = 2,
+  G32 = 4,
+};
+
+/// Pipe attribute flags (the paper's P_COMMUTATIVE / P_NO_MOD).
+inline constexpr std::uint32_t kCommutative = 1u << 0;
+inline constexpr std::uint32_t kNoMod = 1u << 1;
+
+struct Pipe {
+  std::string name;
+  Gauge in_gauge = Gauge::G32;
+  Gauge out_gauge = Gauge::G32;
+  std::uint32_t attrs = 0;
+
+  /// The streaming body: must contain exactly one Pin of `in_gauge` and —
+  /// unless kNoMod — exactly one Pout of `out_gauge`; ends with Halt.
+  vcode::Program body;
+
+  /// Registers preserved across invocations (accumulators). Values can be
+  /// seeded before a transfer and read back afterwards.
+  std::vector<vcode::Reg> persistent;
+
+  bool commutative() const noexcept { return attrs & kCommutative; }
+  bool no_mod() const noexcept { return attrs & kNoMod; }
+};
+
+/// Validate a pipe's structure. Returns an empty string when valid, else a
+/// description of the problem. Pipes may not touch memory, make trusted
+/// calls, or jump indirectly; they must consume exactly one input per
+/// invocation and produce exactly one output (none for kNoMod pipes).
+std::string validate_pipe(const Pipe& pipe);
+
+/// An ordered list of pipes to be fused (the paper's `pipel`).
+class PipeList {
+ public:
+  /// Append a pipe; returns its pipe id within this list. Throws
+  /// std::invalid_argument if the pipe fails validation.
+  int add(Pipe pipe);
+
+  const Pipe& at(int id) const { return pipes_.at(static_cast<std::size_t>(id)); }
+  std::size_t size() const noexcept { return pipes_.size(); }
+  const std::vector<Pipe>& pipes() const noexcept { return pipes_; }
+
+ private:
+  std::vector<Pipe> pipes_;
+};
+
+/// Helper for writing pipe bodies in the style of Fig. 2: wraps a
+/// vcode::Builder, tracks persistent-register declarations, and finishes
+/// the body with Halt + validation.
+class PipeBuilder {
+ public:
+  PipeBuilder(std::string name, Gauge in, Gauge out, std::uint32_t attrs)
+      : name_(std::move(name)) {
+    pipe_.name = name_;
+    pipe_.in_gauge = in;
+    pipe_.out_gauge = out;
+    pipe_.attrs = attrs;
+  }
+
+  /// The underlying code builder (the paper's p_* instruction stream).
+  vcode::Builder& code() noexcept { return builder_; }
+
+  /// Allocate a persistent register (the paper's p_getreg(..., P_VAR)).
+  vcode::Reg persistent_reg() {
+    const vcode::Reg r = builder_.reg();
+    pipe_.persistent.push_back(r);
+    return r;
+  }
+
+  /// Allocate a temporary register (not preserved across invocations).
+  vcode::Reg temp_reg() { return builder_.reg(); }
+
+  /// Finish the body (the paper's pipe_end()). Throws
+  /// std::invalid_argument if the pipe is structurally invalid.
+  Pipe finish();
+
+ private:
+  std::string name_;
+  vcode::Builder builder_;
+  Pipe pipe_;
+};
+
+}  // namespace ash::dilp

@@ -1,0 +1,66 @@
+#include "dilp/stdpipes.hpp"
+
+namespace ash::dilp {
+
+Pipe make_cksum_pipe(vcode::Reg* acc_reg_out) {
+  // Fig. 2: pipe_lambda(pl, &pipe_id, P_GAUGE32, P_COMMUTATIVE | P_NO_MOD)
+  PipeBuilder pb("cksum", Gauge::G32, Gauge::G32, kCommutative | kNoMod);
+  const vcode::Reg acc = pb.persistent_reg();  // p_getreg(..., P_VAR)
+  const vcode::Reg in = pb.temp_reg();
+  pb.code().pin32(in);        // p_input32(p_inputr)
+  pb.code().cksum32(acc, in); // p_cksum32(reg, p_inputr)
+  pb.code().pout32(in);       // p_output32(p_inputr) — unchanged data
+  if (acc_reg_out) *acc_reg_out = acc;
+  return pb.finish();
+}
+
+Pipe make_byteswap_pipe() {
+  PipeBuilder pb("byteswap32", Gauge::G32, Gauge::G32, kCommutative);
+  const vcode::Reg in = pb.temp_reg();
+  pb.code().pin32(in);
+  pb.code().bswap32(in, in);
+  pb.code().pout32(in);
+  return pb.finish();
+}
+
+Pipe make_byteswap16_pipe() {
+  PipeBuilder pb("byteswap16", Gauge::G16, Gauge::G16, kCommutative);
+  const vcode::Reg in = pb.temp_reg();
+  pb.code().pin16(in);
+  pb.code().bswap16(in, in);
+  pb.code().pout16(in);
+  return pb.finish();
+}
+
+Pipe make_xor_pipe(vcode::Reg* key_reg_out) {
+  PipeBuilder pb("xorcrypt", Gauge::G32, Gauge::G32, kCommutative);
+  const vcode::Reg key = pb.persistent_reg();
+  const vcode::Reg in = pb.temp_reg();
+  pb.code().pin32(in);
+  pb.code().xor_(in, in, key);
+  pb.code().pout32(in);
+  if (key_reg_out) *key_reg_out = key;
+  return pb.finish();
+}
+
+Pipe make_identity_pipe(Gauge gauge) {
+  PipeBuilder pb("identity", gauge, gauge, kCommutative);
+  const vcode::Reg in = pb.temp_reg();
+  switch (gauge) {
+    case Gauge::G8:
+      pb.code().pin8(in);
+      pb.code().pout8(in);
+      break;
+    case Gauge::G16:
+      pb.code().pin16(in);
+      pb.code().pout16(in);
+      break;
+    case Gauge::G32:
+      pb.code().pin32(in);
+      pb.code().pout32(in);
+      break;
+  }
+  return pb.finish();
+}
+
+}  // namespace ash::dilp

@@ -1,0 +1,36 @@
+// The standard pipe library: the pipes used throughout the paper's
+// evaluation — Internet checksum (Fig. 2), byteswap (Fig. 1), XOR "crypt",
+// and identity. Applications can of course write their own with
+// PipeBuilder; these mirror the paper's mk_*_pipe helpers.
+#pragma once
+
+#include "dilp/pipe.hpp"
+
+namespace ash::dilp {
+
+/// The checksum pipe of Fig. 2: 32-bit gauge, commutative, no-mod.
+/// Accumulates message words into a persistent ones'-complement
+/// accumulator using the p_cksum32 VCODE extension. `acc_reg_out`
+/// receives the persistent register to seed/read (the paper's cksum_reg).
+///
+/// The accumulator sums little-endian words (the simulated machine's
+/// byte order); fold with util::fold16_le_word_sum to obtain the
+/// big-endian Internet checksum.
+Pipe make_cksum_pipe(vcode::Reg* acc_reg_out);
+
+/// 32-bit byteswap pipe (big<->little endian words), as composed in Fig. 1.
+Pipe make_byteswap_pipe();
+
+/// 16-bit-gauge byteswap pipe: swaps bytes within each halfword. Exists
+/// chiefly to exercise the compiler's gauge-conversion machinery.
+Pipe make_byteswap16_pipe();
+
+/// XOR "encryption" pipe: XORs each word with a persistent key register
+/// (seeded via export, like the checksum accumulator).
+Pipe make_xor_pipe(vcode::Reg* key_reg_out);
+
+/// Identity pipe at a given gauge (useful for tests and for forcing
+/// gauge conversions inside a pipeline).
+Pipe make_identity_pipe(Gauge gauge);
+
+}  // namespace ash::dilp

@@ -1,0 +1,231 @@
+#include "dpf/dpf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ash::dpf {
+
+bool atom_matches(const Atom& atom, std::span<const std::uint8_t> packet) {
+  if (packet.size() < static_cast<std::size_t>(atom.offset) + atom.width) {
+    return false;
+  }
+  std::uint32_t v = 0;
+  for (std::uint8_t i = 0; i < atom.width; ++i) {
+    v = (v << 8) | packet[atom.offset + i];
+  }
+  return (v & atom.mask) == atom.value;
+}
+
+std::string validate_filter(const Filter& filter) {
+  for (const Atom& a : filter.atoms) {
+    if (a.width != 1 && a.width != 2 && a.width != 4) {
+      return "atom width must be 1, 2, or 4";
+    }
+    if ((a.value & ~a.mask) != 0) {
+      return "atom value has bits outside its mask (can never match)";
+    }
+  }
+  return {};
+}
+
+Atom atom_be16(std::uint16_t offset, std::uint16_t value) {
+  return Atom{offset, 2, 0xffffu, value};
+}
+
+Atom atom_be32(std::uint16_t offset, std::uint32_t value) {
+  return Atom{offset, 4, 0xffffffffu, value};
+}
+
+Atom atom_u8(std::uint16_t offset, std::uint8_t value) {
+  return Atom{offset, 1, 0xffu, value};
+}
+
+// ---------------------------------------------------------------- interp
+
+int InterpretedEngine::insert(Filter filter, int owner) {
+  const std::string problem = validate_filter(filter);
+  if (!problem.empty()) throw std::invalid_argument(problem);
+  entries_.push_back({std::move(filter), owner, true});
+  ++live_count_;
+  return static_cast<int>(entries_.size() - 1);
+}
+
+void InterpretedEngine::remove(int filter_id) {
+  if (filter_id < 0 ||
+      static_cast<std::size_t>(filter_id) >= entries_.size()) {
+    return;
+  }
+  if (entries_[static_cast<std::size_t>(filter_id)].live) {
+    entries_[static_cast<std::size_t>(filter_id)].live = false;
+    --live_count_;
+  }
+}
+
+int InterpretedEngine::match(std::span<const std::uint8_t> packet,
+                             MatchStats* stats) const {
+  for (const Entry& e : entries_) {
+    if (!e.live) continue;
+    bool ok = true;
+    for (const Atom& a : e.filter.atoms) {
+      if (stats) ++stats->atoms_evaluated;
+      if (!atom_matches(a, packet)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return e.owner;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------- compiled
+
+int CompiledEngine::insert(Filter filter, int owner) {
+  const std::string problem = validate_filter(filter);
+  if (!problem.empty()) throw std::invalid_argument(problem);
+  // Canonical atom order lets filters share decision-tree prefixes.
+  std::sort(filter.atoms.begin(), filter.atoms.end(),
+            [](const Atom& a, const Atom& b) {
+              return std::tie(a.offset, a.width, a.mask, a.value) <
+                     std::tie(b.offset, b.width, b.mask, b.value);
+            });
+  entries_.push_back({std::move(filter), owner, true});
+  ++live_count_;
+  rebuild();
+  return static_cast<int>(entries_.size() - 1);
+}
+
+void CompiledEngine::remove(int filter_id) {
+  if (filter_id < 0 ||
+      static_cast<std::size_t>(filter_id) >= entries_.size()) {
+    return;
+  }
+  if (entries_[static_cast<std::size_t>(filter_id)].live) {
+    entries_[static_cast<std::size_t>(filter_id)].live = false;
+    --live_count_;
+    rebuild();
+  }
+}
+
+void CompiledEngine::rebuild() {
+  node_count_ = 0;
+  std::vector<std::pair<int, std::size_t>> work;  // (filter index, cursor)
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].live) work.emplace_back(static_cast<int>(i), 0);
+  }
+  root_ = work.empty() ? nullptr : build(std::move(work));
+}
+
+std::unique_ptr<CompiledEngine::Node> CompiledEngine::build(
+    std::vector<std::pair<int, std::size_t>> work) {
+  auto node = std::make_unique<Node>();
+  ++node_count_;
+
+  // Filters with no atoms left accept here; highest priority (lowest
+  // index) wins, and — since a fully matched filter at this depth beats
+  // anything deeper only by priority — we keep just the best one.
+  int accept = -1;
+  std::vector<std::pair<int, std::size_t>> remaining;
+  for (auto& [idx, cursor] : work) {
+    if (cursor >= entries_[static_cast<std::size_t>(idx)].filter.atoms.size()) {
+      if (accept == -1 || idx < accept) accept = idx;
+    } else {
+      remaining.emplace_back(idx, cursor);
+    }
+  }
+  node->accept = accept;
+  if (remaining.empty()) {
+    node->leaf = true;
+    return node;
+  }
+
+  // Pick the most common next-atom key among remaining filters: that key
+  // becomes this node's test, so all filters sharing it are discriminated
+  // with one masked load + one hash probe.
+  std::vector<std::pair<Key, int>> counts;
+  for (const auto& [idx, cursor] : remaining) {
+    const Atom& a = entries_[static_cast<std::size_t>(idx)].filter.atoms[cursor];
+    const Key k{a.offset, a.width, a.mask};
+    auto it = std::find_if(counts.begin(), counts.end(),
+                           [&](const auto& p) { return p.first == k; });
+    if (it == counts.end()) {
+      counts.emplace_back(k, 1);
+    } else {
+      ++it->second;
+    }
+  }
+  const Key best =
+      std::max_element(counts.begin(), counts.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       })
+          ->first;
+  node->key = best;
+
+  // Partition: filters testing `best` advance one atom along the matching
+  // value edge; the rest go to the `others` subtree.
+  std::unordered_map<std::uint32_t, std::vector<std::pair<int, std::size_t>>>
+      by_value;
+  std::vector<std::pair<int, std::size_t>> others;
+  for (const auto& [idx, cursor] : remaining) {
+    const Atom& a = entries_[static_cast<std::size_t>(idx)].filter.atoms[cursor];
+    if (Key{a.offset, a.width, a.mask} == best) {
+      by_value[a.value].emplace_back(idx, cursor + 1);
+    } else {
+      others.emplace_back(idx, cursor);
+    }
+  }
+  for (auto& [value, sub] : by_value) {
+    node->edges.emplace(value, build(std::move(sub)));
+  }
+  if (!others.empty()) node->others = build(std::move(others));
+  return node;
+}
+
+int CompiledEngine::walk(const Node* node,
+                         std::span<const std::uint8_t> packet,
+                         MatchStats* stats) const {
+  int best = -1;
+  while (node != nullptr) {
+    if (stats) ++stats->nodes_visited;
+    if (node->accept != -1 && (best == -1 || node->accept < best)) {
+      best = node->accept;
+    }
+    if (node->leaf) break;
+
+    // One masked load, one hash probe — shared by every filter that tests
+    // this key, which is where the compiled engine wins.
+    const Node* next = nullptr;
+    const Key& k = node->key;
+    if (packet.size() >= static_cast<std::size_t>(k.offset) + k.width) {
+      std::uint32_t v = 0;
+      for (std::uint8_t i = 0; i < k.width; ++i) {
+        v = (v << 8) | packet[k.offset + i];
+      }
+      const auto it = node->edges.find(v & k.mask);
+      if (it != node->edges.end()) next = it->second.get();
+    }
+
+    if (next != nullptr && node->others != nullptr) {
+      // Both subtrees may contain matches; recurse on the edge branch and
+      // continue iteratively on `others`, keeping the best priority.
+      const int sub = walk(next, packet, stats);
+      if (sub != -1 && (best == -1 || sub < best)) best = sub;
+      node = node->others.get();
+      continue;
+    }
+    node = next != nullptr ? next : node->others.get();
+  }
+  if (best == -1) return -1;
+  return best;
+}
+
+int CompiledEngine::match(std::span<const std::uint8_t> packet,
+                          MatchStats* stats) const {
+  if (!root_) return -1;
+  const int idx = walk(root_.get(), packet, stats);
+  return idx == -1 ? -1 : entries_[static_cast<std::size_t>(idx)].owner;
+}
+
+}  // namespace ash::dpf

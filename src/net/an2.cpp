@@ -1,0 +1,202 @@
+#include "net/an2.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "net/an2_switch.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+
+namespace ash::net {
+
+An2Device::An2Device(sim::Node& node, const An2Config& config)
+    : node_(node), config_(config), faults_(config.fault_seed) {}
+
+void An2Device::connect(An2Device& peer) {
+  if (peer_ != nullptr || peer.peer_ != nullptr || switch_ != nullptr ||
+      peer.switch_ != nullptr) {
+    throw std::logic_error("An2Device: already connected");
+  }
+  peer_ = &peer;
+  peer.peer_ = this;
+}
+
+void An2Device::attach_switch(An2Switch& sw) {
+  if (peer_ != nullptr || switch_ != nullptr) {
+    throw std::logic_error("An2Device: already connected");
+  }
+  switch_ = &sw;
+  switch_port_ = static_cast<int>(sw.ports_.size());
+  sw.ports_.push_back(this);
+}
+
+int An2Device::bind_vc(sim::Process& owner) {
+  vcs_.emplace_back();
+  vcs_.back().owner = &owner;
+  return static_cast<int>(vcs_.size() - 1);
+}
+
+An2Device::Vc& An2Device::vc_at(int vc) {
+  if (vc < 0 || static_cast<std::size_t>(vc) >= vcs_.size()) {
+    throw std::out_of_range("An2Device: bad vc");
+  }
+  return vcs_[static_cast<std::size_t>(vc)];
+}
+
+const An2Device::Vc& An2Device::vc_at(int vc) const {
+  return const_cast<An2Device*>(this)->vc_at(vc);
+}
+
+void An2Device::supply_buffer(int vc, std::uint32_t addr, std::uint32_t len) {
+  Vc& v = vc_at(vc);
+  if (node_.mem(addr, len) == nullptr) {
+    throw std::out_of_range("An2Device: buffer outside node memory");
+  }
+  v.free_bufs.push_back({addr, len});
+}
+
+std::optional<RxDesc> An2Device::poll(int vc) {
+  Vc& v = vc_at(vc);
+  if (v.notify_ring.empty()) return std::nullopt;
+  const RxDesc d = v.notify_ring.front();
+  v.notify_ring.pop_front();
+  return d;
+}
+
+sim::WaitChannel& An2Device::arrival_channel(int vc) {
+  return vc_at(vc).arrival;
+}
+
+void An2Device::set_interrupt_mode(int vc, bool on) {
+  vc_at(vc).interrupt_mode = on;
+}
+
+void An2Device::set_kernel_hook(int vc, KernelHook hook) {
+  vc_at(vc).hook = std::move(hook);
+}
+
+void An2Device::return_buffer(int vc, std::uint32_t addr, std::uint32_t len) {
+  supply_buffer(vc, addr, len);
+}
+
+std::size_t An2Device::free_buffers(int vc) const {
+  return vc_at(vc).free_bufs.size();
+}
+
+std::uint64_t An2Device::drops(int vc) const { return vc_at(vc).drops; }
+
+sim::Cycles An2Device::tx_wire_cycles(std::uint32_t len) const {
+  const double cycles_per_byte =
+      sim::kCpuMhz / config_.bandwidth_mbytes_per_sec;
+  return config_.per_packet_overhead +
+         static_cast<sim::Cycles>(cycles_per_byte * len);
+}
+
+bool An2Device::send_from(int dst_vc, std::uint32_t addr, std::uint32_t len) {
+  const std::uint8_t* p = node_.mem(addr, len);
+  if (p == nullptr) return false;
+  return send(dst_vc, {p, len});
+}
+
+bool An2Device::send(int dst_vc, std::span<const std::uint8_t> bytes) {
+  if (peer_ == nullptr && switch_ == nullptr) return false;
+
+  // Link serialization pipelines behind earlier packets.
+  const sim::Cycles now = node_.now();
+  const sim::Cycles start = now > tx_free_at_ ? now : tx_free_at_;
+  tx_free_at_ = start + tx_wire_cycles(static_cast<std::uint32_t>(bytes.size()));
+  const sim::Cycles arrive = tx_free_at_ + config_.one_way_latency;
+
+  if (config_.drop_prob > 0 && faults_.uniform() < config_.drop_prob) {
+    return true;  // vanished on the wire
+  }
+  std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
+  if (switch_ != nullptr) {
+    An2Switch* sw = switch_;
+    const int port = switch_port_;
+    node_.queue().schedule_at(arrive, [sw, port, dst_vc, copy]() mutable {
+      sw->forward(port, dst_vc, std::move(copy));
+    });
+    return true;
+  }
+  An2Device* peer = peer_;
+  node_.queue().schedule_at(arrive, [peer, dst_vc, copy]() mutable {
+    peer->deliver(dst_vc, std::move(copy));
+  });
+  if (config_.dup_prob > 0 && faults_.uniform() < config_.dup_prob) {
+    std::vector<std::uint8_t> dup(bytes.begin(), bytes.end());
+    node_.queue().schedule_at(arrive + sim::us(5.0),
+                              [peer, dst_vc, dup]() mutable {
+                                peer->deliver(dst_vc, std::move(dup));
+                              });
+  }
+  return true;
+}
+
+void An2Device::deliver(int vc_id, std::vector<std::uint8_t> bytes) {
+  if (vc_id < 0 || static_cast<std::size_t>(vc_id) >= vcs_.size()) return;
+  Vc& vc = vcs_[static_cast<std::size_t>(vc_id)];
+
+  if (vc.free_bufs.empty()) {
+    ++vc.drops;
+    return;
+  }
+  RxDesc buf = vc.free_bufs.front();
+  if (bytes.size() > buf.len) {
+    // Message larger than the supplied buffer: the real board would scatter
+    // across buffers; we model single-buffer VCs and drop oversize frames.
+    ++vc.drops;
+    return;
+  }
+  vc.free_bufs.pop_front();
+
+  // DMA: payload lands in the owner's pinned memory; the cached copies of
+  // those lines are now stale.
+  std::uint8_t* dst = node_.mem(buf.addr, static_cast<std::uint32_t>(bytes.size()));
+  std::memcpy(dst, bytes.data(), bytes.size());
+  node_.dcache().invalidate_range(buf.addr,
+                                  static_cast<std::uint32_t>(bytes.size()));
+  const RxDesc desc{buf.addr, static_cast<std::uint32_t>(bytes.size())};
+
+  if (vc.hook) {
+    // Kernel receive hook (the ASH path): interrupt entry + driver work +
+    // cache flush, then the hook runs in kernel context. The hook itself
+    // charges its own execution (node.kernel_work) as needed. When the
+    // handler consumes the message, the kernel recycles the receive buffer
+    // immediately (the handler has copied out what it wanted) — otherwise
+    // the VC would starve after rx_buffers consumed messages.
+    const sim::Cycles driver = node_.cost().interrupt_entry +
+                               config_.rx_driver_work +
+                               node_.cost().demux_an2 + config_.rx_cache_flush;
+    node_.kernel_work(driver, [this, vc_id, desc, buf] {
+      Vc& v = vcs_[static_cast<std::size_t>(vc_id)];
+      const RxEvent ev{vc_id, desc, v.owner};
+      if (v.hook && v.hook(ev)) {
+        v.free_bufs.push_back(buf);  // consumed: recycle
+        return;
+      }
+      v.notify_ring.push_back(desc);
+      v.arrival.notify(/*boost=*/true);
+    });
+    return;
+  }
+
+  // Normal path: the board posts the notification ring entry directly
+  // (visible to a polling process immediately, no kernel work).
+  vc.notify_ring.push_back(desc);
+  if (vc.interrupt_mode) {
+    const sim::Cycles driver = node_.cost().interrupt_entry +
+                               config_.rx_driver_work +
+                               node_.cost().demux_an2 + node_.cost().wakeup;
+    node_.kernel_work(driver, [this, vc_id] {
+      Vc& v = vcs_[static_cast<std::size_t>(vc_id)];
+      v.arrival.notify(/*boost=*/true);
+    });
+  } else {
+    // Pure polling: no CPU involvement. Still post a token so coroutines
+    // that mix poll-and-wait do not race.
+    vc.arrival.notify(/*boost=*/false);
+  }
+}
+
+}  // namespace ash::net

@@ -1,0 +1,160 @@
+// The AN2 ATM network interface (Section IV-A).
+//
+// Digital's AN2 is modelled the way the paper uses it:
+//  * processes bind to a virtual circuit and supply pinned receive buffers
+//    from their own memory; the device DMAs arriving payloads directly
+//    into those buffers ("can DMA messages into any location in physical
+//    memory" — the zero-copy path);
+//  * kernel and user share a per-VC notification ring: a polling process
+//    discovers arrivals by reading the ring, with no kernel involvement;
+//  * alternatively a VC can run in interrupt mode (blocked owner is woken
+//    by driver work) or have a kernel receive hook installed — the hook is
+//    how the ASH system attaches ("ASHs are invoked directly from the AN2
+//    device driver, just after it performs a software cache flush of the
+//    message location");
+//  * link timing: fixed one-way board/switch latency plus serialization at
+//    the payload rate plus a fixed per-packet DMA/cell-framing overhead —
+//    calibrated so a 4-byte hardware round trip costs the paper's 96 us
+//    and a 4 KB train tops out near 16.1 MB/s (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/node.hpp"
+#include "sim/process.hpp"
+#include "util/rng.hpp"
+
+namespace ash::net {
+
+class An2Switch;
+
+/// Where a received message landed in the owner's memory.
+struct RxDesc {
+  std::uint32_t addr = 0;
+  std::uint32_t len = 0;
+};
+
+struct An2Config {
+  /// Maximum payload rate ("about 16.8 Mbytes/s per link").
+  double bandwidth_mbytes_per_sec = 16.8;
+  /// Fixed one-way hardware latency (boards + switch + DMA). Together
+  /// with per_packet_overhead this gives a tiny message a one-way
+  /// hardware cost of ~48 us — the paper's 96 us hardware RTT.
+  sim::Cycles one_way_latency = sim::us(37.8);
+  /// Per-packet fixed transmit overhead (DMA setup, AAL5 framing) — this
+  /// is what keeps a 4 KB train at 16.1 rather than 16.8 MB/s (Fig. 3).
+  sim::Cycles per_packet_overhead = sim::us(10.0);
+  /// Driver work per received packet when the kernel is involved
+  /// (interrupt entry handled separately via CostModel).
+  sim::Cycles rx_driver_work = sim::us(1.0);
+  /// Software cache flush of the message location after DMA.
+  sim::Cycles rx_cache_flush = sim::us(0.5);
+  /// Kernel-side transmit work (descriptor + board register writes).
+  sim::Cycles tx_kernel_work = sim::us(4.0);
+  /// Injected fault rates for protocol testing (0 = reliable link).
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  std::uint64_t fault_seed = 1;
+};
+
+class An2Device {
+ public:
+  An2Device(sim::Node& node, const An2Config& config = {});
+
+  /// Connect both directions to a peer device (point-to-point). May be
+  /// called once per device pair; exclusive with attach_switch().
+  void connect(An2Device& peer);
+
+  /// Attach this device to a switch instead of a point-to-point peer;
+  /// sends are then routed by the switch's circuit table.
+  void attach_switch(An2Switch& sw);
+
+  sim::Node& node() noexcept { return node_; }
+  const An2Config& config() const noexcept { return config_; }
+
+  // ---- virtual circuits ----
+
+  /// Event delivered to a kernel receive hook (the ASH attachment point).
+  struct RxEvent {
+    int vc;
+    RxDesc desc;
+    sim::Process* owner;
+  };
+  /// Runs in kernel context right after the driver's cache flush. Return
+  /// true if the message was consumed; false falls back to the normal
+  /// notification path.
+  using KernelHook = std::function<bool(const RxEvent&)>;
+
+  /// Bind a VC owned by `owner`. Returns the VC id.
+  int bind_vc(sim::Process& owner);
+
+  /// Supply a pinned receive buffer (within the owner's memory).
+  void supply_buffer(int vc, std::uint32_t addr, std::uint32_t len);
+
+  /// Poll the notification ring: pop the next arrival, if any. Free — the
+  /// caller charges poll-iteration cycles itself.
+  std::optional<RxDesc> poll(int vc);
+
+  /// Channel notified on arrivals in interrupt mode (token semantics).
+  sim::WaitChannel& arrival_channel(int vc);
+
+  /// Interrupt mode: arrivals perform kernel work and wake the owner.
+  /// Off (default): pure polling, no kernel involvement per packet.
+  void set_interrupt_mode(int vc, bool on);
+
+  /// Install/remove the kernel receive hook for a VC.
+  void set_kernel_hook(int vc, KernelHook hook);
+
+  /// Return a consumed buffer to the free ring (its full original length).
+  void return_buffer(int vc, std::uint32_t addr, std::uint32_t len);
+
+  std::size_t free_buffers(int vc) const;
+  std::uint64_t drops(int vc) const;
+
+  // ---- transmit ----
+
+  /// Send `len` bytes at `addr` in this node's memory to the peer's VC
+  /// `dst_vc`. CPU cost is the caller's business (tx_kernel_work is
+  /// exposed for that); this accounts wire time only. Returns false if
+  /// not connected or the range is bad.
+  bool send_from(int dst_vc, std::uint32_t addr, std::uint32_t len);
+
+  /// Send a byte string (kernel-originated control traffic, tests).
+  bool send(int dst_vc, std::span<const std::uint8_t> bytes);
+
+  /// Serialization + fixed per-packet cost for `len` bytes (for benches).
+  sim::Cycles tx_wire_cycles(std::uint32_t len) const;
+
+ private:
+  struct Vc {
+    sim::Process* owner = nullptr;
+    std::deque<RxDesc> free_bufs;
+    std::deque<RxDesc> notify_ring;
+    sim::WaitChannel arrival;
+    KernelHook hook;
+    bool interrupt_mode = false;
+    std::uint64_t drops = 0;
+  };
+
+  friend class An2Switch;
+
+  Vc& vc_at(int vc);
+  const Vc& vc_at(int vc) const;
+  void deliver(int vc, std::vector<std::uint8_t> bytes);
+
+  sim::Node& node_;
+  An2Config config_;
+  An2Device* peer_ = nullptr;
+  An2Switch* switch_ = nullptr;
+  int switch_port_ = -1;
+  std::vector<Vc> vcs_;
+  sim::Cycles tx_free_at_ = 0;  // link serialization pipeline
+  util::Rng faults_;
+};
+
+}  // namespace ash::net

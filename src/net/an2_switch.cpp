@@ -1,0 +1,37 @@
+#include "net/an2_switch.hpp"
+
+#include <stdexcept>
+
+namespace ash::net {
+
+int An2Switch::attach(An2Device& dev) {
+  dev.attach_switch(*this);
+  return static_cast<int>(ports_.size() - 1);
+}
+
+void An2Switch::add_circuit(int in_port, int in_vc, int out_port,
+                            int out_vc) {
+  if (in_port < 0 || static_cast<std::size_t>(in_port) >= ports_.size() ||
+      out_port < 0 || static_cast<std::size_t>(out_port) >= ports_.size()) {
+    throw std::out_of_range("An2Switch: bad port");
+  }
+  circuits_[{in_port, in_vc}] = {out_port, out_vc};
+}
+
+void An2Switch::forward(int in_port, int dst_vc,
+                        std::vector<std::uint8_t> bytes) {
+  const auto it = circuits_.find({in_port, dst_vc});
+  if (it == circuits_.end()) {
+    ++unrouted_;
+    return;
+  }
+  const auto [out_port, out_vc] = it->second;
+  An2Device* out = ports_[static_cast<std::size_t>(out_port)];
+  sim_.queue().schedule_in(config_.hop_latency,
+                           [out, out_vc = out_vc, bytes =
+                                std::move(bytes)]() mutable {
+                             out->deliver(out_vc, std::move(bytes));
+                           });
+}
+
+}  // namespace ash::net

@@ -1,0 +1,68 @@
+// The AN2 switch: multi-node virtual-circuit switching.
+//
+// The testbed connects its DECstations through an AN2 switch; the paper
+// only ever uses two nodes, but circuits are the device's real addressing
+// model ("before communicating, processes bind to a virtual circuit").
+// This switch forwards cells between attached devices according to a
+// circuit table: an incoming (port, vc) is rewritten to an outgoing
+// (port, vc). Point-to-point `An2Device::connect` remains available for
+// the two-node experiments; a device attaches to either one peer or one
+// switch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/an2.hpp"
+#include "sim/simulator.hpp"
+
+namespace ash::net {
+
+/// Switch configuration (namespace scope so it can serve as a defaulted
+/// constructor argument).
+struct An2SwitchConfig {
+  /// Extra latency per switched hop (cell routing/queueing), on top of
+  /// the devices' own board latencies.
+  sim::Cycles hop_latency = sim::us(3.0);
+};
+
+class An2Switch {
+ public:
+  using Config = An2SwitchConfig;
+
+  explicit An2Switch(sim::Simulator& sim, const Config& config = {})
+      : sim_(sim), config_(config) {}
+
+  /// Attach a device; returns its port number. The device must not be
+  /// connected point-to-point.
+  int attach(An2Device& dev);
+
+  /// Program a unidirectional circuit: cells arriving from `in_port`
+  /// addressed to `in_vc` are delivered to `out_port` as `out_vc`.
+  void add_circuit(int in_port, int in_vc, int out_port, int out_vc);
+
+  /// Program both directions of one connection: side A names it `vc_a`
+  /// locally, side B names it `vc_b`; each sender addresses its own name.
+  void add_duplex(int port_a, int vc_a, int port_b, int vc_b) {
+    add_circuit(port_a, vc_a, port_b, vc_b);
+    add_circuit(port_b, vc_b, port_a, vc_a);
+  }
+
+  std::uint64_t unrouted() const noexcept { return unrouted_; }
+
+ private:
+  friend class An2Device;
+
+  /// Called by an attached device when its transmit completes: route and
+  /// deliver. `dst_vc` is the VC the sender addressed.
+  void forward(int in_port, int dst_vc, std::vector<std::uint8_t> bytes);
+
+  sim::Simulator& sim_;
+  Config config_;
+  std::vector<An2Device*> ports_;
+  std::map<std::pair<int, int>, std::pair<int, int>> circuits_;
+  std::uint64_t unrouted_ = 0;
+};
+
+}  // namespace ash::net

@@ -1,0 +1,222 @@
+#include "net/ethernet.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/kernel.hpp"
+#include "sim/memops.hpp"
+#include "sim/simulator.hpp"
+
+namespace ash::net {
+
+namespace {
+/// Kernel receive buffers are carved from the node's kernel area
+/// (segment 0, below the first process segment), starting here.
+constexpr std::uint32_t kKernelBufBase = 0x8000;
+}  // namespace
+
+EthernetDevice::EthernetDevice(sim::Node& node, const EthernetConfig& config)
+    : node_(node), config_(config), faults_(config.fault_seed) {
+  if (config_.compiled_dpf) {
+    demux_ = std::make_unique<dpf::CompiledEngine>();
+  } else {
+    demux_ = std::make_unique<dpf::InterpretedEngine>();
+  }
+  const std::uint32_t buf_bytes = 2 * config_.max_frame_bytes;
+  for (std::size_t i = 0; i < config_.rx_buffers; ++i) {
+    const std::uint32_t addr =
+        kKernelBufBase + static_cast<std::uint32_t>(i) * buf_bytes;
+    if (node_.mem(addr, buf_bytes) == nullptr) {
+      throw std::length_error("EthernetDevice: kernel area too small");
+    }
+    kernel_bufs_.push_back({addr, false});
+  }
+}
+
+void EthernetDevice::connect(EthernetDevice& peer) {
+  if (peer_ != nullptr || peer.peer_ != nullptr) {
+    throw std::logic_error("EthernetDevice: already connected");
+  }
+  peer_ = &peer;
+  peer.peer_ = this;
+}
+
+int EthernetDevice::attach(sim::Process& owner, dpf::Filter filter) {
+  endpoints_.emplace_back();
+  endpoints_.back().owner = &owner;
+  const int id = static_cast<int>(endpoints_.size() - 1);
+  demux_->insert(std::move(filter), id);
+  return id;
+}
+
+EthernetDevice::Endpoint& EthernetDevice::ep_at(int id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= endpoints_.size()) {
+    throw std::out_of_range("EthernetDevice: bad endpoint");
+  }
+  return endpoints_[static_cast<std::size_t>(id)];
+}
+
+void EthernetDevice::supply_buffer(int endpoint, std::uint32_t addr,
+                                   std::uint32_t len) {
+  if (node_.mem(addr, len) == nullptr) {
+    throw std::out_of_range("EthernetDevice: buffer outside node memory");
+  }
+  ep_at(endpoint).free_bufs.push_back({addr, len});
+}
+
+std::optional<RxDesc> EthernetDevice::poll(int endpoint) {
+  Endpoint& ep = ep_at(endpoint);
+  if (ep.notify_ring.empty()) return std::nullopt;
+  const RxDesc d = ep.notify_ring.front();
+  ep.notify_ring.pop_front();
+  return d;
+}
+
+sim::WaitChannel& EthernetDevice::arrival_channel(int endpoint) {
+  return ep_at(endpoint).arrival;
+}
+
+void EthernetDevice::set_interrupt_mode(int endpoint, bool on) {
+  ep_at(endpoint).interrupt_mode = on;
+}
+
+void EthernetDevice::set_kernel_hook(int endpoint, KernelHook hook) {
+  ep_at(endpoint).hook = std::move(hook);
+}
+
+void EthernetDevice::return_buffer(int endpoint, std::uint32_t addr,
+                                   std::uint32_t len) {
+  supply_buffer(endpoint, addr, len);
+}
+
+sim::Cycles EthernetDevice::tx_wire_cycles(std::uint32_t len) const {
+  std::uint32_t wire_len = len + config_.framing_bytes;
+  const std::uint32_t min_wire =
+      config_.min_frame_bytes + config_.framing_bytes;
+  if (wire_len < min_wire) wire_len = min_wire;
+  const double cycles_per_byte =
+      sim::kCpuMhz * 8.0 / config_.bandwidth_mbits_per_sec;
+  return static_cast<sim::Cycles>(cycles_per_byte * wire_len);
+}
+
+bool EthernetDevice::send_from(std::uint32_t addr, std::uint32_t len) {
+  const std::uint8_t* p = node_.mem(addr, len);
+  if (p == nullptr) return false;
+  return send({p, len});
+}
+
+bool EthernetDevice::send(std::span<const std::uint8_t> bytes) {
+  if (peer_ == nullptr || bytes.size() > config_.max_frame_bytes) {
+    return false;
+  }
+  const sim::Cycles now = node_.now();
+  const sim::Cycles start = now > tx_free_at_ ? now : tx_free_at_;
+  tx_free_at_ =
+      start + tx_wire_cycles(static_cast<std::uint32_t>(bytes.size()));
+  const sim::Cycles arrive = tx_free_at_ + config_.one_way_latency;
+
+  if (config_.drop_prob > 0 && faults_.uniform() < config_.drop_prob) {
+    return true;
+  }
+  std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
+  EthernetDevice* peer = peer_;
+  node_.queue().schedule_at(arrive, [peer, copy]() mutable {
+    peer->deliver(std::move(copy));
+  });
+  return true;
+}
+
+void EthernetDevice::release_kernel_buf(std::uint32_t addr) {
+  for (KernelBuf& kb : kernel_bufs_) {
+    if (kb.addr == addr) {
+      kb.in_use = false;
+      return;
+    }
+  }
+}
+
+void EthernetDevice::deliver(std::vector<std::uint8_t> bytes) {
+  // Grab a kernel receive buffer; the pool is small, and an exhausted pool
+  // means the frame is lost — the pressure that makes the prompt copy-out
+  // (and ASH-directed placement) matter.
+  KernelBuf* kb = nullptr;
+  for (KernelBuf& candidate : kernel_bufs_) {
+    if (!candidate.in_use) {
+      kb = &candidate;
+      break;
+    }
+  }
+  if (kb == nullptr) {
+    ++drops_;
+    return;
+  }
+  kb->in_use = true;
+
+  // DMA, striped: 16 bytes of data, 16 bytes of padding, repeated.
+  const auto len = static_cast<std::uint32_t>(bytes.size());
+  std::uint8_t* buf = node_.mem(kb->addr, 2 * len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    buf[(i / 16) * 32 + (i % 16)] = bytes[i];
+  }
+  node_.dcache().invalidate_range(kb->addr, 2 * len);
+
+  // Interrupt handler: DPF demux, then the endpoint's receive path.
+  dpf::MatchStats stats;
+  const int ep_id = demux_->match(bytes, &stats);
+
+  sim::Cycles demux_cost;
+  if (config_.compiled_dpf) {
+    demux_cost = stats.nodes_visited * node_.cost().dpf_node_cost;
+  } else {
+    demux_cost = stats.atoms_evaluated * node_.cost().dpf_interp_atom_cost;
+  }
+  const sim::Cycles driver =
+      node_.cost().interrupt_entry + config_.rx_driver_work + demux_cost;
+
+  const std::uint32_t buf_addr = kb->addr;
+  node_.kernel_work(driver, [this, ep_id, buf_addr, len] {
+    if (ep_id < 0) {
+      ++unmatched_;
+      release_kernel_buf(buf_addr);
+      return;
+    }
+    Endpoint& ep = endpoints_[static_cast<std::size_t>(ep_id)];
+    const RxDesc striped{buf_addr, len};
+
+    if (ep.hook) {
+      // ASH path: the handler directs (and pays for) the one copy itself.
+      // A declined hook (voluntary/involuntary abort) falls through to the
+      // default copy-out below, which still holds the kernel buffer.
+      const RxEvent ev{ep_id, striped, ep.owner};
+      if (ep.hook(ev)) {
+        release_kernel_buf(buf_addr);
+        return;
+      }
+    }
+
+    // Default path: the kernel copies the frame out of the scarce buffer
+    // into the endpoint's supplied app buffer right here, in the handler.
+    if (ep.free_bufs.empty() || ep.free_bufs.front().len < len) {
+      drops_ += 1;
+      release_kernel_buf(buf_addr);
+      return;
+    }
+    const RxDesc dst = ep.free_bufs.front();
+    ep.free_bufs.pop_front();
+    const sim::Cycles copy_cycles =
+        sim::memops::copy_destripe(node_, dst.addr, buf_addr, len);
+    node_.kernel_work(copy_cycles);
+    release_kernel_buf(buf_addr);
+
+    ep.notify_ring.push_back({dst.addr, len});
+    if (ep.interrupt_mode) {
+      node_.kernel_work(node_.cost().wakeup, [this, ep_id] {
+        endpoints_[static_cast<std::size_t>(ep_id)].arrival.notify(true);
+      });
+    } else {
+      ep.arrival.notify(false);
+    }
+  });
+}
+
+}  // namespace ash::net

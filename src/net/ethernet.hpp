@@ -1,0 +1,130 @@
+// The 10 Mb/s Ethernet interface (Section IV-A).
+//
+// Modelled after the DECstation's LANCE as the paper characterizes it:
+//  * the device DMAs frames into a small pool of kernel receive buffers —
+//    and stripes them: "our Ethernet DMA engine stripes an N-byte
+//    contiguous packet into a 2N-byte buffer, alternating 16 bytes of data
+//    and 16 bytes of padding" (Section III-C);
+//  * buffers are scarce, so "a message must not stay in them very long. In
+//    this case, at least one copy is always necessary" (Section V-A1) —
+//    the kernel (or an ASH) must copy the frame out promptly or new frames
+//    are dropped;
+//  * demultiplexing runs DPF over the frame in the interrupt handler; the
+//    winning endpoint's receive path (default copy-out, or its ASH hook)
+//    then runs in kernel context.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dpf/dpf.hpp"
+#include "net/an2.hpp"  // RxDesc
+#include "sim/node.hpp"
+#include "sim/process.hpp"
+#include "util/rng.hpp"
+
+namespace ash::net {
+
+struct EthernetConfig {
+  double bandwidth_mbits_per_sec = 10.0;
+  /// Preamble + interframe gap, charged per frame on the wire.
+  std::uint32_t framing_bytes = 20;
+  std::uint32_t min_frame_bytes = 64;
+  std::uint32_t max_frame_bytes = 1518;
+  /// One-way latency through the (thin) wire + board.
+  sim::Cycles one_way_latency = sim::us(10.0);
+  /// Number of kernel receive buffers (the scarce on-board/ring pool).
+  std::size_t rx_buffers = 8;
+  /// Interrupt-handler driver work per frame, beyond DPF and the copy
+  /// (the LANCE is a slow device to program over the TURBOchannel).
+  sim::Cycles rx_driver_work = sim::us(12.0);
+  sim::Cycles tx_kernel_work = sim::us(20.0);
+  /// Use the compiled DPF engine (true) or the interpreted baseline.
+  bool compiled_dpf = true;
+  double drop_prob = 0.0;
+  std::uint64_t fault_seed = 1;
+};
+
+class EthernetDevice {
+ public:
+  /// Kernel receive buffers live in the node's kernel area (segment 0).
+  /// Each holds one striped frame (2 x max_frame_bytes).
+  EthernetDevice(sim::Node& node, const EthernetConfig& config = {});
+
+  void connect(EthernetDevice& peer);
+
+  sim::Node& node() noexcept { return node_; }
+  const EthernetConfig& config() const noexcept { return config_; }
+
+  // ---- endpoints ----
+
+  /// A frame, staged in a kernel buffer, offered to a kernel hook. `addr`
+  /// points at the STRIPED kernel buffer (use memops::copy_destripe or a
+  /// striping-aware DILP loop to move it). The hook must finish with the
+  /// data copied out; the buffer is recycled when it returns.
+  struct RxEvent {
+    int endpoint;
+    RxDesc striped;        // addr of striped kernel buffer, len = frame len
+    sim::Process* owner;
+  };
+  using KernelHook = std::function<bool(const RxEvent&)>;
+
+  /// Attach an endpoint: frames matching `filter` (DPF) belong to `owner`.
+  /// Returns the endpoint id.
+  int attach(sim::Process& owner, dpf::Filter filter);
+
+  /// Supply an app-memory buffer the kernel default path copies frames
+  /// into (destriped).
+  void supply_buffer(int endpoint, std::uint32_t addr, std::uint32_t len);
+
+  std::optional<RxDesc> poll(int endpoint);
+  sim::WaitChannel& arrival_channel(int endpoint);
+  void set_interrupt_mode(int endpoint, bool on);
+  void set_kernel_hook(int endpoint, KernelHook hook);
+  void return_buffer(int endpoint, std::uint32_t addr, std::uint32_t len);
+
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t unmatched() const noexcept { return unmatched_; }
+
+  // ---- transmit ----
+
+  bool send_from(std::uint32_t addr, std::uint32_t len);
+  bool send(std::span<const std::uint8_t> bytes);
+  sim::Cycles tx_wire_cycles(std::uint32_t len) const;
+
+ private:
+  struct Endpoint {
+    sim::Process* owner = nullptr;
+    std::deque<RxDesc> free_bufs;
+    std::deque<RxDesc> notify_ring;
+    sim::WaitChannel arrival;
+    KernelHook hook;
+    bool interrupt_mode = false;
+  };
+
+  struct KernelBuf {
+    std::uint32_t addr;
+    bool in_use = false;
+  };
+
+  Endpoint& ep_at(int id);
+  void deliver(std::vector<std::uint8_t> bytes);
+  void release_kernel_buf(std::uint32_t addr);
+
+  sim::Node& node_;
+  EthernetConfig config_;
+  EthernetDevice* peer_ = nullptr;
+  std::vector<Endpoint> endpoints_;
+  std::vector<KernelBuf> kernel_bufs_;
+  std::unique_ptr<dpf::Engine> demux_;
+  sim::Cycles tx_free_at_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t unmatched_ = 0;
+  util::Rng faults_;
+};
+
+}  // namespace ash::net

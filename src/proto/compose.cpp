@@ -1,0 +1,136 @@
+#include "proto/compose.hpp"
+
+#include <cstring>
+#include <memory>
+
+#include "sim/memops.hpp"
+#include "sim/node.hpp"
+#include "util/byteorder.hpp"
+#include "util/checksum.hpp"
+
+namespace ash::proto {
+
+int ProtocolStack::push_inner(LayerSpec spec) {
+  layers_.push_back(std::move(spec));
+  return static_cast<int>(layers_.size() - 1);
+}
+
+std::uint32_t ProtocolStack::total_header_len() const noexcept {
+  std::uint32_t total = 0;
+  for (const LayerSpec& l : layers_) total += l.header_len;
+  return total;
+}
+
+sim::Sub<bool> ProtocolStack::send_from(std::uint32_t app_addr,
+                                        std::uint32_t len) {
+  sim::Node& node = link_.self().node();
+  const std::uint32_t headers = total_header_len();
+  const std::uint32_t total = headers + len;
+  const std::uint32_t pkt = link_.tx_alloc_ip(total);
+
+  // One staging copy of the data, then headers innermost-out so each
+  // layer sees its final payload length.
+  sim::Cycles cycles =
+      sim::memops::copy(node, pkt + headers, app_addr, len);
+  std::uint32_t off = headers;
+  std::uint32_t inner_len = len;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    off -= it->header_len;
+    it->encode({node.mem(pkt + off, it->header_len), it->header_len},
+               inner_len);
+    cycles += it->cost;
+    inner_len += it->header_len;
+  }
+  co_await link_.self().compute(cycles);
+  const bool sent = co_await link_.send_ip(pkt, total);
+  co_return sent;
+}
+
+sim::Sub<std::optional<ProtocolStack::Received>> ProtocolStack::recv(
+    sim::Cycles timeout) {
+  sim::Node& node = link_.self().node();
+  const sim::Cycles deadline = node.now() + timeout;
+  for (;;) {
+    if (node.now() >= deadline) co_return std::nullopt;
+    const auto d = co_await link_.recv_for(deadline - node.now());
+    if (!d.has_value()) co_return std::nullopt;
+
+    const std::uint32_t base = d->addr + link_.rx_ip_offset();
+    const std::uint32_t avail = d->len - link_.rx_ip_offset();
+    std::uint32_t off = 0;
+    bool ok = avail >= total_header_len();
+    sim::Cycles cycles = 0;
+    for (const LayerSpec& l : layers_) {
+      if (!ok) break;
+      cycles += l.cost;
+      const std::uint32_t inner = avail - off - l.header_len;
+      ok = l.decode({node.mem(base + off, l.header_len), l.header_len},
+                    inner);
+      off += l.header_len;
+    }
+    co_await link_.self().compute(cycles);
+    if (!ok) {
+      ++drops_;
+      link_.release(*d);
+      continue;
+    }
+    Received r;
+    r.payload_addr = base + off;
+    r.payload_len = avail - off;
+    r.desc = *d;
+    co_return r;
+  }
+}
+
+LayerSpec make_seq_layer() {
+  // Shared counters live behind shared_ptrs so the spec is copyable.
+  auto tx = std::make_shared<std::uint32_t>(0);
+  auto rx = std::make_shared<std::uint32_t>(0);
+  LayerSpec l;
+  l.name = "seq";
+  l.header_len = 4;
+  l.encode = [tx](std::span<std::uint8_t> h, std::uint32_t) {
+    util::store_be32(h.data(), (*tx)++);
+  };
+  l.decode = [rx](std::span<const std::uint8_t> h, std::uint32_t) {
+    const std::uint32_t seq = util::load_be32(h.data());
+    if (seq != *rx) return false;
+    ++*rx;
+    return true;
+  };
+  return l;
+}
+
+LayerSpec make_cksum_layer() {
+  LayerSpec l;
+  l.name = "cksum";
+  l.header_len = 2;
+  l.cost = sim::us(4.0);
+  l.encode = [](std::span<std::uint8_t> h, std::uint32_t payload_len) {
+    // Checksum over the inner bytes, which directly follow the header.
+    const std::uint16_t ck = util::internet_checksum(
+        {h.data() + h.size(), payload_len});
+    util::store_be16(h.data(), ck);
+  };
+  l.decode = [](std::span<const std::uint8_t> h, std::uint32_t payload_len) {
+    const std::uint16_t want = util::internet_checksum(
+        {h.data() + h.size(), payload_len});
+    return util::load_be16(h.data()) == want;
+  };
+  return l;
+}
+
+LayerSpec make_port_layer(std::uint16_t tx_port, std::uint16_t rx_port) {
+  LayerSpec l;
+  l.name = "port";
+  l.header_len = 2;
+  l.encode = [tx_port](std::span<std::uint8_t> h, std::uint32_t) {
+    util::store_be16(h.data(), tx_port);
+  };
+  l.decode = [rx_port](std::span<const std::uint8_t> h, std::uint32_t) {
+    return util::load_be16(h.data()) == rx_port;
+  };
+  return l;
+}
+
+}  // namespace ash::proto

@@ -1,0 +1,92 @@
+// Dynamic protocol composition (Section II-C).
+//
+// "Whereas dynamic ILP provides modularity in terms of pipes ..., dynamic
+// protocol composition provides modularity in terms of entire protocols
+// (only one IP routine has to be written, and can be composed with UDP or
+// TCP)." The full system is TM-552; this is the modest runtime-composition
+// core: protocol layers are self-contained header codecs that a stack
+// assembles at runtime in any order, with all headers built into one
+// staging buffer (single traversal) on send and peeled outermost-first on
+// receive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/link.hpp"
+
+namespace ash::proto {
+
+/// One protocol layer fragment.
+struct LayerSpec {
+  std::string name;
+  std::uint32_t header_len = 0;
+
+  /// Fill this layer's header; `payload_len` counts everything inside it
+  /// (inner headers + application data).
+  std::function<void(std::span<std::uint8_t> header,
+                     std::uint32_t payload_len)>
+      encode;
+
+  /// Validate/consume this layer's header on receive; return false to
+  /// drop the packet. May keep per-connection state (sequence numbers...).
+  std::function<bool(std::span<const std::uint8_t> header,
+                     std::uint32_t payload_len)>
+      decode;
+
+  /// Per-packet processing cost of this layer.
+  sim::Cycles cost = sim::us(2.0);
+};
+
+/// A runtime-composed stack over a link. Layer 0 is outermost (closest to
+/// the wire).
+class ProtocolStack {
+ public:
+  explicit ProtocolStack(Link& link) : link_(link) {}
+
+  /// Append a layer *inside* the existing ones; returns its index.
+  int push_inner(LayerSpec spec);
+
+  std::uint32_t total_header_len() const noexcept;
+
+  /// Send application data at `app_addr`: one staging copy, then each
+  /// layer's header built innermost-out.
+  sim::Sub<bool> send_from(std::uint32_t app_addr, std::uint32_t len);
+
+  struct Received {
+    std::uint32_t payload_addr = 0;
+    std::uint32_t payload_len = 0;
+    net::RxDesc desc;  // release via stack.release()
+  };
+
+  /// Receive one packet that every layer accepts (drops keep waiting);
+  /// nullopt on timeout.
+  sim::Sub<std::optional<Received>> recv(sim::Cycles timeout);
+
+  void release(const Received& r) { link_.release(r.desc); }
+
+  std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  Link& link_;
+  std::vector<LayerSpec> layers_;
+  std::uint64_t drops_ = 0;
+};
+
+// --- a small library of composable layers for tests and examples ---
+
+/// Sequenced delivery: stamps a 4-byte sequence number; receiver accepts
+/// only the next expected value (drops duplicates/reordering).
+LayerSpec make_seq_layer();
+
+/// Integrity: 2-byte Internet checksum over the inner bytes.
+LayerSpec make_cksum_layer();
+
+/// Port multiplexing: 2-byte destination port; receiver accepts its own.
+LayerSpec make_port_layer(std::uint16_t tx_port, std::uint16_t rx_port);
+
+}  // namespace ash::proto

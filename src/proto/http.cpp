@@ -1,0 +1,117 @@
+#include "proto/http.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/node.hpp"
+
+namespace ash::proto {
+namespace {
+
+/// Scratch area in the owner's segment for wire bytes (HTTP strings must
+/// live in simulated memory to ride through TCP).
+std::uint32_t scratch(TcpConnection& conn, std::uint32_t len) {
+  return conn.link().carve(len);
+}
+
+/// Read from the connection until `needle` appears or the peer closes;
+/// returns everything read.
+sim::Sub<std::string> read_until(TcpConnection& conn, const char* needle) {
+  sim::Node& node = conn.link().self().node();
+  const std::uint32_t buf = scratch(conn, 2048);
+  std::string acc;
+  while (acc.find(needle) == std::string::npos && acc.size() < 64 * 1024) {
+    const std::uint32_t n = co_await conn.read_into(buf, 2048);
+    if (n == 0) break;
+    const std::uint8_t* p = node.mem(buf, n);
+    acc.append(reinterpret_cast<const char*>(p), n);
+  }
+  co_return acc;
+}
+
+sim::Sub<bool> write_all(TcpConnection& conn, std::string_view text) {
+  sim::Node& node = conn.link().self().node();
+  const auto len = static_cast<std::uint32_t>(text.size());
+  const std::uint32_t buf = scratch(conn, len);
+  std::memcpy(node.mem(buf, len), text.data(), len);
+  const bool ok = co_await conn.write_from(buf, len);
+  co_return ok;
+}
+
+}  // namespace
+
+sim::Sub<std::optional<HttpResponse>> http_get(TcpConnection& conn,
+                                               const std::string& path) {
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  const bool sent = co_await write_all(conn, request);
+  if (!sent) co_return std::nullopt;
+
+  // Read to connection close (HTTP/1.0 framing).
+  sim::Node& node = conn.link().self().node();
+  const std::uint32_t buf = scratch(conn, 4096);
+  std::string raw;
+  for (;;) {
+    const std::uint32_t n = co_await conn.read_into(buf, 4096);
+    if (n == 0) break;
+    const std::uint8_t* p = node.mem(buf, n);
+    raw.append(reinterpret_cast<const char*>(p), n);
+  }
+
+  co_await conn.close();  // complete the FIN handshake from our side
+
+  HttpResponse resp;
+  int matched = std::sscanf(raw.c_str(), "HTTP/1.0 %d", &resp.status);
+  if (matched != 1) co_return std::nullopt;
+  const std::size_t line_end = raw.find("\r\n");
+  const std::size_t reason_at = raw.find(' ', raw.find(' ') + 1);
+  if (line_end != std::string::npos && reason_at != std::string::npos &&
+      reason_at < line_end) {
+    resp.reason = raw.substr(reason_at + 1, line_end - reason_at - 1);
+  }
+  const std::size_t body_at = raw.find("\r\n\r\n");
+  if (body_at != std::string::npos) {
+    resp.body.assign(raw.begin() + static_cast<std::ptrdiff_t>(body_at + 4),
+                     raw.end());
+  }
+  co_return resp;
+}
+
+sim::Sub<std::optional<std::string>> http_serve_one(
+    TcpConnection& conn, const HttpHandler& handler) {
+  const std::string raw = co_await read_until(conn, "\r\n\r\n");
+  std::optional<std::string> result;
+
+  char method[8] = {};
+  char path[1024] = {};
+  if (std::sscanf(raw.c_str(), "%7s %1023s", method, path) == 2 &&
+      std::strcmp(method, "GET") == 0) {
+    result = std::string(path);
+  }
+
+  std::string head;
+  std::vector<std::uint8_t> body;
+  if (result.has_value()) {
+    auto content = handler(*result);
+    if (content.has_value()) {
+      body = std::move(*content);
+      char hdr[128];
+      std::snprintf(hdr, sizeof hdr,
+                    "HTTP/1.0 200 OK\r\nContent-Length: %zu\r\n\r\n",
+                    body.size());
+      head = hdr;
+    } else {
+      head = "HTTP/1.0 404 Not Found\r\n\r\n";
+    }
+  } else {
+    head = "HTTP/1.0 400 Bad Request\r\n\r\n";
+  }
+
+  std::string wire = head;
+  wire.append(body.begin(), body.end());
+  const bool sent = co_await write_all(conn, wire);
+  (void)sent;
+  co_await conn.close();
+  co_return result;
+}
+
+}  // namespace ash::proto

@@ -1,0 +1,36 @@
+// Minimal HTTP/1.0 over the user-level TCP library (part of the paper's
+// protocol inventory). GET only; one request per connection; enough for
+// the web-server-style workloads the paper's discussion mentions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/tcp.hpp"
+
+namespace ash::proto {
+
+struct HttpResponse {
+  int status = 0;
+  std::string reason;
+  std::vector<std::uint8_t> body;
+};
+
+/// Client: send `GET <path> HTTP/1.0` on an *established* connection and
+/// read the response until the peer closes. nullopt on protocol errors.
+sim::Sub<std::optional<HttpResponse>> http_get(TcpConnection& conn,
+                                               const std::string& path);
+
+/// Server: on an *established* connection, read one request, invoke
+/// `handler(path)` (nullopt => 404), send the response, and close.
+/// Returns the request path, or nullopt if the request was malformed.
+using HttpHandler =
+    std::function<std::optional<std::vector<std::uint8_t>>(
+        const std::string& path)>;
+sim::Sub<std::optional<std::string>> http_serve_one(TcpConnection& conn,
+                                                    const HttpHandler& handler);
+
+}  // namespace ash::proto

@@ -1,0 +1,127 @@
+#include "proto/ip_frag.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/memops.hpp"
+#include "sim/node.hpp"
+
+namespace ash::proto {
+
+sim::Sub<bool> ip_send_fragmented(Link& link, Ipv4Addr src, Ipv4Addr dst,
+                                  std::uint8_t protocol,
+                                  std::uint32_t payload_addr,
+                                  std::uint32_t payload_len,
+                                  std::uint16_t ident) {
+  sim::Node& node = link.self().node();
+  const std::uint32_t mtu_payload =
+      (link.ip_mtu() - static_cast<std::uint32_t>(kIpHeaderLen)) & ~7u;
+
+  std::uint32_t off = 0;
+  do {
+    const std::uint32_t chunk = std::min(mtu_payload, payload_len - off);
+    const bool more = off + chunk < payload_len;
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(kIpHeaderLen) + chunk;
+
+    const std::uint32_t pkt = link.tx_alloc_ip(total);
+    const sim::Cycles copy_cycles = sim::memops::copy(
+        node, pkt + static_cast<std::uint32_t>(kIpHeaderLen),
+        payload_addr + off, chunk);
+    IpHeader h;
+    h.protocol = protocol;
+    h.src = src;
+    h.dst = dst;
+    h.total_len = static_cast<std::uint16_t>(total);
+    h.ident = ident;
+    h.more_fragments = more;
+    h.frag_offset = static_cast<std::uint16_t>(off / 8);
+    encode_ip({node.mem(pkt, kIpHeaderLen), kIpHeaderLen}, h);
+
+    co_await link.self().compute(copy_cycles +
+                                 node.cost().udp_send_overhead / 2);
+    const bool sent = co_await link.send_ip(pkt, total);
+    if (!sent) co_return false;
+    off += chunk;
+  } while (off < payload_len);
+  co_return true;
+}
+
+std::optional<IpReassembler::Datagram> IpReassembler::feed(
+    std::span<const std::uint8_t> datagram) {
+  ++feeds_;
+  const auto h = decode_ip(datagram);
+  if (!h.has_value()) return std::nullopt;
+  const std::uint32_t payload_len =
+      h->total_len - static_cast<std::uint32_t>(kIpHeaderLen);
+  const std::uint8_t* payload = datagram.data() + kIpHeaderLen;
+
+  if (!h->more_fragments && h->frag_offset == 0) {
+    Datagram out;
+    out.src = h->src;
+    out.dst = h->dst;
+    out.protocol = h->protocol;
+    out.payload.assign(payload, payload + payload_len);
+    return out;
+  }
+
+  // RFC 791: all fragments but the last carry 8-byte-multiple payloads.
+  if (h->more_fragments && (payload_len & 7u) != 0) return std::nullopt;
+
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(h->src.value) << 16) | h->ident;
+  Partial& part = pending_[key];
+  if (part.bytes.empty()) {
+    part.bytes.resize(64 * 1024);
+    part.have.assign(64 * 1024 / 8, false);
+    part.src = h->src;
+    part.dst = h->dst;
+    part.protocol = h->protocol;
+    part.born = feeds_;
+  }
+
+  const std::uint32_t byte_off = static_cast<std::uint32_t>(h->frag_offset) * 8;
+  if (static_cast<std::uint64_t>(byte_off) + payload_len > part.bytes.size()) {
+    pending_.erase(key);  // hostile or corrupt; drop the whole datagram
+    return std::nullopt;
+  }
+  std::memcpy(part.bytes.data() + byte_off, payload, payload_len);
+  for (std::uint32_t b = byte_off / 8;
+       b < (byte_off + payload_len + 7) / 8; ++b) {
+    if (!part.have[b]) {
+      part.have[b] = true;
+      part.received += 8;
+    }
+  }
+  if (!h->more_fragments) part.total_len = byte_off + payload_len;
+
+  if (part.total_len != 0) {
+    bool complete = true;
+    for (std::uint32_t b = 0; b < (part.total_len + 7) / 8 && complete; ++b) {
+      complete = part.have[b];
+    }
+    if (complete) {
+      Datagram out;
+      out.src = part.src;
+      out.dst = part.dst;
+      out.protocol = part.protocol;
+      out.payload.assign(part.bytes.begin(),
+                         part.bytes.begin() + part.total_len);
+      pending_.erase(key);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+void IpReassembler::expire(std::uint32_t max_age_feeds) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (feeds_ - it->second.born > max_age_feeds) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ash::proto

@@ -1,0 +1,66 @@
+// IPv4 fragmentation and reassembly.
+//
+// The paper's experiments choose MSSes that avoid fragmentation; the
+// library still implements it (it is part of a complete user-level IP),
+// and the tests exercise out-of-order and lossy arrivals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/headers.hpp"
+#include "proto/link.hpp"
+
+namespace ash::proto {
+
+/// Send `payload_len` bytes at `payload_addr` (in the owner's memory) as
+/// an IPv4 datagram, fragmenting at the link's IP MTU when necessary.
+/// Fragment payload sizes are multiples of 8 as RFC 791 requires.
+/// Returns false if any fragment failed to transmit.
+sim::Sub<bool> ip_send_fragmented(Link& link, Ipv4Addr src, Ipv4Addr dst,
+                                  std::uint8_t protocol,
+                                  std::uint32_t payload_addr,
+                                  std::uint32_t payload_len,
+                                  std::uint16_t ident);
+
+/// Reassembles fragmented datagrams. Feed every received IP datagram
+/// (starting at its IP header); complete payloads pop out.
+class IpReassembler {
+ public:
+  struct Datagram {
+    Ipv4Addr src;
+    Ipv4Addr dst;
+    std::uint8_t protocol = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Process one datagram. Unfragmented datagrams return immediately;
+  /// fragments are buffered until their datagram completes. nullopt =
+  /// nothing completed yet (or the datagram was malformed).
+  std::optional<Datagram> feed(std::span<const std::uint8_t> datagram);
+
+  /// Number of partially reassembled datagrams currently buffered.
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+  /// Drop partial datagrams older than `max_age_feeds` feed() calls (the
+  /// library's stand-in for the reassembly timer).
+  void expire(std::uint32_t max_age_feeds);
+
+ private:
+  struct Partial {
+    std::vector<std::uint8_t> bytes;
+    std::vector<bool> have;        // per 8-byte block
+    std::uint32_t total_len = 0;   // 0 until the last fragment arrives
+    std::uint32_t received = 0;    // bytes received
+    std::uint8_t protocol = 0;
+    Ipv4Addr src, dst;
+    std::uint64_t born = 0;
+  };
+
+  std::uint64_t feeds_ = 0;
+  std::unordered_map<std::uint64_t, Partial> pending_;  // key: src^ident
+};
+
+}  // namespace ash::proto

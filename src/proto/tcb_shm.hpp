@@ -1,0 +1,81 @@
+// Shared Transmission Control Block layout.
+//
+// The hot fields of a TCP connection live in the owning process's memory
+// at a fixed layout, so the common-case receive path can run either in the
+// user-level library or in a downloaded handler (ASH/upcall) — the paper's
+// fast-path arrangement: "Our TCP implementation lowers the cost of data
+// transfer by placing the common-case fast path in a handler which can be
+// run either as an ASH or an upcall" (Section V-B).
+//
+// The VCODE fast-path handler (src/ashlib/tcp_fastpath) addresses these
+// fields as 32-bit words at TcbShm::base + 4 * <index>; the library reads
+// and writes them through the accessors below. The `lib_busy` word is the
+// mutual-exclusion flag between library and handler ("the user-level TCP
+// library is not currently using that Transmission Control Block").
+#pragma once
+
+#include <cstdint>
+
+#include "sim/node.hpp"
+#include "util/byteorder.hpp"
+
+namespace ash::proto {
+
+namespace tcb {
+// Word indices within the shared block.
+inline constexpr std::uint32_t kLibBusy = 0;    // 1 while the library runs
+inline constexpr std::uint32_t kState = 1;      // TcpState as u32
+inline constexpr std::uint32_t kRcvNxt = 2;
+inline constexpr std::uint32_t kSndUna = 3;     // highest ACK seen
+inline constexpr std::uint32_t kSndWnd = 4;     // peer advertised window
+inline constexpr std::uint32_t kStageBase = 5;  // receive staging ring
+inline constexpr std::uint32_t kStageCap = 6;
+inline constexpr std::uint32_t kStageWr = 7;    // write offset
+inline constexpr std::uint32_t kStageUsed = 8;  // bytes buffered
+inline constexpr std::uint32_t kStageRd = 9;    // read offset
+inline constexpr std::uint32_t kLocalPort = 10;
+inline constexpr std::uint32_t kRemotePort = 11;
+inline constexpr std::uint32_t kLocalIp = 12;
+inline constexpr std::uint32_t kRemoteIp = 13;
+inline constexpr std::uint32_t kSndNxt = 14;    // seq for handler-built ACKs
+inline constexpr std::uint32_t kAshCommits = 15;
+inline constexpr std::uint32_t kAshFallbacks = 16;
+inline constexpr std::uint32_t kAckScratch = 17;  // address of ack build area
+inline constexpr std::uint32_t kChecksumOn = 18;  // 1 = verify checksums
+/// Precomputed pseudo-header partial sum (little-endian-word form) for
+/// handler-built pure ACKs (src=local, dst=remote, proto=TCP, len=20).
+inline constexpr std::uint32_t kAckPseudoSum = 19;
+/// Bytes of link framing preceding the IP header in the ACK template
+/// (0 on the AN2; 14 when the fast path runs over Ethernet).
+inline constexpr std::uint32_t kAckFrameOff = 20;
+inline constexpr std::uint32_t kWords = 21;
+
+inline constexpr std::uint32_t kAckPacketLen = 40;  // IP + TCP header
+/// Template buffer size: leaves room for link framing before the packet.
+inline constexpr std::uint32_t kAckBufLen = 56;
+}  // namespace tcb
+
+/// Typed accessor over the shared block.
+class TcbShm {
+ public:
+  TcbShm() = default;
+  TcbShm(sim::Node& node, std::uint32_t base) : node_(&node), base_(base) {}
+
+  std::uint32_t base() const noexcept { return base_; }
+  static constexpr std::uint32_t size_bytes() noexcept {
+    return 4 * tcb::kWords;
+  }
+
+  std::uint32_t get(std::uint32_t word) const {
+    return util::load_u32(node_->mem(base_ + 4 * word, 4));
+  }
+  void set(std::uint32_t word, std::uint32_t v) {
+    util::store_u32(node_->mem(base_ + 4 * word, 4), v);
+  }
+
+ private:
+  sim::Node* node_ = nullptr;
+  std::uint32_t base_ = 0;
+};
+
+}  // namespace ash::proto

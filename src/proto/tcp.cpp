@@ -1,0 +1,581 @@
+#include "proto/tcp.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/node.hpp"
+#include "util/byteorder.hpp"
+#include "util/checksum.hpp"
+
+namespace ash::proto {
+
+namespace {
+constexpr std::uint32_t kSegHdrLen =
+    static_cast<std::uint32_t>(kIpHeaderLen + kTcpHeaderLen);
+}
+
+TcpConnection::TcpConnection(Link& link, const TcpConfig& config)
+    : link_(link), cfg_(config) {
+  sim::Node& node = link.self().node();
+  const std::uint32_t shm_base = link.carve(TcbShm::size_bytes());
+  const std::uint32_t stage_cap = 2 * cfg_.window;
+  const std::uint32_t stage_base = link.carve(stage_cap);
+  const std::uint32_t ack_scratch = link.carve(tcb::kAckBufLen);
+
+  shm_ = TcbShm(node, shm_base);
+  for (std::uint32_t w = 0; w < tcb::kWords; ++w) shm_.set(w, 0);
+  shm_.set(tcb::kStageBase, stage_base);
+  shm_.set(tcb::kStageCap, stage_cap);
+  shm_.set(tcb::kLocalPort, cfg_.local_port);
+  shm_.set(tcb::kRemotePort, cfg_.remote_port);
+  shm_.set(tcb::kLocalIp, cfg_.local_ip.value);
+  shm_.set(tcb::kRemoteIp, cfg_.remote_ip.value);
+  shm_.set(tcb::kAckScratch, ack_scratch);
+  shm_.set(tcb::kChecksumOn, cfg_.checksum ? 1 : 0);
+  shm_.set(tcb::kSndWnd, cfg_.window);
+
+  snd_nxt_ = cfg_.iss;
+  shm_.set(tcb::kSndNxt, snd_nxt_);
+  set_snd_una(cfg_.iss);
+  set_state(TcpState::Closed);
+  last_advertised_wnd_ = cfg_.window;
+
+  // Pre-build the pure-ACK template a downloaded fast-path handler patches
+  // and transmits (Section V-B): constant IP header (checksummed) and TCP
+  // ports/flags; the handler fills seq/ack/window and the TCP checksum.
+  {
+    std::uint8_t* t = node.mem(ack_scratch, tcb::kAckBufLen);
+    std::memset(t, 0, tcb::kAckBufLen);
+    IpHeader aip;
+    aip.protocol = kIpProtoTcp;
+    aip.src = cfg_.local_ip;
+    aip.dst = cfg_.remote_ip;
+    aip.total_len = tcb::kAckPacketLen;
+    aip.ident = 0;
+    encode_ip({t, kIpHeaderLen}, aip);
+    TcpHeader ath;
+    ath.src_port = cfg_.local_port;
+    ath.dst_port = cfg_.remote_port;
+    ath.flags.ack = true;
+    ath.window = static_cast<std::uint16_t>(cfg_.window);
+    encode_tcp({t + kIpHeaderLen, kTcpHeaderLen}, ath);
+    // Little-endian-word pseudo-header partial for the handler's checksum
+    // arithmetic (it sums packet bytes as little-endian words).
+    const std::uint32_t pseudo = util::cksum32_accumulate(
+        util::cksum32_accumulate(util::bswap32(cfg_.local_ip.value),
+                                 util::bswap32(cfg_.remote_ip.value)),
+        0x0600u | (static_cast<std::uint32_t>(util::bswap16(20)) << 16));
+    shm_.set(tcb::kAckPseudoSum, pseudo);
+  }
+}
+
+void TcpConnection::set_state(TcpState s) {
+  state_ = s;
+  shm_.set(tcb::kState, static_cast<std::uint32_t>(s));
+}
+
+std::uint32_t TcpConnection::advertised_window() const {
+  const std::uint32_t used = shm_.get(tcb::kStageUsed);
+  return used >= cfg_.window ? 0 : cfg_.window - used;
+}
+
+sim::Sub<bool> TcpConnection::send_segment(
+    TcpFlags flags, std::span<const std::uint8_t> payload, bool queue_retx) {
+  sim::Node& node = link_.self().node();
+  const auto plen = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t total = kSegHdrLen + plen;
+  const std::uint32_t pkt = link_.tx_alloc_ip(total);
+  std::uint8_t* p = node.mem(pkt, total);
+
+  const std::uint32_t seq = snd_nxt_;
+  sim::Cycles cycles = plen > 0 || flags.syn || flags.fin
+                           ? node.cost().tcp_send_overhead
+                           : node.cost().tcp_ack_overhead;
+
+  if (plen > 0) {
+    std::memcpy(p + kSegHdrLen, payload.data(), plen);
+    // Staging-copy cost (app buffer -> packet): loop + cache traffic.
+    for (std::uint32_t off = 0; off < plen; off += 4) {
+      cycles += node.cost().copy_loop_insns_per_word;
+      cycles += node.dcache().access(pkt + kSegHdrLen + off,
+                                     std::min(4u, plen - off), true);
+    }
+  }
+
+  TcpHeader tcp;
+  tcp.src_port = cfg_.local_port;
+  tcp.dst_port = cfg_.remote_port;
+  tcp.seq = seq;
+  tcp.ack = flags.ack ? rcv_nxt() : 0;
+  tcp.flags = flags;
+  tcp.window = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(advertised_window(), 0xffff));
+  tcp.checksum = 0;
+  encode_tcp({p + kIpHeaderLen, kTcpHeaderLen}, tcp);
+  last_advertised_wnd_ = advertised_window();
+
+  if (cfg_.checksum) {
+    std::uint32_t dummy = 0;
+    cycles += node.cost().udp_cksum_setup;
+    cycles += sim::memops::cksum(node, pkt + kIpHeaderLen,
+                                 kTcpHeaderLen + plen, &dummy);
+    tcp.checksum = transport_checksum(
+        cfg_.local_ip, cfg_.remote_ip, kIpProtoTcp,
+        {p + kIpHeaderLen, kTcpHeaderLen + plen});
+    encode_tcp({p + kIpHeaderLen, kTcpHeaderLen}, tcp);
+  }
+
+  IpHeader ip;
+  ip.protocol = kIpProtoTcp;
+  ip.src = cfg_.local_ip;
+  ip.dst = cfg_.remote_ip;
+  ip.total_len = static_cast<std::uint16_t>(total);
+  ip.ident = next_ident_++;
+  encode_ip({p, kIpHeaderLen}, ip);
+
+  snd_nxt_ = seq + plen + ((flags.syn || flags.fin) ? 1 : 0);
+  shm_.set(tcb::kSndNxt, snd_nxt_);
+
+  if (queue_retx && (plen > 0 || flags.syn || flags.fin)) {
+    retx_.push_back(RetxSegment{
+        seq, std::vector<std::uint8_t>(payload.begin(), payload.end()),
+        flags, 0});
+  }
+  if (plen == 0 && !flags.syn && !flags.fin) ++stats_.acks_sent;
+
+  co_await link_.self().compute(cycles);
+  const bool sent = co_await link_.send_ip(pkt, total);
+  co_return sent;
+}
+
+sim::Sub<bool> TcpConnection::send_ack() {
+  TcpFlags flags;
+  flags.ack = true;
+  const bool sent = co_await send_segment(flags, {}, /*queue_retx=*/false);
+  co_return sent;
+}
+
+sim::Sub<bool> TcpConnection::retransmit() {
+  if (retx_.empty()) co_return true;
+  RetxSegment& seg = retx_.front();
+  if (++seg.retries > cfg_.max_retries) co_return false;
+  ++stats_.retransmits;
+
+  // Rebuild the segment with its original sequence number.
+  sim::Node& node = link_.self().node();
+  const auto plen = static_cast<std::uint32_t>(seg.payload.size());
+  const std::uint32_t total = kSegHdrLen + plen;
+  const std::uint32_t pkt = link_.tx_alloc_ip(total);
+  std::uint8_t* p = node.mem(pkt, total);
+  if (plen > 0) std::memcpy(p + kSegHdrLen, seg.payload.data(), plen);
+
+  TcpHeader tcp;
+  tcp.src_port = cfg_.local_port;
+  tcp.dst_port = cfg_.remote_port;
+  tcp.seq = seg.seq;
+  tcp.ack = seg.flags.ack ? rcv_nxt() : 0;
+  tcp.flags = seg.flags;
+  tcp.window = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(advertised_window(), 0xffff));
+  tcp.checksum = 0;
+  encode_tcp({p + kIpHeaderLen, kTcpHeaderLen}, tcp);
+  if (cfg_.checksum) {
+    tcp.checksum = transport_checksum(
+        cfg_.local_ip, cfg_.remote_ip, kIpProtoTcp,
+        {p + kIpHeaderLen, kTcpHeaderLen + plen});
+    encode_tcp({p + kIpHeaderLen, kTcpHeaderLen}, tcp);
+  }
+  IpHeader ip;
+  ip.protocol = kIpProtoTcp;
+  ip.src = cfg_.local_ip;
+  ip.dst = cfg_.remote_ip;
+  ip.total_len = static_cast<std::uint16_t>(total);
+  ip.ident = next_ident_++;
+  encode_ip({p, kIpHeaderLen}, ip);
+
+  co_await link_.self().compute(link_.self().node().cost().tcp_send_overhead);
+  co_await link_.send_ip(pkt, total);
+  co_return true;
+}
+
+void TcpConnection::stage_append(const std::uint8_t* data, std::uint32_t len,
+                                 sim::Cycles* cycles) {
+  sim::Node& node = link_.self().node();
+  const std::uint32_t base = shm_.get(tcb::kStageBase);
+  const std::uint32_t cap = shm_.get(tcb::kStageCap);
+  std::uint32_t wr = shm_.get(tcb::kStageWr);
+  std::uint32_t used = shm_.get(tcb::kStageUsed);
+  if (used == 0) {
+    wr = 0;
+    shm_.set(tcb::kStageRd, 0);
+  }
+
+  // `data` points into sim memory (the rx buffer); compute its sim address
+  // from the node's base pointer so the copy is charged properly.
+  const std::uint32_t src_addr =
+      static_cast<std::uint32_t>(data - node.mem(0, 1));
+
+  std::uint32_t first = std::min(len, cap - wr);
+  if (cfg_.in_place) {
+    // Zero-copy mode: bytes move for simulation fidelity, free of charge.
+    std::memcpy(node.mem(base + wr, first), node.mem(src_addr, first), first);
+    if (first < len) {
+      std::memcpy(node.mem(base, len - first),
+                  node.mem(src_addr + first, len - first), len - first);
+    }
+  } else {
+    *cycles += sim::memops::copy(node, base + wr, src_addr, first);
+    if (first < len) {
+      *cycles += sim::memops::copy(node, base, src_addr + first, len - first);
+    }
+  }
+  wr = (wr + len) % cap;
+  used += len;
+  shm_.set(tcb::kStageWr, wr);
+  shm_.set(tcb::kStageUsed, used);
+}
+
+sim::Sub<void> TcpConnection::process_packet(const net::RxDesc& d) {
+  sim::Node& node = link_.self().node();
+  const std::uint32_t ip_off = link_.rx_ip_offset();
+  if (d.len < ip_off) {
+    link_.release(d);
+    co_return;
+  }
+  const std::uint8_t* p = node.mem(d.addr + ip_off, d.len - ip_off);
+  ++stats_.segments_in;
+
+  const auto ip = decode_ip({p, d.len - ip_off});
+  if (!ip || ip->protocol != kIpProtoTcp || ip->dst != cfg_.local_ip) {
+    link_.release(d);
+    co_return;
+  }
+  const std::uint32_t seg_len = ip->total_len - kIpHeaderLen;
+  const auto tcp = decode_tcp({p + kIpHeaderLen, seg_len});
+  if (!tcp || tcp->dst_port != cfg_.local_port ||
+      (state_ != TcpState::Closed && tcp->src_port != cfg_.remote_port)) {
+    link_.release(d);
+    co_return;
+  }
+  const std::uint32_t plen =
+      seg_len - static_cast<std::uint32_t>(kTcpHeaderLen);
+
+  // Header prediction (RFC 1185-style fast path): established, plain
+  // ACK(+data), exactly the next expected sequence number.
+  const bool predicted =
+      state_ == TcpState::Established && tcp->flags.ack && !tcp->flags.syn &&
+      !tcp->flags.fin && !tcp->flags.rst && tcp->seq == rcv_nxt();
+  if (predicted) {
+    ++stats_.fastpath_hits;
+  } else {
+    ++stats_.slowpath;
+  }
+  co_await link_.self().compute(predicted
+                                    ? node.cost().tcp_fastpath_overhead
+                                    : node.cost().tcp_slowpath_overhead);
+
+  if (cfg_.checksum) {
+    std::uint32_t dummy = 0;
+    const sim::Cycles ck =
+        node.cost().udp_cksum_setup +
+        sim::memops::cksum(node, d.addr + ip_off + kIpHeaderLen, seg_len,
+                           &dummy);
+    co_await link_.self().compute(ck);
+    std::uint32_t acc = pseudo_header_sum(
+        ip->src, ip->dst, kIpProtoTcp, static_cast<std::uint16_t>(seg_len));
+    acc = util::cksum_partial({p + kIpHeaderLen, seg_len}, acc);
+    if (util::fold16(acc) != 0xffff) {
+      ++stats_.cksum_failures;
+      link_.release(d);
+      co_return;
+    }
+  }
+
+  shm_.set(tcb::kLibBusy, 1);
+  bool ack_needed = false;
+
+  // --- ACK processing ---
+  if (tcp->flags.ack && state_ != TcpState::Closed) {
+    if (seq_lt(snd_una(), tcp->ack) && seq_le(tcp->ack, snd_nxt_)) {
+      set_snd_una(tcp->ack);
+      while (!retx_.empty()) {
+        const RetxSegment& seg = retx_.front();
+        const std::uint32_t consumed =
+            static_cast<std::uint32_t>(seg.payload.size()) +
+            ((seg.flags.syn || seg.flags.fin) ? 1 : 0);
+        if (seq_le(seg.seq + consumed, tcp->ack)) {
+          retx_.pop_front();
+        } else {
+          break;
+        }
+      }
+    }
+    if (seq_le(tcp->ack, snd_nxt_)) {
+      shm_.set(tcb::kSndWnd, tcp->window);
+    }
+  }
+
+  // --- state transitions ---
+  switch (state_) {
+    case TcpState::Closed:
+      if (listening_ && tcp->flags.syn && !tcp->flags.ack) {
+        set_rcv_nxt(tcp->seq + 1);
+        set_state(TcpState::SynRcvd);
+        TcpFlags synack;
+        synack.syn = true;
+        synack.ack = true;
+        shm_.set(tcb::kLibBusy, 0);
+        link_.release(d);
+        co_await send_segment(synack, {}, /*queue_retx=*/true);
+        co_return;
+      }
+      break;
+    case TcpState::SynSent:
+      if (tcp->flags.syn && tcp->flags.ack && tcp->ack == cfg_.iss + 1) {
+        set_rcv_nxt(tcp->seq + 1);
+        set_state(TcpState::Established);
+        ack_needed = true;
+      }
+      break;
+    case TcpState::SynRcvd:
+      if (tcp->flags.ack && tcp->ack == snd_nxt_) {
+        set_state(TcpState::Established);
+      }
+      [[fallthrough]];
+    case TcpState::Established:
+    case TcpState::CloseWait:
+    case TcpState::FinSent: {
+      // --- data ---
+      if (plen > 0 && state_ != TcpState::SynRcvd) {
+        const std::uint32_t used = shm_.get(tcb::kStageUsed);
+        const std::uint32_t cap = shm_.get(tcb::kStageCap);
+        if (tcp->seq == rcv_nxt() && used + plen <= cap) {
+          sim::Cycles cycles = 0;
+          stage_append(p + kSegHdrLen, plen, &cycles);
+          set_rcv_nxt(rcv_nxt() + plen);
+          co_await link_.self().compute(cycles);
+        } else {
+          ++stats_.ooo_dropped;  // duplicate or out of order: re-ACK only
+        }
+        ack_needed = true;
+      }
+      // --- FIN ---
+      if (tcp->flags.fin && tcp->seq + plen == rcv_nxt()) {
+        set_rcv_nxt(rcv_nxt() + 1);
+        peer_fin_seen_ = true;
+        if (state_ == TcpState::Established) set_state(TcpState::CloseWait);
+        ack_needed = true;
+      }
+      break;
+    }
+  }
+
+  shm_.set(tcb::kLibBusy, 0);
+  link_.release(d);
+  if (ack_needed) co_await send_ack();
+}
+
+sim::Sub<bool> TcpConnection::pump(sim::Cycles timeout) {
+  auto d = co_await link_.recv_for(timeout);
+  if (!d) co_return false;
+  co_await process_packet(*d);
+  co_return true;
+}
+
+sim::Sub<bool> TcpConnection::connect() {
+  listening_ = false;
+  set_state(TcpState::SynSent);
+  TcpFlags syn;
+  syn.syn = true;
+  co_await send_segment(syn, {}, /*queue_retx=*/true);
+  while (state_ != TcpState::Established) {
+    const bool got = co_await pump(cfg_.rto);
+    if (!got) {
+      const bool alive = co_await retransmit();
+      if (!alive) co_return false;
+    }
+  }
+  co_return true;
+}
+
+sim::Sub<bool> TcpConnection::accept() {
+  listening_ = true;
+  while (state_ != TcpState::Established) {
+    const bool got = co_await pump(cfg_.rto);
+    if (!got && state_ == TcpState::SynRcvd) {
+      const bool alive = co_await retransmit();
+      if (!alive) co_return false;
+    }
+  }
+  listening_ = false;
+  co_return true;
+}
+
+sim::Sub<bool> TcpConnection::write_from(std::uint32_t app_addr,
+                                         std::uint32_t len) {
+  sim::Node& node = link_.self().node();
+  const std::uint32_t end_seq = snd_nxt_ + len;
+  std::uint32_t sent = 0;
+
+  while (seq_lt(snd_una(), end_seq)) {
+    // Fill the window.
+    while (sent < len) {
+      const std::uint32_t inflight = snd_nxt_ - snd_una();
+      const std::uint32_t wnd = std::min(snd_wnd(), cfg_.window);
+      if (inflight >= wnd) break;
+      const std::uint32_t chunk =
+          std::min({cfg_.mss, len - sent, wnd - inflight});
+      if (chunk == 0) break;
+      const std::uint8_t* src = node.mem(app_addr + sent, chunk);
+      TcpFlags flags;
+      flags.ack = true;
+      flags.psh = sent + chunk == len;
+      const bool sent_ok =
+          co_await send_segment(flags, {src, chunk}, /*queue_retx=*/true);
+      if (!sent_ok) co_return false;
+      sent += chunk;
+    }
+
+    // Wait for ACK progress.
+    if (handler_attached_) {
+      const std::uint32_t before = snd_una();
+      const sim::Cycles deadline = node.now() + cfg_.rto;
+      while (snd_una() == before) {
+        if (auto d = link_.try_recv()) {
+          co_await process_packet(*d);  // handler fallback path
+          break;
+        }
+        if (node.now() >= deadline) break;
+        co_await link_.self().compute(node.cost().poll_iteration);
+      }
+      if (snd_una() == before && !link_.try_recv().has_value()) {
+        const bool alive = co_await retransmit();
+        if (!alive) co_return false;
+      }
+    } else {
+      const bool got = co_await pump(cfg_.rto);
+      if (!got) {
+        const bool alive = co_await retransmit();
+        if (!alive) co_return false;
+      }
+    }
+  }
+  co_return true;
+}
+
+sim::Sub<std::uint32_t> TcpConnection::read_into(std::uint32_t app_addr,
+                                                 std::uint32_t max_len) {
+  sim::Node& node = link_.self().node();
+  for (;;) {
+    const std::uint32_t used = shm_.get(tcb::kStageUsed);
+    if (used > 0) {
+      const std::uint32_t base = shm_.get(tcb::kStageBase);
+      const std::uint32_t cap = shm_.get(tcb::kStageCap);
+      std::uint32_t rd = shm_.get(tcb::kStageRd);
+      const std::uint32_t n = std::min(used, max_len);
+      const std::uint32_t first = std::min(n, cap - rd);
+      sim::Cycles cycles = sim::memops::copy(node, app_addr, base + rd, first);
+      if (first < n) {
+        cycles +=
+            sim::memops::copy(node, app_addr + first, base, n - first);
+      }
+      rd = (rd + n) % cap;
+      shm_.set(tcb::kStageRd, rd);
+      shm_.set(tcb::kStageUsed, used - n);
+      if (used - n == 0) {
+        shm_.set(tcb::kStageRd, 0);
+        shm_.set(tcb::kStageWr, 0);
+      }
+      if (handler_attached_) {
+        cycles += node.cost().tcp_handler_read_overhead *
+                  ((n + cfg_.mss - 1) / cfg_.mss);
+      }
+      co_await link_.self().compute(cycles);
+      // Window update if consumption re-opened it substantially.
+      if (advertised_window() >= last_advertised_wnd_ + cfg_.mss) {
+        co_await send_ack();
+      }
+      co_return n;
+    }
+    if (peer_fin_seen_) co_return 0;
+
+    if (handler_attached_) {
+      if (auto d = link_.try_recv()) {
+        co_await process_packet(*d);
+      } else {
+        co_await link_.self().compute(node.cost().poll_iteration);
+      }
+    } else {
+      const bool got = co_await pump(cfg_.rto);
+      if (!got && !retx_.empty()) {
+        const bool alive = co_await retransmit();
+        if (!alive) co_return 0;
+      }
+    }
+  }
+}
+
+sim::Sub<std::uint32_t> TcpConnection::read_discard(std::uint32_t max_len) {
+  sim::Node& node = link_.self().node();
+  for (;;) {
+    const std::uint32_t used = shm_.get(tcb::kStageUsed);
+    if (used > 0) {
+      const std::uint32_t cap = shm_.get(tcb::kStageCap);
+      std::uint32_t rd = shm_.get(tcb::kStageRd);
+      const std::uint32_t n = std::min(used, max_len);
+      rd = (rd + n) % cap;
+      shm_.set(tcb::kStageRd, rd);
+      shm_.set(tcb::kStageUsed, used - n);
+      if (used - n == 0) {
+        shm_.set(tcb::kStageRd, 0);
+        shm_.set(tcb::kStageWr, 0);
+      }
+      if (handler_attached_) {
+        co_await link_.self().compute(node.cost().tcp_handler_read_overhead *
+                                      ((n + cfg_.mss - 1) / cfg_.mss));
+      }
+      if (advertised_window() >= last_advertised_wnd_ + cfg_.mss) {
+        co_await send_ack();
+      }
+      co_return n;
+    }
+    if (peer_fin_seen_) co_return 0;
+
+    if (handler_attached_) {
+      if (auto d = link_.try_recv()) {
+        co_await process_packet(*d);
+      } else {
+        co_await link_.self().compute(node.cost().poll_iteration);
+      }
+    } else {
+      const bool got = co_await pump(cfg_.rto);
+      if (!got && !retx_.empty()) {
+        const bool alive = co_await retransmit();
+        if (!alive) co_return 0;
+      }
+    }
+  }
+}
+
+sim::Sub<void> TcpConnection::close() {
+  if (state_ == TcpState::Established || state_ == TcpState::CloseWait ||
+      state_ == TcpState::SynRcvd) {
+    TcpFlags fin;
+    fin.fin = true;
+    fin.ack = true;
+    co_await send_segment(fin, {}, /*queue_retx=*/true);
+    set_state(TcpState::FinSent);
+  }
+  int rounds = 0;
+  while ((seq_lt(snd_una(), snd_nxt_) || !peer_fin_seen_) &&
+         rounds < cfg_.max_retries) {
+    const bool got = co_await pump(cfg_.rto);
+    if (!got) {
+      ++rounds;
+      co_await retransmit();
+    }
+  }
+  set_state(TcpState::Closed);
+}
+
+}  // namespace ash::proto

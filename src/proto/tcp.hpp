@@ -1,0 +1,170 @@
+// User-level TCP — a library implementation of RFC 793's core, structured
+// like the paper's (Section IV-D): connection establishment and teardown,
+// a fixed-size sliding window (8 KB in the experiments), configurable MSS,
+// header-prediction fast path, coarse retransmission timeout — and, like
+// the paper's, deliberately NOT a full modern TCP (no fast retransmit,
+// fast recovery, congestion control, or clever buffering).
+//
+// write() is synchronous: it returns once every byte has been
+// acknowledged — the paper calls this out as the source of TCP's extra
+// ping-pong latency over UDP, and we inherit the behaviour deliberately.
+//
+// The receive fast path reads and writes the shared TCB block (tcb_shm.hpp)
+// so the exact same state can instead be maintained by a downloaded
+// ASH/upcall handler; when one is attached, the library's read path simply
+// watches the shared staging ring and only runs protocol code for packets
+// the handler declined (aborted on).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "proto/an2_link.hpp"
+#include "proto/link.hpp"
+#include "proto/headers.hpp"
+#include "proto/tcb_shm.hpp"
+
+namespace ash::proto {
+
+enum class TcpState : std::uint32_t {
+  Closed = 0,
+  SynSent,
+  SynRcvd,
+  Established,
+  FinSent,    // we sent FIN, awaiting its ACK (and possibly peer FIN)
+  CloseWait,  // peer sent FIN; we still may send
+};
+
+struct TcpConfig {
+  Ipv4Addr local_ip;
+  Ipv4Addr remote_ip;
+  std::uint16_t local_port = 0;
+  std::uint16_t remote_port = 0;
+  std::uint32_t mss = 3072;      // AN2 default; 1500 Ethernet; 536 WAN
+  std::uint32_t window = 8192;   // fixed, as in the experiments
+  bool checksum = true;
+  /// "In place" receive (Table II): the application uses data where the
+  /// network put it, so the library's network-buffer-to-read-buffer copy
+  /// is never paid. (The bytes still move for simulation correctness;
+  /// they just cost nothing — the zero-copy path.)
+  bool in_place = false;
+  sim::Cycles rto = sim::us(100000.0);  // retransmission timeout (100 ms)
+  int max_retries = 8;
+  std::uint32_t iss = 1000;      // initial send sequence (deterministic)
+};
+
+class TcpConnection;
+sim::Sub<bool> tcp_probe();
+sim::Sub<bool> tcp_probe2(TcpConnection& c);
+
+class TcpConnection {
+ public:
+  TcpConnection(Link& link, const TcpConfig& config);
+
+  Link& link() noexcept { return link_; }
+  TcpState state() const noexcept { return state_; }
+  const TcpConfig& config() const noexcept { return cfg_; }
+  TcbShm& shm() noexcept { return shm_; }
+
+  sim::Sub<bool> probe_member();
+
+  /// Active open: SYN -> SYN/ACK -> ACK. False on timeout/failure.
+  sim::Sub<bool> connect();
+
+  /// Passive open: await SYN, reply SYN/ACK, await ACK.
+  sim::Sub<bool> accept();
+
+  /// Send `len` bytes from application memory, segmented at the MSS,
+  /// honoring the peer window; returns once all bytes are ACKed.
+  sim::Sub<bool> write_from(std::uint32_t app_addr, std::uint32_t len);
+
+  /// Read up to `max_len` bytes into application memory; blocks until at
+  /// least one byte (or connection teardown — then returns 0).
+  sim::Sub<std::uint32_t> read_into(std::uint32_t app_addr,
+                                    std::uint32_t max_len);
+
+  /// Consume up to `max_len` buffered bytes without copying them anywhere
+  /// (the experiments' "throw away the application data" receiver, and
+  /// the natural read for in-place consumers).
+  sim::Sub<std::uint32_t> read_discard(std::uint32_t max_len);
+
+  /// Orderly close: FIN handshake (simplified half of RFC 793 teardown).
+  sim::Sub<void> close();
+
+  /// When a kernel handler (ASH/upcall) maintains the shared TCB, the
+  /// library must not consume packets greedily: read_into watches the
+  /// staging ring and polls the notify ring only for handler fallbacks.
+  void set_handler_attached(bool on) noexcept { handler_attached_ = on; }
+
+  struct Stats {
+    std::uint64_t segments_in = 0;
+    std::uint64_t fastpath_hits = 0;
+    std::uint64_t slowpath = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t cksum_failures = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t ooo_dropped = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct RetxSegment {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> payload;
+    TcpFlags flags;
+    int retries = 0;
+  };
+
+  // ---- shared-TCB convenience ----
+  std::uint32_t rcv_nxt() const { return shm_.get(tcb::kRcvNxt); }
+  void set_rcv_nxt(std::uint32_t v) { shm_.set(tcb::kRcvNxt, v); }
+  std::uint32_t snd_una() const { return shm_.get(tcb::kSndUna); }
+  void set_snd_una(std::uint32_t v) { shm_.set(tcb::kSndUna, v); }
+  std::uint32_t snd_wnd() const { return shm_.get(tcb::kSndWnd); }
+  void set_state(TcpState s);
+
+  std::uint32_t advertised_window() const;
+
+  /// Transmit one segment (flags + optional payload from app memory or a
+  /// retransmit buffer). Appends to the retransmit queue when it carries
+  /// data or SYN/FIN.
+  sim::Sub<bool> send_segment(TcpFlags flags,
+                              std::span<const std::uint8_t> payload,
+                              bool queue_retx);
+
+  sim::Sub<bool> send_ack();
+
+  /// Process one raw packet from the link (any state). Updates shared and
+  /// private state, sends ACKs as needed.
+  sim::Sub<void> process_packet(const net::RxDesc& d);
+
+  /// Wait for a packet (or handler progress) and process it. Returns
+  /// false on rto expiry with nothing processed.
+  sim::Sub<bool> pump(sim::Cycles timeout);
+
+  /// Retransmit the oldest unacked segment. False when retries exhausted.
+  sim::Sub<bool> retransmit();
+
+  void stage_append(const std::uint8_t* data, std::uint32_t len,
+                    sim::Cycles* cycles);
+
+  Link& link_;
+  TcpConfig cfg_;
+  TcbShm shm_;
+  TcpState state_ = TcpState::Closed;
+
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t last_advertised_wnd_ = 0;
+  bool peer_fin_seen_ = false;
+  bool handler_attached_ = false;
+  bool listening_ = false;
+
+  std::deque<RetxSegment> retx_;
+  std::uint16_t next_ident_ = 1;
+  Stats stats_;
+};
+
+}  // namespace ash::proto

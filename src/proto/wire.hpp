@@ -1,0 +1,53 @@
+// Common wire-level types for the user-level protocol library.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ash::proto {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  static MacAddr broadcast() {
+    return {{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}}};
+  }
+  bool is_broadcast() const {
+    for (auto b : bytes) {
+      if (b != 0xff) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const MacAddr&, const MacAddr&) = default;
+};
+
+struct Ipv4Addr {
+  std::uint32_t value = 0;  // host byte order
+
+  static constexpr Ipv4Addr of(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                               std::uint8_t d) {
+    return {static_cast<std::uint32_t>(a) << 24 |
+            static_cast<std::uint32_t>(b) << 16 |
+            static_cast<std::uint32_t>(c) << 8 | d};
+  }
+  std::string to_string() const;
+  friend bool operator==(const Ipv4Addr&, const Ipv4Addr&) = default;
+};
+
+// EtherTypes.
+inline constexpr std::uint16_t kEtherTypeIp = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+inline constexpr std::uint16_t kEtherTypeRarp = 0x8035;
+
+// IP protocol numbers.
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kIpHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kTcpHeaderLen = 20;
+
+}  // namespace ash::proto

@@ -1,0 +1,66 @@
+#include "sim/cache.hpp"
+
+namespace ash::sim {
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config),
+      n_lines_(config.size_bytes / config.line_bytes),
+      tags_(n_lines_, 0) {}
+
+Cycles Cache::access(std::uint32_t addr, std::uint32_t len, bool is_write) {
+  Cycles extra = 0;
+  const std::uint32_t first = addr / config_.line_bytes;
+  const std::uint32_t last = (addr + (len ? len - 1 : 0)) / config_.line_bytes;
+  for (std::uint32_t line = first; line <= last; ++line) {
+    const std::uint32_t idx = line % n_lines_;
+    const std::uint32_t tag = line + 1;
+    if (tags_[idx] == tag) {
+      ++hits_;
+      if (is_write) extra += config_.write_cost;
+      continue;
+    }
+    if (is_write) {
+      // Write-through, no write-allocate: the store goes to memory without
+      // fetching the line.
+      ++misses_;
+      extra += config_.write_cost;
+      continue;
+    }
+    ++misses_;
+    extra += config_.read_miss_penalty;
+    tags_[idx] = tag;
+  }
+  return extra;
+}
+
+bool Cache::contains(std::uint32_t addr) const {
+  const std::uint32_t line = addr / config_.line_bytes;
+  return tags_[line % n_lines_] == line + 1;
+}
+
+void Cache::flush_all() { tags_.assign(n_lines_, 0); }
+
+void Cache::invalidate_range(std::uint32_t addr, std::uint32_t len) {
+  if (len == 0) return;
+  const std::uint32_t first = addr / config_.line_bytes;
+  const std::uint32_t last = (addr + len - 1) / config_.line_bytes;
+  if (last - first + 1 >= n_lines_) {
+    flush_all();
+    return;
+  }
+  for (std::uint32_t line = first; line <= last; ++line) {
+    const std::uint32_t idx = line % n_lines_;
+    if (tags_[idx] == line + 1) tags_[idx] = 0;
+  }
+}
+
+void Cache::touch_range(std::uint32_t addr, std::uint32_t len) {
+  if (len == 0) return;
+  const std::uint32_t first = addr / config_.line_bytes;
+  const std::uint32_t last = (addr + len - 1) / config_.line_bytes;
+  for (std::uint32_t line = first; line <= last; ++line) {
+    tags_[line % n_lines_] = line + 1;
+  }
+}
+
+}  // namespace ash::sim

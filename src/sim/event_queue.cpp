@@ -1,0 +1,57 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace ash::sim {
+
+EventId EventQueue::schedule_at(Cycles at, EventFn fn) {
+  const EventId id = next_id_++;
+  if (at < now_) at = now_;
+  heap_.push(Ev{at, id, std::move(fn)});
+  ++pending_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Lazily discarded when popped; track so pending() stays meaningful.
+  if (id == 0 || id >= next_id_) return;
+  if (cancelled_.insert(id).second && pending_ > 0) --pending_;
+}
+
+Cycles EventQueue::next_time() {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+  return heap_.empty() ? ~Cycles{0} : heap_.top().at;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Ev ev = std::move(const_cast<Ev&>(heap_.top()));
+    heap_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    --pending_;
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run_until_idle(Cycles limit) {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    // Peek for the limit check without executing past it.
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().at > limit) break;
+    if (step()) ++executed;
+  }
+  if (now_ < limit && limit != ~Cycles{0}) now_ = limit;
+  return executed;
+}
+
+}  // namespace ash::sim

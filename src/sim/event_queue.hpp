@@ -1,0 +1,84 @@
+// Discrete-event core: a cancellable time-ordered event queue.
+//
+// All simulated time in this library is measured in CPU cycles of the
+// 40 MHz DECstation 5000/240 the paper measured on; helpers convert to
+// microseconds for reporting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace ash::sim {
+
+/// Simulated time in CPU cycles (40 MHz unless reconfigured).
+using Cycles = std::uint64_t;
+
+inline constexpr double kCpuMhz = 40.0;
+
+/// Convert cycles to microseconds at the simulated clock rate.
+constexpr double to_us(Cycles c) noexcept {
+  return static_cast<double>(c) / kCpuMhz;
+}
+
+/// Convert microseconds to cycles.
+constexpr Cycles us(double microseconds) noexcept {
+  return static_cast<Cycles>(microseconds * kCpuMhz);
+}
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  Cycles now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to now). Events at equal
+  /// times run in scheduling order. Returns an id usable with cancel().
+  EventId schedule_at(Cycles at, EventFn fn);
+
+  /// Schedule `fn` after `delay` cycles.
+  EventId schedule_in(Cycles delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Ignored if already fired or unknown.
+  void cancel(EventId id);
+
+  /// Run the earliest pending event, advancing the clock. Returns false
+  /// when no events remain.
+  bool step();
+
+  /// Run until the queue drains or the clock passes `limit`.
+  /// Returns the number of events executed.
+  std::size_t run_until_idle(Cycles limit = ~Cycles{0});
+
+  bool empty() const noexcept { return pending_ == 0; }
+  std::size_t pending() const noexcept { return pending_; }
+
+  /// Time of the next live event, or ~0 when the queue is empty. Discards
+  /// cancelled entries encountered at the head.
+  Cycles next_time();
+
+ private:
+  struct Ev {
+    Cycles at;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.id > b.id;
+    }
+  };
+
+  Cycles now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t pending_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ash::sim

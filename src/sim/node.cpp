@@ -1,0 +1,40 @@
+#include "sim/node.hpp"
+
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+
+namespace ash::sim {
+
+Node::Node(Simulator& sim, std::string name, const NodeConfig& config)
+    : sim_(sim),
+      name_(std::move(name)),
+      cost_(config.cost),
+      dcache_(config.cache),
+      memory_(config.memory_bytes, 0),
+      kernel_(std::make_unique<Kernel>(*this, config.policy)) {}
+
+Node::~Node() = default;
+
+EventQueue& Node::queue() noexcept { return sim_.queue(); }
+Cycles Node::now() const noexcept { return sim_.now(); }
+
+std::uint8_t* Node::mem(std::uint32_t addr, std::uint32_t len) noexcept {
+  if (static_cast<std::uint64_t>(addr) + len > memory_.size()) return nullptr;
+  return memory_.data() + addr;
+}
+
+const std::uint8_t* Node::mem(std::uint32_t addr,
+                              std::uint32_t len) const noexcept {
+  if (static_cast<std::uint64_t>(addr) + len > memory_.size()) return nullptr;
+  return memory_.data() + addr;
+}
+
+Cycles Node::kernel_work(Cycles cycles, EventFn done) {
+  const Cycles start = now() > cpu_free_at() ? now() : cpu_free_at();
+  busy_until_ = start + cycles;
+  kernel_cycles_ += cycles;
+  if (done) queue().schedule_at(busy_until_, std::move(done));
+  return busy_until_;
+}
+
+}  // namespace ash::sim

@@ -1,0 +1,87 @@
+// A simulated machine: memory, data cache, cost model, CPU accounting,
+// and a kernel. Two of these connected by a Wire reproduce the paper's
+// pair of DECstation 5000/240s.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ash::sim {
+
+class Kernel;
+class Simulator;
+
+struct NodeConfig {
+  std::size_t memory_bytes = 16u << 20;  // 16 MB
+  CacheConfig cache;
+  CostModel cost;
+  SchedPolicy policy = SchedPolicy::RoundRobinOblivious;
+};
+
+class Node {
+ public:
+  Node(Simulator& sim, std::string name, const NodeConfig& config);
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  Simulator& simulator() noexcept { return sim_; }
+  EventQueue& queue() noexcept;
+  Cycles now() const noexcept;
+
+  CostModel& cost() noexcept { return cost_; }
+  const CostModel& cost() const noexcept { return cost_; }
+  Cache& dcache() noexcept { return dcache_; }
+  Kernel& kernel() noexcept { return *kernel_; }
+
+  // ---- physical memory ----
+
+  std::size_t memory_size() const noexcept { return memory_.size(); }
+
+  /// Bounds-checked pointer to `len` bytes at `addr`; nullptr when the
+  /// range is out of bounds.
+  std::uint8_t* mem(std::uint32_t addr, std::uint32_t len) noexcept;
+  const std::uint8_t* mem(std::uint32_t addr, std::uint32_t len) const noexcept;
+
+  // ---- CPU accounting ----
+  //
+  // The CPU is a single serialized resource. Kernel work (interrupt
+  // handlers, ASHs, context switches) advances `busy_until`; the running
+  // process's compute chunks advance `chunk_end`. Anything new starts no
+  // earlier than cpu_free_at().
+
+  Cycles cpu_free_at() const noexcept {
+    return busy_until_ > chunk_end_ ? busy_until_ : chunk_end_;
+  }
+
+  void set_chunk_end(Cycles at) noexcept { chunk_end_ = at; }
+
+  /// Occupy the CPU with kernel-context work for `cycles`, starting no
+  /// earlier than now; `done` (optional) runs at completion. Returns the
+  /// completion time.
+  Cycles kernel_work(Cycles cycles, EventFn done = {});
+
+  /// Total cycles of kernel-context work performed (statistics).
+  Cycles kernel_cycles_total() const noexcept { return kernel_cycles_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  CostModel cost_;
+  Cache dcache_;
+  std::vector<std::uint8_t> memory_;
+  std::unique_ptr<Kernel> kernel_;
+  Cycles busy_until_ = 0;
+  Cycles chunk_end_ = 0;
+  Cycles kernel_cycles_ = 0;
+};
+
+}  // namespace ash::sim

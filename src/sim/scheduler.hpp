@@ -1,0 +1,78 @@
+// CPU scheduler for one simulated node.
+//
+// Two policies reproduce Fig. 4's comparison:
+//  * RoundRobinOblivious — Aegis' round-robin scheduler, "oblivious to
+//    message arrival": a woken process joins the tail of the ready queue
+//    and waits its turn.
+//  * PriorityBoost — the Ultrix-style scheduler "that raises the priority
+//    of a process immediately after a network interrupt": a boosted wake
+//    joins the head of the queue and preempts the running process at the
+//    next preemption point.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/event_queue.hpp"
+
+namespace ash::sim {
+
+class Node;
+class Process;
+
+enum class SchedPolicy : std::uint8_t { RoundRobinOblivious, PriorityBoost };
+
+class Scheduler {
+ public:
+  Scheduler(Node& node, SchedPolicy policy)
+      : node_(node), policy_(policy) {}
+
+  SchedPolicy policy() const noexcept { return policy_; }
+  void set_policy(SchedPolicy p) noexcept { policy_ = p; }
+
+  /// Enqueue a newly spawned process and dispatch if the CPU is idle.
+  void add_new(Process* p);
+
+  /// Transition a Blocked process to Ready (wake path).
+  void make_ready(Process* p, bool boost);
+
+  /// The running process gave up the CPU (blocked).
+  void on_running_blocked();
+
+  /// The running process yielded (ready-queue tail).
+  void on_running_yielded();
+
+  /// Preempt the running process at a preemption point (quantum expiry or
+  /// boost request); it keeps its residual compute.
+  void preempt_running();
+
+  /// The running process's coroutine finished.
+  void on_running_exited();
+
+  /// True when the running process should be preempted at the next
+  /// preemption point.
+  bool should_preempt() const;
+
+  /// Dispatch the next ready process if the CPU is free. Safe to call
+  /// redundantly.
+  void maybe_dispatch();
+
+  Process* running() const noexcept { return running_; }
+  std::size_t ready_count() const noexcept { return ready_.size(); }
+
+  /// Cycles the current process has been running (for quantum checks).
+  Cycles running_since() const noexcept { return dispatch_time_; }
+
+ private:
+  void detach_running();
+
+  Node& node_;
+  SchedPolicy policy_;
+  std::deque<Process*> ready_;
+  Process* running_ = nullptr;
+  Cycles dispatch_time_ = 0;
+  bool dispatch_pending_ = false;
+  bool boost_preempt_ = false;
+};
+
+}  // namespace ash::sim

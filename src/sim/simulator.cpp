@@ -1,0 +1,23 @@
+#include "sim/simulator.hpp"
+
+#include "sim/kernel.hpp"
+
+namespace ash::sim {
+
+void Simulator::check_failures() {
+  for (const auto& node : nodes_) {
+    if (auto e = node->kernel().take_failure()) std::rethrow_exception(e);
+  }
+}
+
+std::size_t Simulator::run(Cycles limit) {
+  std::size_t executed = 0;
+  while (queue_.next_time() <= limit) {
+    if (!queue_.step()) break;
+    ++executed;
+    check_failures();
+  }
+  return executed;
+}
+
+}  // namespace ash::sim

@@ -1,0 +1,39 @@
+// Top-level simulation: a shared clock/event queue plus the nodes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/node.hpp"
+
+namespace ash::sim {
+
+class Simulator {
+ public:
+  EventQueue& queue() noexcept { return queue_; }
+  Cycles now() const noexcept { return queue_.now(); }
+
+  Node& add_node(std::string name, const NodeConfig& config = {}) {
+    nodes_.push_back(std::make_unique<Node>(*this, std::move(name), config));
+    return *nodes_.back();
+  }
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  /// Run until the event queue drains or the clock passes `limit`.
+  /// Rethrows the first exception that escaped any process coroutine.
+  /// Returns the number of events executed.
+  std::size_t run(Cycles limit = ~Cycles{0});
+
+ private:
+  void check_failures();
+
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace ash::sim

@@ -1,0 +1,198 @@
+// Coroutine plumbing for simulated processes.
+//
+// Application code in experiments is written as C++20 coroutines: each
+// simulated process's main function returns sim::Task and advances
+// simulated time by `co_await`-ing awaitables provided by sim::Process
+// (compute, syscall, channel waits...). The scheduler owns resumption, so
+// a coroutine only ever runs while its process holds the simulated CPU.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace ash::sim {
+
+class Process;
+
+class Task {
+ public:
+  struct promise_type {
+    Process* process = nullptr;
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+    }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Transfer ownership of the raw handle (Process takes over).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = {};
+  }
+  Handle handle_;
+};
+
+/// Awaitable subroutine: a coroutine that a process coroutine (or another
+/// Sub) can `co_await`, returning a value. Protocol operations
+/// (`co_await sock.recv(self)`) are written as Subs. Lazily started via
+/// symmetric transfer; exceptions propagate to the awaiter.
+///
+/// The simulated-time awaitables (Process::compute etc.) record the
+/// *innermost* suspended coroutine, so a Sub suspended on compute resumes
+/// exactly where it left off.
+///
+/// TOOLCHAIN WARNING: GCC 12 miscompiles `co_await` of a Sub temporary
+/// inside a compound *condition* (e.g. `if (!co_await f()) ...`,
+/// `a && co_await f()`, or inside EXPECT_* macros) — the enclosing
+/// coroutine's frame is corrupted and the program dies with a wild jump
+/// or heap-corruption abort. ALWAYS hoist the await into a declaration:
+///     const bool ok = co_await f();
+///     if (!ok) ...
+/// A `co_await` as a full statement or as a declaration initializer is
+/// safe. (Verified empirically against g++ 12.2; see DESIGN.md.)
+template <typename T>
+class [[nodiscard]] Sub {
+  struct PromiseBase {
+    std::exception_ptr eptr;
+    std::coroutine_handle<> continuation;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct Final {
+      bool await_ready() noexcept { return false; }
+      template <typename P>
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<P> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    Final final_suspend() noexcept { return {}; }
+    void unhandled_exception() noexcept {
+      eptr = std::current_exception();
+    }
+  };
+
+ public:
+  struct promise_type : PromiseBase {
+    std::optional<T> value;
+    Sub get_return_object() {
+      return Sub{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  explicit Sub(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Sub(Sub&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Sub(const Sub&) = delete;
+  Sub& operator=(const Sub&) = delete;
+  Sub& operator=(Sub&&) = delete;
+  ~Sub() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    h_.promise().continuation = cont;
+    return h_;  // start the subroutine
+  }
+  T await_resume() {
+    if (h_.promise().eptr) std::rethrow_exception(h_.promise().eptr);
+    return std::move(*h_.promise().value);
+  }
+
+ private:
+  std::coroutine_handle<promise_type> h_;
+};
+
+/// Sub<void>: subroutine with no result.
+template <>
+class [[nodiscard]] Sub<void> {
+  struct PromiseBase {
+    std::exception_ptr eptr;
+    std::coroutine_handle<> continuation;
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct Final {
+      bool await_ready() noexcept { return false; }
+      template <typename P>
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<P> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    Final final_suspend() noexcept { return {}; }
+    void unhandled_exception() noexcept {
+      eptr = std::current_exception();
+    }
+  };
+
+ public:
+  struct promise_type : PromiseBase {
+    Sub get_return_object() {
+      return Sub{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  explicit Sub(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Sub(Sub&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Sub(const Sub&) = delete;
+  Sub& operator=(const Sub&) = delete;
+  Sub& operator=(Sub&&) = delete;
+  ~Sub() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() {
+    if (h_.promise().eptr) std::rethrow_exception(h_.promise().eptr);
+  }
+
+ private:
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace ash::sim

@@ -1,0 +1,78 @@
+// Byte-order helpers for on-the-wire protocol encoding.
+//
+// All wire formats in this library (Ethernet, ARP, IP, UDP, TCP) are
+// big-endian; these helpers read/write network byte order from byte
+// buffers without alignment requirements.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace ash::util {
+
+/// Swap the byte order of a 16-bit value.
+constexpr std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+/// Swap the byte order of a 32-bit value.
+constexpr std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+/// Host-to-network (big-endian) conversion for 16-bit values.
+constexpr std::uint16_t hton16(std::uint16_t v) noexcept {
+  if constexpr (std::endian::native == std::endian::little) return bswap16(v);
+  return v;
+}
+
+/// Host-to-network (big-endian) conversion for 32-bit values.
+constexpr std::uint32_t hton32(std::uint32_t v) noexcept {
+  if constexpr (std::endian::native == std::endian::little) return bswap32(v);
+  return v;
+}
+
+constexpr std::uint16_t ntoh16(std::uint16_t v) noexcept { return hton16(v); }
+constexpr std::uint32_t ntoh32(std::uint32_t v) noexcept { return hton32(v); }
+
+/// Read a big-endian 16-bit value from an unaligned buffer.
+inline std::uint16_t load_be16(const void* p) noexcept {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return ntoh16(v);
+}
+
+/// Read a big-endian 32-bit value from an unaligned buffer.
+inline std::uint32_t load_be32(const void* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return ntoh32(v);
+}
+
+/// Write a big-endian 16-bit value to an unaligned buffer.
+inline void store_be16(void* p, std::uint16_t v) noexcept {
+  v = hton16(v);
+  std::memcpy(p, &v, sizeof v);
+}
+
+/// Write a big-endian 32-bit value to an unaligned buffer.
+inline void store_be32(void* p, std::uint32_t v) noexcept {
+  v = hton32(v);
+  std::memcpy(p, &v, sizeof v);
+}
+
+/// Read a native-endian 32-bit value from an unaligned buffer.
+inline std::uint32_t load_u32(const void* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Write a native-endian 32-bit value to an unaligned buffer.
+inline void store_u32(void* p, std::uint32_t v) noexcept {
+  std::memcpy(p, &v, sizeof v);
+}
+
+}  // namespace ash::util

@@ -1,0 +1,33 @@
+#include "util/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ash::util {
+
+std::string hexdump(std::span<const std::uint8_t> data) {
+  std::string out;
+  char line[128];
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    int n = std::snprintf(line, sizeof line, "%08zx  ", off);
+    out.append(line, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (off + i < data.size()) {
+        n = std::snprintf(line, sizeof line, "%02x ", data[off + i]);
+        out.append(line, static_cast<std::size_t>(n));
+      } else {
+        out.append("   ");
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out.append(" |");
+    for (std::size_t i = 0; i < 16 && off + i < data.size(); ++i) {
+      const unsigned char c = data[off + i];
+      out.push_back(std::isprint(c) ? static_cast<char>(c) : '.');
+    }
+    out.append("|\n");
+  }
+  return out;
+}
+
+}  // namespace ash::util

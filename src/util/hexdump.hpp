@@ -1,0 +1,13 @@
+// Debug helper: format a byte range as a classic offset/hex/ASCII dump.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ash::util {
+
+/// Render `data` as a human-readable hex dump (16 bytes per line).
+std::string hexdump(std::span<const std::uint8_t> data);
+
+}  // namespace ash::util

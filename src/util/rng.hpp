@@ -1,0 +1,64 @@
+// Deterministic xorshift-based PRNG for tests, workload generators, and the
+// simulator's loss models. Deterministic seeding keeps every experiment and
+// property test reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+namespace ash::util {
+
+/// xoshiro256** — small, fast, high-quality PRNG. Not cryptographic.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 to spread the seed across state words.
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace ash::util

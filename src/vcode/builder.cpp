@@ -1,0 +1,72 @@
+#include "vcode/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ash::vcode {
+
+Reg Builder::reg() {
+  // The top three registers (r61..r63) are reserved as sandbox scratch so
+  // the SFI pass always has registers available without renaming.
+  if (next_reg_ >= kNumRegs - 3) {
+    throw std::length_error("vcode::Builder: register file exhausted");
+  }
+  return next_reg_++;
+}
+
+Label Builder::label() {
+  label_pos_.push_back(kUnbound);
+  return Label{static_cast<std::uint32_t>(label_pos_.size() - 1)};
+}
+
+void Builder::bind(Label l) {
+  if (l.id >= label_pos_.size()) {
+    throw std::logic_error("vcode::Builder: bind of unknown label");
+  }
+  if (label_pos_[l.id] != kUnbound) {
+    throw std::logic_error("vcode::Builder: label bound twice");
+  }
+  label_pos_[l.id] = here();
+}
+
+void Builder::mark_indirect(Label l) {
+  if (l.id >= label_pos_.size()) {
+    throw std::logic_error("vcode::Builder: mark_indirect of unknown label");
+  }
+  indirect_labels_.push_back(l.id);
+}
+
+void Builder::emit_branch(Op op, Reg a, Reg b, Label t) {
+  fixups_.push_back({here(), t.id});
+  emit({op, a, b, 0, kUnbound});
+}
+
+Program Builder::take() {
+  for (const Fixup& f : fixups_) {
+    const std::uint32_t pos = label_pos_[f.label];
+    if (pos == kUnbound) {
+      throw std::logic_error("vcode::Builder: branch to unbound label");
+    }
+    insns_[f.insn].imm = pos;
+  }
+  Program prog;
+  prog.insns = std::move(insns_);
+  for (std::uint32_t id : indirect_labels_) {
+    if (label_pos_[id] == kUnbound) {
+      throw std::logic_error("vcode::Builder: indirect label unbound");
+    }
+    prog.indirect_targets.push_back(label_pos_[id]);
+  }
+  std::sort(prog.indirect_targets.begin(), prog.indirect_targets.end());
+  prog.indirect_targets.erase(
+      std::unique(prog.indirect_targets.begin(), prog.indirect_targets.end()),
+      prog.indirect_targets.end());
+  insns_.clear();
+  label_pos_.clear();
+  indirect_labels_.clear();
+  fixups_.clear();
+  next_reg_ = kRegArg3 + 1;
+  return prog;
+}
+
+}  // namespace ash::vcode

@@ -1,0 +1,192 @@
+// Typed assembler for VCODE programs.
+//
+// This is the "set of C macros" interface of the paper's VCODE, recast as a
+// C++ builder: callers allocate virtual registers, create and bind labels,
+// and emit instructions; `take()` patches branch targets and returns the
+// finished Program.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vcode/program.hpp"
+
+namespace ash::vcode {
+
+/// Forward-referenceable branch target.
+struct Label {
+  std::uint32_t id;
+};
+
+class Builder {
+ public:
+  Builder() = default;
+
+  /// Allocate a fresh virtual register. Registers r1..r4 are the argument/
+  /// result registers (kRegArg0..kRegArg3); allocation starts above them.
+  /// Throws std::length_error when the register file is exhausted.
+  Reg reg();
+
+  /// Create an unbound label.
+  Label label();
+
+  /// Bind `l` to the next emitted instruction. A label may be bound once.
+  void bind(Label l);
+
+  /// Additionally register `l` as a legal indirect-jump (Jr) target.
+  void mark_indirect(Label l);
+
+  /// Index of the next instruction to be emitted.
+  std::uint32_t here() const noexcept {
+    return static_cast<std::uint32_t>(insns_.size());
+  }
+
+  // --- control ---
+  void nop() { emit({Op::Nop, 0, 0, 0, 0}); }
+  void halt() { emit({Op::Halt, 0, 0, 0, 0}); }
+  void abort(std::uint32_t code = 0) { emit({Op::Abort, 0, 0, 0, code}); }
+  void jmp(Label t) { emit_branch(Op::Jmp, 0, 0, t); }
+  void jr(Reg rs) { emit({Op::Jr, rs, 0, 0, 0}); }
+  void call(Label t) { emit_branch(Op::Call, 0, 0, t); }
+  void ret() { emit({Op::Ret, 0, 0, 0, 0}); }
+  void beq(Reg a, Reg b, Label t) { emit_branch(Op::Beq, a, b, t); }
+  void bne(Reg a, Reg b, Label t) { emit_branch(Op::Bne, a, b, t); }
+  void bltu(Reg a, Reg b, Label t) { emit_branch(Op::Bltu, a, b, t); }
+  void bgeu(Reg a, Reg b, Label t) { emit_branch(Op::Bgeu, a, b, t); }
+  void blt(Reg a, Reg b, Label t) { emit_branch(Op::Blt, a, b, t); }
+  void bge(Reg a, Reg b, Label t) { emit_branch(Op::Bge, a, b, t); }
+
+  // --- moves / arithmetic ---
+  void movi(Reg rd, std::uint32_t imm) { emit({Op::Movi, rd, 0, 0, imm}); }
+
+  /// Load a label's instruction index into a register (for indirect jumps
+  /// through Jr; remember to mark_indirect the label so the sandbox's
+  /// translated JrChk will admit it).
+  void movi_label(Reg rd, Label l) {
+    fixups_.push_back({here(), l.id});
+    emit({Op::Movi, rd, 0, 0, kUnbound});
+  }
+  void mov(Reg rd, Reg rs) { emit({Op::Mov, rd, rs, 0, 0}); }
+  void addu(Reg rd, Reg rs, Reg rt) { emit({Op::Addu, rd, rs, rt, 0}); }
+  void addiu(Reg rd, Reg rs, std::uint32_t imm) {
+    emit({Op::Addiu, rd, rs, 0, imm});
+  }
+  void subu(Reg rd, Reg rs, Reg rt) { emit({Op::Subu, rd, rs, rt, 0}); }
+  void mulu(Reg rd, Reg rs, Reg rt) { emit({Op::Mulu, rd, rs, rt, 0}); }
+  void divu(Reg rd, Reg rs, Reg rt) { emit({Op::Divu, rd, rs, rt, 0}); }
+  void remu(Reg rd, Reg rs, Reg rt) { emit({Op::Remu, rd, rs, rt, 0}); }
+  void and_(Reg rd, Reg rs, Reg rt) { emit({Op::And, rd, rs, rt, 0}); }
+  void andi(Reg rd, Reg rs, std::uint32_t imm) {
+    emit({Op::Andi, rd, rs, 0, imm});
+  }
+  void or_(Reg rd, Reg rs, Reg rt) { emit({Op::Or, rd, rs, rt, 0}); }
+  void ori(Reg rd, Reg rs, std::uint32_t imm) {
+    emit({Op::Ori, rd, rs, 0, imm});
+  }
+  void xor_(Reg rd, Reg rs, Reg rt) { emit({Op::Xor, rd, rs, rt, 0}); }
+  void xori(Reg rd, Reg rs, std::uint32_t imm) {
+    emit({Op::Xori, rd, rs, 0, imm});
+  }
+  void sll(Reg rd, Reg rs, Reg rt) { emit({Op::Sll, rd, rs, rt, 0}); }
+  void slli(Reg rd, Reg rs, std::uint32_t sh) {
+    emit({Op::Slli, rd, rs, 0, sh});
+  }
+  void srl(Reg rd, Reg rs, Reg rt) { emit({Op::Srl, rd, rs, rt, 0}); }
+  void srli(Reg rd, Reg rs, std::uint32_t sh) {
+    emit({Op::Srli, rd, rs, 0, sh});
+  }
+  void sra(Reg rd, Reg rs, Reg rt) { emit({Op::Sra, rd, rs, rt, 0}); }
+  void srai(Reg rd, Reg rs, std::uint32_t sh) {
+    emit({Op::Srai, rd, rs, 0, sh});
+  }
+  void sltu(Reg rd, Reg rs, Reg rt) { emit({Op::Sltu, rd, rs, rt, 0}); }
+  void slt(Reg rd, Reg rs, Reg rt) { emit({Op::Slt, rd, rs, rt, 0}); }
+  void add(Reg rd, Reg rs, Reg rt) { emit({Op::Add, rd, rs, rt, 0}); }
+  void sub(Reg rd, Reg rs, Reg rt) { emit({Op::Sub, rd, rs, rt, 0}); }
+  void fadd(Reg rd, Reg rs, Reg rt) { emit({Op::Fadd, rd, rs, rt, 0}); }
+  void fmul(Reg rd, Reg rs, Reg rt) { emit({Op::Fmul, rd, rs, rt, 0}); }
+
+  // --- memory ---
+  void lw(Reg rd, Reg base, std::int32_t off = 0) {
+    emit({Op::Lw, rd, base, 0, static_cast<std::uint32_t>(off)});
+  }
+  void lhu(Reg rd, Reg base, std::int32_t off = 0) {
+    emit({Op::Lhu, rd, base, 0, static_cast<std::uint32_t>(off)});
+  }
+  void lh(Reg rd, Reg base, std::int32_t off = 0) {
+    emit({Op::Lh, rd, base, 0, static_cast<std::uint32_t>(off)});
+  }
+  void lbu(Reg rd, Reg base, std::int32_t off = 0) {
+    emit({Op::Lbu, rd, base, 0, static_cast<std::uint32_t>(off)});
+  }
+  void lb(Reg rd, Reg base, std::int32_t off = 0) {
+    emit({Op::Lb, rd, base, 0, static_cast<std::uint32_t>(off)});
+  }
+  void sw(Reg src, Reg base, std::int32_t off = 0) {
+    emit({Op::Sw, src, base, 0, static_cast<std::uint32_t>(off)});
+  }
+  void sh(Reg src, Reg base, std::int32_t off = 0) {
+    emit({Op::Sh, src, base, 0, static_cast<std::uint32_t>(off)});
+  }
+  void sb(Reg src, Reg base, std::int32_t off = 0) {
+    emit({Op::Sb, src, base, 0, static_cast<std::uint32_t>(off)});
+  }
+  void lw_u(Reg rd, Reg base, std::int32_t off = 0) {
+    emit({Op::Lwu_u, rd, base, 0, static_cast<std::uint32_t>(off)});
+  }
+  void sw_u(Reg src, Reg base, std::int32_t off = 0) {
+    emit({Op::Sw_u, src, base, 0, static_cast<std::uint32_t>(off)});
+  }
+
+  // --- networking extensions ---
+  void cksum32(Reg acc, Reg rs) { emit({Op::Cksum32, acc, rs, 0, 0}); }
+  void bswap32(Reg rd, Reg rs) { emit({Op::Bswap32, rd, rs, 0, 0}); }
+  void bswap16(Reg rd, Reg rs) { emit({Op::Bswap16, rd, rs, 0, 0}); }
+
+  // --- pipe I/O ---
+  void pin8(Reg rd) { emit({Op::Pin8, rd, 0, 0, 0}); }
+  void pin16(Reg rd) { emit({Op::Pin16, rd, 0, 0, 0}); }
+  void pin32(Reg rd) { emit({Op::Pin32, rd, 0, 0, 0}); }
+  void pout8(Reg rs) { emit({Op::Pout8, rs, 0, 0, 0}); }
+  void pout16(Reg rs) { emit({Op::Pout16, rs, 0, 0, 0}); }
+  void pout32(Reg rs) { emit({Op::Pout32, rs, 0, 0, 0}); }
+
+  // --- trusted kernel entry points ---
+  void t_msglen(Reg rd) { emit({Op::TMsgLen, rd, 0, 0, 0}); }
+  void t_send(Reg chan, Reg addr, Reg len) {
+    emit({Op::TSend, chan, addr, len, 0});
+  }
+  void t_dilp(Reg id, Reg src, Reg dst, Reg len) {
+    emit({Op::TDilp, id, src, dst, len});
+  }
+  void t_usercopy(Reg dst, Reg src, Reg len) {
+    emit({Op::TUserCopy, dst, src, len, 0});
+  }
+  void t_msgload(Reg rd, Reg roff, std::int32_t off = 0) {
+    emit({Op::TMsgLoad, rd, roff, 0, static_cast<std::uint32_t>(off)});
+  }
+
+  /// Emit a raw instruction (used by tests to construct malformed code).
+  void emit(Insn insn) { insns_.push_back(insn); }
+
+  /// Finish the program: patch all label references. Throws
+  /// std::logic_error if any referenced label is unbound.
+  Program take();
+
+ private:
+  void emit_branch(Op op, Reg a, Reg b, Label t);
+
+  static constexpr std::uint32_t kUnbound = 0xffffffffu;
+
+  std::vector<Insn> insns_;
+  std::vector<std::uint32_t> label_pos_;   // id -> insn index or kUnbound
+  std::vector<std::uint32_t> indirect_labels_;
+  struct Fixup {
+    std::uint32_t insn;
+    std::uint32_t label;
+  };
+  std::vector<Fixup> fixups_;
+  Reg next_reg_ = kRegArg3 + 1;  // r5
+};
+
+}  // namespace ash::vcode

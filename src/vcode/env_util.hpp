@@ -1,0 +1,80 @@
+// Ready-made execution environments for tests, tools, and standalone use.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "vcode/interp.hpp"
+
+namespace ash::vcode {
+
+/// Environment backed by a flat byte array: addresses [0, size) are valid
+/// user memory, everything else faults. No trusted calls, no pipe streams.
+class FlatMemoryEnv : public Env {
+ public:
+  explicit FlatMemoryEnv(std::size_t size) : mem_(size, 0) {}
+
+  std::span<std::uint8_t> memory() noexcept { return mem_; }
+
+  bool mem_read(std::uint32_t addr, void* dst, std::uint32_t len) override {
+    if (!in_bounds(addr, len)) return false;
+    std::memcpy(dst, mem_.data() + addr, len);
+    return true;
+  }
+
+  bool mem_write(std::uint32_t addr, const void* src,
+                 std::uint32_t len) override {
+    if (!in_bounds(addr, len)) return false;
+    std::memcpy(mem_.data() + addr, src, len);
+    return true;
+  }
+
+ private:
+  bool in_bounds(std::uint32_t addr, std::uint32_t len) const noexcept {
+    return static_cast<std::uint64_t>(addr) + len <= mem_.size();
+  }
+  std::vector<std::uint8_t> mem_;
+};
+
+/// Adds byte-stream pipe I/O on top of FlatMemoryEnv, for running single
+/// pipe bodies standalone (e.g. unit-testing the checksum pipe of Fig. 2).
+class StreamEnv : public FlatMemoryEnv {
+ public:
+  explicit StreamEnv(std::size_t mem_size = 0) : FlatMemoryEnv(mem_size) {}
+
+  void bind_input(std::span<const std::uint8_t> in) {
+    input_.assign(in.begin(), in.end());
+    in_pos_ = 0;
+  }
+  const std::vector<std::uint8_t>& output() const noexcept { return output_; }
+
+  bool pipe_in(std::uint32_t width, std::uint32_t* value) override {
+    if (in_pos_ + width > input_.size()) return false;
+    std::uint32_t v = 0;
+    std::memcpy(&v, input_.data() + in_pos_, width);
+    in_pos_ += width;
+    *value = v;
+    return true;
+  }
+
+  bool pipe_out(std::uint32_t width, std::uint32_t value) override {
+    const std::size_t old = output_.size();
+    output_.resize(old + width);
+    std::memcpy(output_.data() + old, &value, width);
+    return true;
+  }
+
+  /// Bytes of input not yet consumed.
+  std::size_t input_remaining() const noexcept {
+    return input_.size() - in_pos_;
+  }
+
+ private:
+  std::vector<std::uint8_t> input_;
+  std::size_t in_pos_ = 0;
+  std::vector<std::uint8_t> output_;
+};
+
+}  // namespace ash::vcode

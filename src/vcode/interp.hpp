@@ -1,0 +1,144 @@
+// Cycle-charging VCODE interpreter.
+//
+// Executes a Program against an execution environment (Env) that supplies
+// user memory, trusted kernel entry points, pipe streams, and memory-system
+// cycle costs. The interpreter is the stand-in for native execution on the
+// simulated 40 MHz MIPS: every instruction charges its base cost, and
+// memory instructions additionally charge whatever the environment's cache
+// model reports.
+//
+// Execution is always budgeted (ExecLimits), which implements the paper's
+// "bounding execution time" (Section III-B3): in timer mode the interpreter
+// itself enforces a cycle ceiling (the two-clock-tick abort); in software-
+// check mode the sandbox has inserted Budget instructions and the ceiling
+// acts only as a backstop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "vcode/program.hpp"
+
+namespace ash::vcode {
+
+enum class Outcome : std::uint8_t {
+  Halted,            // Halt executed; result in r1
+  VoluntaryAbort,    // Abort executed (the ASH's own abort code ran)
+  MemFault,          // environment rejected a load/store
+  AlignFault,        // misaligned Lw/Sw/Lh/Sh
+  DivideByZero,      // runtime check on Divu/Remu fired
+  BudgetExceeded,    // instruction/cycle ceiling or Budget check fired
+  BadInstruction,    // malformed instruction reached dynamically
+  IndirectJumpFault, // Jr/JrChk to an illegal target
+  CallDepthExceeded, // Call nesting beyond kMaxCallDepth (or Ret underflow)
+  StreamFault,       // pipe I/O with no/expired stream bound
+  TrustedDenied,     // environment denied a trusted entry point
+};
+
+/// Convert an outcome to a short human-readable name.
+const char* to_string(Outcome o) noexcept;
+
+struct ExecLimits {
+  /// Maximum dynamic instructions (backstop; always enforced).
+  std::uint64_t max_insns = 1u << 20;
+  /// Maximum simulated cycles; 0 = no cycle ceiling. This models the
+  /// two-clock-tick timer abort of the prototype.
+  std::uint64_t max_cycles = 0;
+  /// Initial value for the software budget counter consumed by
+  /// sandbox-inserted Budget instructions; ignored if no Budget ops run.
+  std::uint64_t software_budget = 1u << 20;
+};
+
+struct ExecResult {
+  Outcome outcome = Outcome::Halted;
+  std::uint64_t insns = 0;    // dynamic instruction count
+  std::uint64_t cycles = 0;   // simulated cycles consumed
+  std::uint32_t result = 0;   // r1 at exit
+  std::uint32_t abort_code = 0;
+  std::uint32_t fault_pc = 0; // pc of the faulting/final instruction
+  bool ok() const noexcept { return outcome == Outcome::Halted; }
+};
+
+/// Execution environment: everything the interpreted code can touch.
+/// Defaults deny/fault, so a default Env is fully isolated.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Called once at the start of each Interpreter::run with a pointer to
+  /// the live register file (kNumRegs entries, valid for the duration of
+  /// the run). Lets trusted entry points exchange values through agreed
+  /// registers — the mechanism behind persistent-register export/import
+  /// for DILP invocations from ASHs. Default: ignore.
+  virtual void bind_regs(std::uint32_t* regs);
+
+  /// User-memory access. Addresses are user virtual addresses; len is
+  /// 1, 2, or 4. Return false to fault the program.
+  virtual bool mem_read(std::uint32_t addr, void* dst, std::uint32_t len);
+  virtual bool mem_write(std::uint32_t addr, const void* src,
+                         std::uint32_t len);
+
+  /// Extra cycles for a memory access (the cache model hook).
+  virtual std::uint64_t mem_cycles(std::uint32_t addr, std::uint32_t len,
+                                   bool is_write);
+
+  // Trusted kernel entry points. Return false to deny (involuntary abort).
+  // `cycles` is the cost the kernel charges for the call's work.
+  virtual bool t_msglen(std::uint32_t* len_out, std::uint64_t* cycles);
+  virtual bool t_send(std::uint32_t chan, std::uint32_t addr,
+                      std::uint32_t len, std::uint32_t* status,
+                      std::uint64_t* cycles);
+  virtual bool t_dilp(std::uint32_t id, std::uint32_t src, std::uint32_t dst,
+                      std::uint32_t len, std::uint32_t* status,
+                      std::uint64_t* cycles);
+  virtual bool t_usercopy(std::uint32_t dst, std::uint32_t src,
+                          std::uint32_t len, std::uint32_t* status,
+                          std::uint64_t* cycles);
+  /// Load a 32-bit little-endian word from the message at a *logical*
+  /// byte offset (the kernel resolves device striping). Out-of-bounds
+  /// offsets set *value to 0 and succeed with the same cost, so handlers
+  /// need no extra branch — parse checks bound the offsets anyway.
+  virtual bool t_msgload(std::uint32_t offset, std::uint32_t* value,
+                         std::uint64_t* cycles);
+
+  // Pipe streams (bound only when running a pipe body standalone).
+  virtual bool pipe_in(std::uint32_t width, std::uint32_t* value);
+  virtual bool pipe_out(std::uint32_t width, std::uint32_t value);
+};
+
+/// Interpreter with an explicit register file, so callers can import and
+/// export persistent registers across runs (the paper's pipe accumulator
+/// export/import, Section II-B).
+class Interpreter {
+ public:
+  Interpreter(const Program& prog, Env& env) : prog_(&prog), env_(&env) {}
+
+  void set_reg(Reg r, std::uint32_t v) noexcept {
+    if (r != kRegZero && r < kNumRegs) regs_[r] = v;
+  }
+  std::uint32_t reg(Reg r) const noexcept { return regs_[r]; }
+
+  /// Convenience: set r1..r4.
+  void set_args(std::uint32_t a0, std::uint32_t a1 = 0, std::uint32_t a2 = 0,
+                std::uint32_t a3 = 0) noexcept {
+    set_reg(kRegArg0, a0);
+    set_reg(kRegArg1, a1);
+    set_reg(kRegArg2, a2);
+    set_reg(kRegArg3, a3);
+  }
+
+  /// Run from instruction 0 until exit or fault.
+  ExecResult run(const ExecLimits& limits = {});
+
+ private:
+  const Program* prog_;
+  Env* env_;
+  std::array<std::uint32_t, kNumRegs> regs_{};
+};
+
+/// One-shot convenience wrapper.
+ExecResult execute(const Program& prog, Env& env, const ExecLimits& limits = {},
+                   std::uint32_t a0 = 0, std::uint32_t a1 = 0,
+                   std::uint32_t a2 = 0, std::uint32_t a3 = 0);
+
+}  // namespace ash::vcode

@@ -1,0 +1,91 @@
+#include "vcode/opcodes.hpp"
+
+#include <array>
+
+namespace ash::vcode {
+namespace {
+
+// Column order: name, reads_a, writes_a, reads_b, reads_c,
+//               is_branch, is_mem, is_fp, is_signed_ex, is_trusted, cycles.
+//
+// Cycle costs model the 40 MHz MIPS R3400 of the DECstation 5000/240:
+// single-cycle ALU ops, 2-cycle multiply issue, ~35-cycle divide; the
+// byteswaps model the MIPS shift/mask sequences (no swap instruction).
+// Memory
+// instruction costs here are the *base* pipeline cost; cache behaviour is
+// added by the execution environment.
+constexpr std::array<OpInfo, static_cast<std::size_t>(Op::kCount)> kTable = {{
+    /* Nop     */ {"nop", 0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Halt    */ {"halt", 0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Abort   */ {"abort", 0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Jmp     */ {"jmp", 0, 0, 0, 0, 1, 0, 0, 0, 0, 1},
+    /* Jr      */ {"jr", 1, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* JrChk   */ {"jrchk", 1, 0, 0, 0, 0, 0, 0, 0, 0, 2},
+    /* Call    */ {"call", 0, 0, 0, 0, 1, 0, 0, 0, 0, 1},
+    /* Ret     */ {"ret", 0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Beq     */ {"beq", 1, 0, 1, 0, 1, 0, 0, 0, 0, 1},
+    /* Bne     */ {"bne", 1, 0, 1, 0, 1, 0, 0, 0, 0, 1},
+    /* Bltu    */ {"bltu", 1, 0, 1, 0, 1, 0, 0, 0, 0, 1},
+    /* Bgeu    */ {"bgeu", 1, 0, 1, 0, 1, 0, 0, 0, 0, 1},
+    /* Blt     */ {"blt", 1, 0, 1, 0, 1, 0, 0, 0, 0, 1},
+    /* Bge     */ {"bge", 1, 0, 1, 0, 1, 0, 0, 0, 0, 1},
+    /* Budget  */ {"budget", 0, 0, 0, 0, 0, 0, 0, 0, 0, 2},
+    /* Movi    */ {"movi", 0, 1, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Mov     */ {"mov", 0, 1, 1, 0, 0, 0, 0, 0, 0, 1},
+    /* Addu    */ {"addu", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Addiu   */ {"addiu", 0, 1, 1, 0, 0, 0, 0, 0, 0, 1},
+    /* Subu    */ {"subu", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Mulu    */ {"mulu", 0, 1, 1, 1, 0, 0, 0, 0, 0, 2},
+    /* Divu    */ {"divu", 0, 1, 1, 1, 0, 0, 0, 0, 0, 35},
+    /* Remu    */ {"remu", 0, 1, 1, 1, 0, 0, 0, 0, 0, 35},
+    /* And     */ {"and", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Andi    */ {"andi", 0, 1, 1, 0, 0, 0, 0, 0, 0, 1},
+    /* Or      */ {"or", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Ori     */ {"ori", 0, 1, 1, 0, 0, 0, 0, 0, 0, 1},
+    /* Xor     */ {"xor", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Xori    */ {"xori", 0, 1, 1, 0, 0, 0, 0, 0, 0, 1},
+    /* Sll     */ {"sll", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Slli    */ {"slli", 0, 1, 1, 0, 0, 0, 0, 0, 0, 1},
+    /* Srl     */ {"srl", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Srli    */ {"srli", 0, 1, 1, 0, 0, 0, 0, 0, 0, 1},
+    /* Sra     */ {"sra", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Srai    */ {"srai", 0, 1, 1, 0, 0, 0, 0, 0, 0, 1},
+    /* Sltu    */ {"sltu", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Slt     */ {"slt", 0, 1, 1, 1, 0, 0, 0, 0, 0, 1},
+    /* Add     */ {"add", 0, 1, 1, 1, 0, 0, 0, 1, 0, 1},
+    /* Sub     */ {"sub", 0, 1, 1, 1, 0, 0, 0, 1, 0, 1},
+    /* Fadd    */ {"fadd", 0, 1, 1, 1, 0, 0, 1, 0, 0, 2},
+    /* Fmul    */ {"fmul", 0, 1, 1, 1, 0, 0, 1, 0, 0, 4},
+    /* Lw      */ {"lw", 0, 1, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Lhu     */ {"lhu", 0, 1, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Lh      */ {"lh", 0, 1, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Lbu     */ {"lbu", 0, 1, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Lb      */ {"lb", 0, 1, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Sw      */ {"sw", 1, 0, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Sh      */ {"sh", 1, 0, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Sb      */ {"sb", 1, 0, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Lwu_u   */ {"lw.u", 0, 1, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Sw_u    */ {"sw.u", 1, 0, 1, 0, 0, 1, 0, 0, 0, 1},
+    /* Cksum32 */ {"cksum32", 1, 1, 1, 0, 0, 0, 0, 0, 0, 2},
+    /* Bswap32 */ {"bswap32", 0, 1, 1, 0, 0, 0, 0, 0, 0, 6},
+    /* Bswap16 */ {"bswap16", 0, 1, 1, 0, 0, 0, 0, 0, 0, 3},
+    /* Pin8    */ {"pin8", 0, 1, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Pin16   */ {"pin16", 0, 1, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Pin32   */ {"pin32", 0, 1, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Pout8   */ {"pout8", 1, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Pout16  */ {"pout16", 1, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* Pout32  */ {"pout32", 1, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+    /* TMsgLen */ {"t.msglen", 0, 1, 0, 0, 0, 0, 0, 0, 1, 2},
+    /* TSend   */ {"t.send", 1, 0, 1, 1, 0, 0, 0, 0, 1, 2},
+    /* TDilp   */ {"t.dilp", 1, 0, 1, 1, 0, 0, 0, 0, 1, 2},
+    /* TUserCopy*/ {"t.usercopy", 1, 0, 1, 1, 0, 0, 0, 0, 1, 2},
+    /* TMsgLoad */ {"t.msgload", 0, 1, 1, 0, 0, 0, 0, 0, 1, 2},
+}};
+
+}  // namespace
+
+const OpInfo& op_info(Op op) noexcept {
+  return kTable[static_cast<std::size_t>(op)];
+}
+
+}  // namespace ash::vcode

@@ -1,0 +1,137 @@
+// VCODE instruction set.
+//
+// VCODE is the paper's low-level dynamic code generation language: a
+// RISC-like register machine extended with networking primitives
+// (Internet-checksum accumulate, byteswaps, unaligned accesses) and with
+// pipe input/output pseudo-instructions used by the dynamic-ILP compiler.
+//
+// In this reproduction, ASHs and pipes are VCODE programs: inspectable,
+// rewriteable (the SFI sandbox is a VCODE->VCODE pass), and executed by a
+// cycle-charging interpreter that stands in for the 40 MHz MIPS target.
+#pragma once
+
+#include <cstdint>
+
+namespace ash::vcode {
+
+enum class Op : std::uint8_t {
+  // --- control ---
+  Nop = 0,
+  Halt,    // successful completion ("commit" exit); result in r1
+  Abort,   // voluntary abort; imm = user-defined abort code
+  Jmp,     // pc = imm
+  Jr,      // pc = reg[a] (indirect; target of sandbox checking)
+  JrChk,   // sandbox-inserted: fault unless reg[a] is a registered target
+  Call,    // push pc+1, pc = imm
+  Ret,     // pc = pop()
+  Beq,     // if reg[a] == reg[b] pc = imm
+  Bne,     // if reg[a] != reg[b] pc = imm
+  Bltu,    // if reg[a] <  reg[b] (unsigned) pc = imm
+  Bgeu,    // if reg[a] >= reg[b] (unsigned) pc = imm
+  Blt,     // signed <
+  Bge,     // signed >=
+  Budget,  // sandbox-inserted back-edge check: budget -= imm; fault if <= 0
+
+  // --- moves / arithmetic (unsigned ops never raise exceptions) ---
+  Movi,   // reg[a] = imm
+  Mov,    // reg[a] = reg[b]
+  Addu,   // reg[a] = reg[b] + reg[c]
+  Addiu,  // reg[a] = reg[b] + imm
+  Subu,   // reg[a] = reg[b] - reg[c]
+  Mulu,   // reg[a] = reg[b] * reg[c] (low 32 bits)
+  Divu,   // reg[a] = reg[b] / reg[c]; divide-by-zero faults (runtime check)
+  Remu,   // reg[a] = reg[b] % reg[c]; divide-by-zero faults
+  And,    // reg[a] = reg[b] & reg[c]
+  Andi,   // reg[a] = reg[b] & imm
+  Or,     // reg[a] = reg[b] | reg[c]
+  Ori,    // reg[a] = reg[b] | imm
+  Xor,    // reg[a] = reg[b] ^ reg[c]
+  Xori,   // reg[a] = reg[b] ^ imm
+  Sll,    // reg[a] = reg[b] << (reg[c] & 31)
+  Slli,   // reg[a] = reg[b] << (imm & 31)
+  Srl,    // reg[a] = reg[b] >> (reg[c] & 31) (logical)
+  Srli,   // reg[a] = reg[b] >> (imm & 31)
+  Sra,    // arithmetic shift right
+  Srai,
+  Sltu,   // reg[a] = reg[b] < reg[c] ? 1 : 0 (unsigned)
+  Slt,    // signed compare
+
+  // Signed add/sub, which on MIPS raise an overflow exception. The sandbox
+  // rejects these (or rewrites them to the unsigned forms) exactly as the
+  // paper describes (Section III-B1).
+  Add,
+  Sub,
+
+  // Floating point: present so that the download-time check has something
+  // to reject (Section III-B1 bans FP in ASHs). Registers are reinterpreted
+  // as IEEE-754 single bits.
+  Fadd,
+  Fmul,
+
+  // --- memory (addresses are user virtual addresses) ---
+  Lw,   // reg[a] = *(u32*)(reg[b] + imm) (must be 4-aligned)
+  Lhu,  // zero-extended 16-bit load (2-aligned)
+  Lh,   // sign-extended
+  Lbu,  // zero-extended byte load
+  Lb,   // sign-extended
+  Sw,   // *(u32*)(reg[b] + imm) = reg[a]
+  Sh,
+  Sb,
+  Lwu_u,  // unaligned 32-bit load  (networking extension)
+  Sw_u,   // unaligned 32-bit store (networking extension)
+
+  // --- networking extensions ---
+  Cksum32,  // reg[a] = ones'-complement accumulate(reg[a], reg[b])
+  Bswap32,  // reg[a] = byte-reverse(reg[b])
+  Bswap16,  // reg[a] = swap low two bytes of reg[b] (high half zeroed)
+
+  // --- pipe pseudo-instructions (dynamic ILP; Section II-B) ---
+  // Inside a pipe body these name the streaming input/output; the pipe
+  // compiler eliminates them during fusion. The interpreter also supports
+  // them directly when a stream is bound, so single pipes are testable.
+  Pin8,    // reg[a] = next 1 input byte (zero-extended)
+  Pin16,   // reg[a] = next 2 input bytes
+  Pin32,   // reg[a] = next 4 input bytes
+  Pout8,   // append low byte of reg[a] to output
+  Pout16,
+  Pout32,
+
+  // --- trusted kernel entry points (Section III-B2: "specialized trusted
+  // function calls, implemented in the kernel", with access checks
+  // aggregated at initiation time) ---
+  TMsgLen,   // reg[a] = length of the current message
+  TSend,     // send(channel=reg[a], addr=reg[b], len=reg[c]); r1 = status
+  TDilp,     // run DILP kernel id=reg[a]: src=reg[b], dst=reg[c], len=reg[imm]
+  TUserCopy, // bounds-checked copy: dst=reg[a], src=reg[b], len=reg[c]
+  TMsgLoad,  // reg[a] = 32-bit message word at logical offset reg[b]+imm
+             // (the kernel hides any device striping; Section III-B2's
+             // "specialized trusted function calls" for message access)
+
+  kCount,
+};
+
+/// Per-opcode static metadata used by the verifier, sandbox, and
+/// interpreter.
+struct OpInfo {
+  const char* name;
+  std::uint8_t reads_a : 1;   // operand a is a source register
+  std::uint8_t writes_a : 1;  // operand a is a destination register
+  std::uint8_t reads_b : 1;
+  std::uint8_t reads_c : 1;
+  std::uint8_t is_branch : 1;     // imm is an instruction-index target
+  std::uint8_t is_mem : 1;        // touches user memory via reg[b]+imm
+  std::uint8_t is_fp : 1;         // floating point (banned in sandbox)
+  std::uint8_t is_signed_ex : 1;  // may raise signed-overflow exception
+  std::uint8_t is_trusted : 1;    // kernel entry point
+  std::uint8_t base_cycles;       // execution cost on the simulated machine
+};
+
+/// Metadata for `op`; valid for all ops < Op::kCount.
+const OpInfo& op_info(Op op) noexcept;
+
+/// True if `v` encodes a valid opcode.
+constexpr bool valid_op(std::uint8_t v) noexcept {
+  return v < static_cast<std::uint8_t>(Op::kCount);
+}
+
+}  // namespace ash::vcode

@@ -1,0 +1,112 @@
+#include "vcode/optimizer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ash::vcode {
+namespace {
+
+bool has_indirect(const Program& prog) {
+  return std::any_of(prog.insns.begin(), prog.insns.end(), [](const Insn& i) {
+    return i.op == Op::Jr || i.op == Op::JrChk;
+  });
+}
+
+/// Thread Jmp -> Jmp chains and branches targeting an unconditional Jmp.
+std::size_t thread_jumps(Program& prog) {
+  std::size_t changed = 0;
+  const std::uint32_t n = static_cast<std::uint32_t>(prog.insns.size());
+  for (Insn& insn : prog.insns) {
+    if (!op_info(insn.op).is_branch) continue;
+    // Follow chains of unconditional jumps (with a hop limit to be safe
+    // against cycles like `L: jmp L`).
+    std::uint32_t t = insn.imm;
+    int hops = 0;
+    while (hops < 8 && t < n && prog.insns[t].op == Op::Jmp &&
+           prog.insns[t].imm != t) {
+      t = prog.insns[t].imm;
+      ++hops;
+    }
+    if (t != insn.imm) {
+      insn.imm = t;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+/// Fold `movi rd, a` immediately followed by `addiu rd, rd, b` into a
+/// single movi, and rewrite self-moves to Nop. In-place only.
+std::size_t fold_pairs(Program& prog) {
+  std::size_t folded = 0;
+  // Collect every branch target; a fold across a target would change the
+  // meaning of jumping to the second instruction of the pair.
+  std::vector<bool> is_target(prog.insns.size(), false);
+  for (const Insn& insn : prog.insns) {
+    if (op_info(insn.op).is_branch && insn.imm < prog.insns.size()) {
+      is_target[insn.imm] = true;
+    }
+  }
+  for (std::uint32_t t : prog.indirect_targets) {
+    if (t < prog.insns.size()) is_target[t] = true;
+  }
+
+  for (std::size_t i = 0; i < prog.insns.size(); ++i) {
+    Insn& cur = prog.insns[i];
+    if (cur.op == Op::Mov && cur.a == cur.b) {
+      cur = Insn{Op::Nop, 0, 0, 0, 0};
+      ++folded;
+      continue;
+    }
+    if (i + 1 >= prog.insns.size() || is_target[i + 1]) continue;
+    Insn& nxt = prog.insns[i + 1];
+    if (cur.op == Op::Movi && nxt.op == Op::Addiu && nxt.a == cur.a &&
+        nxt.b == cur.a) {
+      cur.imm += nxt.imm;
+      nxt = Insn{Op::Nop, 0, 0, 0, 0};
+      ++folded;
+    }
+  }
+  return folded;
+}
+
+/// Remove Nops and compact, remapping all branch targets and the indirect
+/// target table. Only called when no indirect jumps exist.
+std::size_t compact(Program& prog) {
+  const std::size_t n = prog.insns.size();
+  std::vector<std::uint32_t> new_index(n + 1, 0);
+  std::uint32_t out = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    new_index[i] = out;
+    if (prog.insns[i].op != Op::Nop) ++out;
+  }
+  new_index[n] = out;
+  if (out == n) return 0;
+
+  std::vector<Insn> kept;
+  kept.reserve(out);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (prog.insns[i].op == Op::Nop) continue;
+    Insn insn = prog.insns[i];
+    if (op_info(insn.op).is_branch) insn.imm = new_index[insn.imm];
+    kept.push_back(insn);
+  }
+  const std::size_t removed = n - kept.size();
+  prog.insns = std::move(kept);
+  for (std::uint32_t& t : prog.indirect_targets) t = new_index[t];
+  return removed;
+}
+
+}  // namespace
+
+OptStats optimize(Program& prog) {
+  OptStats stats;
+  stats.threaded = thread_jumps(prog);
+  stats.folded = fold_pairs(prog);
+  if (!has_indirect(prog)) {
+    stats.removed = compact(prog);
+  }
+  return stats;
+}
+
+}  // namespace ash::vcode

@@ -1,0 +1,27 @@
+// Peephole/cleanup optimizer for VCODE programs.
+//
+// The dynamic-ILP pipe compiler stitches pipe bodies together mechanically,
+// which leaves behind redundant moves, nops, and foldable immediate chains.
+// This pass cleans those up — the analogue of the light cleanup VCODE did
+// during code emission. Semantics-preserving by construction.
+#pragma once
+
+#include "vcode/program.hpp"
+
+namespace ash::vcode {
+
+struct OptStats {
+  std::size_t removed = 0;   // instructions deleted
+  std::size_t folded = 0;    // immediate chains folded
+  std::size_t threaded = 0;  // jump-to-jump chains shortened
+};
+
+/// Optimize `prog` in place. Returns statistics.
+///
+/// If the program contains indirect jumps (Jr/JrChk), instruction indices
+/// may be live as data in registers, so instructions are never removed or
+/// renumbered — only in-place rewrites (jump threading, pair folding into
+/// Nop + fold) are applied followed by no compaction.
+OptStats optimize(Program& prog);
+
+}  // namespace ash::vcode

@@ -1,0 +1,140 @@
+#include "vcode/program.hpp"
+
+#include <cstdio>
+
+#include "util/byteorder.hpp"
+
+namespace ash::vcode {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41534856;  // "ASHV"
+constexpr std::uint32_t kVersion = 2;
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t off) {
+  return static_cast<std::uint32_t>(in[off]) |
+         static_cast<std::uint32_t>(in[off + 1]) << 8 |
+         static_cast<std::uint32_t>(in[off + 2]) << 16 |
+         static_cast<std::uint32_t>(in[off + 3]) << 24;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Program::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + insns.size() * 8 + indirect_targets.size() * 4 +
+              indirect_map.size() * 8);
+  put32(out, kMagic);
+  put32(out, kVersion);
+  put32(out, static_cast<std::uint32_t>(insns.size()));
+  put32(out, static_cast<std::uint32_t>(indirect_targets.size()));
+  put32(out, static_cast<std::uint32_t>(indirect_map.size()));
+  put32(out, sandboxed ? 1u : 0u);
+  for (const Insn& i : insns) {
+    out.push_back(static_cast<std::uint8_t>(i.op));
+    out.push_back(i.a);
+    out.push_back(i.b);
+    out.push_back(i.c);
+    put32(out, i.imm);
+  }
+  for (std::uint32_t t : indirect_targets) put32(out, t);
+  for (const auto& [from, to] : indirect_map) {
+    put32(out, from);
+    put32(out, to);
+  }
+  return out;
+}
+
+std::optional<Program> Program::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 24) return std::nullopt;
+  if (get32(bytes, 0) != kMagic || get32(bytes, 4) != kVersion) {
+    return std::nullopt;
+  }
+  const std::uint32_t n_insns = get32(bytes, 8);
+  const std::uint32_t n_targets = get32(bytes, 12);
+  const std::uint32_t n_map = get32(bytes, 16);
+  const std::uint32_t flags = get32(bytes, 20);
+  if (n_insns > kMaxProgramLen || n_targets > kMaxProgramLen ||
+      n_map > kMaxProgramLen || flags > 1) {
+    return std::nullopt;
+  }
+  const std::size_t need = 24 + static_cast<std::size_t>(n_insns) * 8 +
+                           static_cast<std::size_t>(n_targets) * 4 +
+                           static_cast<std::size_t>(n_map) * 8;
+  if (bytes.size() != need) return std::nullopt;
+
+  Program prog;
+  prog.sandboxed = flags != 0;
+  prog.insns.reserve(n_insns);
+  std::size_t off = 24;
+  for (std::uint32_t i = 0; i < n_insns; ++i, off += 8) {
+    if (!valid_op(bytes[off])) return std::nullopt;
+    Insn insn;
+    insn.op = static_cast<Op>(bytes[off]);
+    insn.a = bytes[off + 1];
+    insn.b = bytes[off + 2];
+    insn.c = bytes[off + 3];
+    insn.imm = get32(bytes, off + 4);
+    prog.insns.push_back(insn);
+  }
+  prog.indirect_targets.reserve(n_targets);
+  for (std::uint32_t i = 0; i < n_targets; ++i, off += 4) {
+    prog.indirect_targets.push_back(get32(bytes, off));
+  }
+  prog.indirect_map.reserve(n_map);
+  for (std::uint32_t i = 0; i < n_map; ++i, off += 8) {
+    prog.indirect_map.emplace_back(get32(bytes, off), get32(bytes, off + 4));
+  }
+  return prog;
+}
+
+std::string to_string(const Insn& insn) {
+  const OpInfo& info = op_info(insn.op);
+  char buf[96];
+  int n = 0;
+  if (info.is_branch) {
+    if (info.reads_a) {
+      n = std::snprintf(buf, sizeof buf, "%-8s r%u, r%u, @%u", info.name,
+                        insn.a, insn.b, insn.imm);
+    } else {
+      n = std::snprintf(buf, sizeof buf, "%-8s @%u", info.name, insn.imm);
+    }
+  } else if (info.is_mem) {
+    if (info.writes_a) {
+      n = std::snprintf(buf, sizeof buf, "%-8s r%u, [r%u%+d]", info.name,
+                        insn.a, insn.b, static_cast<std::int32_t>(insn.imm));
+    } else {
+      n = std::snprintf(buf, sizeof buf, "%-8s [r%u%+d], r%u", info.name,
+                        insn.b, static_cast<std::int32_t>(insn.imm), insn.a);
+    }
+  } else if (insn.op == Op::TDilp) {
+    n = std::snprintf(buf, sizeof buf, "%-8s id=r%u, src=r%u, dst=r%u, len=r%u",
+                      info.name, insn.a, insn.b, insn.c, insn.imm);
+  } else {
+    n = std::snprintf(buf, sizeof buf, "%-8s r%u, r%u, r%u, imm=%d", info.name,
+                      insn.a, insn.b, insn.c,
+                      static_cast<std::int32_t>(insn.imm));
+  }
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string disassemble(const Program& prog) {
+  std::string out;
+  char head[32];
+  for (std::size_t pc = 0; pc < prog.insns.size(); ++pc) {
+    int n = std::snprintf(head, sizeof head, "%4zu: ", pc);
+    out.append(head, static_cast<std::size_t>(n));
+    out += to_string(prog.insns[pc]);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace ash::vcode

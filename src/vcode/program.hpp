@@ -1,0 +1,84 @@
+// VCODE programs: the unit of code that applications hand to the ASH
+// system. A Program is plain data — it can be serialized ("handed to the
+// kernel"), inspected by the verifier, rewritten by the sandbox, and
+// executed by the interpreter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vcode/opcodes.hpp"
+
+namespace ash::vcode {
+
+/// Register index into the 64-entry VCODE register file.
+using Reg = std::uint8_t;
+
+/// One fixed-width instruction. `a`, `b`, `c` are register operands (their
+/// roles depend on the opcode; see opcodes.hpp); `imm` is a 32-bit
+/// immediate, branch target (instruction index), or — for TDilp only — a
+/// register index naming the length operand.
+struct Insn {
+  Op op = Op::Nop;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::uint8_t c = 0;
+  std::uint32_t imm = 0;
+
+  friend bool operator==(const Insn&, const Insn&) = default;
+};
+
+/// Hard limits of the VCODE machine.
+inline constexpr std::uint8_t kNumRegs = 64;   // r0 is hardwired to zero
+inline constexpr std::uint8_t kRegZero = 0;
+inline constexpr std::uint8_t kRegArg0 = 1;    // first argument / result
+inline constexpr std::uint8_t kRegArg1 = 2;
+inline constexpr std::uint8_t kRegArg2 = 3;
+inline constexpr std::uint8_t kRegArg3 = 4;
+inline constexpr std::size_t kMaxProgramLen = 1 << 20;
+inline constexpr std::size_t kMaxCallDepth = 64;
+
+/// A complete VCODE routine.
+struct Program {
+  std::vector<Insn> insns;
+
+  /// Instruction indices that are legal targets of indirect jumps (Jr).
+  /// The builder records every bound label here; the sandbox restricts
+  /// rewritten indirect jumps to this set (Section III-B2: "if they are to
+  /// code named by the pre-sandboxed address then they are translated").
+  std::vector<std::uint32_t> indirect_targets;
+
+  /// Indirect-jump translation map installed by the sandbox rewriter:
+  /// pairs of (pre-sandbox index, post-rewrite index), sorted by first.
+  /// When non-empty, JrChk treats register values as *pre-sandbox*
+  /// addresses and translates them — exactly the paper's "if they are to
+  /// code named by the pre-sandboxed address then they are translated and
+  /// allowed to proceed". When empty, JrChk checks indirect_targets.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> indirect_map;
+
+  /// True once the SFI pass has processed this program.
+  bool sandboxed = false;
+
+  std::size_t size() const noexcept { return insns.size(); }
+
+  /// Serialize to the byte format "downloaded into the kernel".
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a serialized program. Returns nullopt on malformed input
+  /// (truncation, bad magic, impossible counts, invalid opcode bytes).
+  static std::optional<Program> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const Program&, const Program&) = default;
+};
+
+/// Human-readable listing of a program (for tests and debugging).
+std::string disassemble(const Program& prog);
+
+/// One-line rendering of a single instruction.
+std::string to_string(const Insn& insn);
+
+}  // namespace ash::vcode

@@ -1,0 +1,119 @@
+#include "vcode/verifier.hpp"
+
+#include <cstdio>
+
+namespace ash::vcode {
+namespace {
+
+void issue(VerifyResult& r, std::uint32_t pc, std::string msg) {
+  r.issues.push_back({pc, std::move(msg)});
+}
+
+}  // namespace
+
+std::string VerifyResult::to_string() const {
+  std::string out;
+  char head[32];
+  for (const VerifyIssue& i : issues) {
+    int n = std::snprintf(head, sizeof head, "@%u: ", i.pc);
+    out.append(head, static_cast<std::size_t>(n));
+    out += i.message;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+VerifyResult verify(const Program& prog, const VerifyPolicy& policy) {
+  VerifyResult result;
+  const std::uint32_t n = static_cast<std::uint32_t>(prog.insns.size());
+
+  if (prog.insns.empty()) {
+    issue(result, 0, "empty program");
+    return result;
+  }
+  if (prog.insns.size() > kMaxProgramLen) {
+    issue(result, 0, "program exceeds maximum length");
+    return result;
+  }
+
+  for (std::uint32_t t : prog.indirect_targets) {
+    if (t >= n) issue(result, t, "indirect target out of bounds");
+  }
+  for (const auto& [from, to] : prog.indirect_map) {
+    (void)from;
+    if (to >= n) issue(result, to, "indirect-map target out of bounds");
+  }
+
+  for (std::uint32_t pc = 0; pc < n; ++pc) {
+    const Insn& insn = prog.insns[pc];
+    if (!valid_op(static_cast<std::uint8_t>(insn.op))) {
+      issue(result, pc, "invalid opcode");
+      continue;
+    }
+    const OpInfo& info = op_info(insn.op);
+
+    if ((info.reads_a || info.writes_a) && insn.a >= kNumRegs) {
+      issue(result, pc, "register a out of range");
+    }
+    if (info.reads_b && insn.b >= kNumRegs) {
+      issue(result, pc, "register b out of range");
+    }
+    if (info.reads_c && insn.c >= kNumRegs) {
+      issue(result, pc, "register c out of range");
+    }
+    if (info.is_branch && insn.imm >= n) {
+      issue(result, pc, "branch target out of bounds");
+    }
+    if (insn.op == Op::TDilp && insn.imm >= kNumRegs) {
+      issue(result, pc, "TDilp length register out of range");
+    }
+
+    if (info.is_fp && !policy.allow_fp) {
+      issue(result, pc, "floating-point instruction forbidden");
+    }
+    if (info.is_signed_ex && !policy.allow_signed_trap) {
+      issue(result, pc, "signed overflow-trapping arithmetic forbidden");
+    }
+    if (info.is_trusted && !policy.allow_trusted) {
+      issue(result, pc, "trusted kernel call forbidden in this context");
+    }
+    switch (insn.op) {
+      case Op::Pin8:
+      case Op::Pin16:
+      case Op::Pin32:
+      case Op::Pout8:
+      case Op::Pout16:
+      case Op::Pout32:
+        if (!policy.allow_pipe_io) {
+          issue(result, pc, "pipe I/O outside a pipe body");
+        }
+        break;
+      case Op::Jr:
+        if (!policy.allow_indirect) {
+          issue(result, pc, "indirect jump forbidden");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Control must not be able to fall off the end: the last instruction has
+  // to be a terminator or an unconditional transfer.
+  const Insn& last = prog.insns.back();
+  switch (last.op) {
+    case Op::Halt:
+    case Op::Abort:
+    case Op::Jmp:
+    case Op::Jr:
+    case Op::JrChk:
+    case Op::Ret:
+      break;
+    default:
+      issue(result, n - 1, "control can fall off the end of the program");
+  }
+
+  return result;
+}
+
+}  // namespace ash::vcode

@@ -1,0 +1,41 @@
+// Download-time structural verification of VCODE programs.
+//
+// This is the static half of the paper's safety story (Section III-B):
+// before a program is sandboxed and installed, the kernel checks that it is
+// structurally well formed and that it uses no instruction class the policy
+// forbids (floating point, signed-overflow arithmetic, trusted entry points
+// it has no right to, pipe I/O outside pipe bodies).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vcode/program.hpp"
+
+namespace ash::vcode {
+
+/// What a given context allows a program to contain.
+struct VerifyPolicy {
+  bool allow_fp = false;          // Section III-B1: FP banned in ASHs
+  bool allow_signed_trap = false; // signed add/sub may overflow-trap: banned
+  bool allow_trusted = true;      // kernel entry points (ASHs: yes)
+  bool allow_pipe_io = false;     // Pin*/Pout* only inside pipe bodies
+  bool allow_indirect = true;     // Jr
+};
+
+struct VerifyIssue {
+  std::uint32_t pc;
+  std::string message;
+};
+
+struct VerifyResult {
+  std::vector<VerifyIssue> issues;
+  bool ok() const noexcept { return issues.empty(); }
+  /// All issues joined for error reporting.
+  std::string to_string() const;
+};
+
+/// Check `prog` against `policy`. Never modifies the program.
+VerifyResult verify(const Program& prog, const VerifyPolicy& policy);
+
+}  // namespace ash::vcode

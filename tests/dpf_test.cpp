@@ -1,0 +1,206 @@
+#include "dpf/dpf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ash::dpf {
+namespace {
+
+/// A fake "UDP-ish" packet: bytes [12..13] = ethertype, [23] = proto,
+/// [34..35] = dst port (roughly Ethernet+IP offsets).
+std::vector<std::uint8_t> make_packet(std::uint16_t ethertype,
+                                      std::uint8_t proto,
+                                      std::uint16_t port) {
+  std::vector<std::uint8_t> p(64, 0);
+  p[12] = static_cast<std::uint8_t>(ethertype >> 8);
+  p[13] = static_cast<std::uint8_t>(ethertype);
+  p[23] = proto;
+  p[34] = static_cast<std::uint8_t>(port >> 8);
+  p[35] = static_cast<std::uint8_t>(port);
+  return p;
+}
+
+Filter udp_port_filter(std::uint16_t port) {
+  Filter f;
+  f.atoms = {atom_be16(12, 0x0800), atom_u8(23, 17), atom_be16(34, port)};
+  return f;
+}
+
+template <typename E>
+class DpfEngineTest : public ::testing::Test {
+ protected:
+  E engine;
+};
+
+using Engines = ::testing::Types<InterpretedEngine, CompiledEngine>;
+TYPED_TEST_SUITE(DpfEngineTest, Engines);
+
+TYPED_TEST(DpfEngineTest, EmptyEngineMatchesNothing) {
+  const auto pkt = make_packet(0x0800, 17, 1234);
+  EXPECT_EQ(this->engine.match(pkt), -1);
+  EXPECT_EQ(this->engine.size(), 0u);
+}
+
+TYPED_TEST(DpfEngineTest, SingleFilterMatches) {
+  this->engine.insert(udp_port_filter(53), /*owner=*/7);
+  EXPECT_EQ(this->engine.match(make_packet(0x0800, 17, 53)), 7);
+  EXPECT_EQ(this->engine.match(make_packet(0x0800, 17, 54)), -1);
+  EXPECT_EQ(this->engine.match(make_packet(0x0806, 17, 53)), -1);
+  EXPECT_EQ(this->engine.match(make_packet(0x0800, 6, 53)), -1);
+}
+
+TYPED_TEST(DpfEngineTest, ManyFiltersDemuxToDistinctOwners) {
+  for (int i = 0; i < 64; ++i) {
+    this->engine.insert(udp_port_filter(static_cast<std::uint16_t>(1000 + i)),
+                        100 + i);
+  }
+  EXPECT_EQ(this->engine.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(this->engine.match(make_packet(
+                  0x0800, 17, static_cast<std::uint16_t>(1000 + i))),
+              100 + i);
+  }
+  EXPECT_EQ(this->engine.match(make_packet(0x0800, 17, 2000)), -1);
+}
+
+TYPED_TEST(DpfEngineTest, RemoveStopsMatching) {
+  const int id = this->engine.insert(udp_port_filter(53), 7);
+  this->engine.insert(udp_port_filter(80), 8);
+  this->engine.remove(id);
+  EXPECT_EQ(this->engine.size(), 1u);
+  EXPECT_EQ(this->engine.match(make_packet(0x0800, 17, 53)), -1);
+  EXPECT_EQ(this->engine.match(make_packet(0x0800, 17, 80)), 8);
+  this->engine.remove(id);        // double remove: no-op
+  this->engine.remove(12345);     // unknown id: no-op
+  EXPECT_EQ(this->engine.size(), 1u);
+}
+
+TYPED_TEST(DpfEngineTest, PriorityIsInsertionOrder) {
+  // Overlapping filters: a general one first, a specific one second.
+  Filter general;
+  general.atoms = {atom_be16(12, 0x0800)};
+  Filter specific = udp_port_filter(53);
+  this->engine.insert(general, 1);
+  this->engine.insert(specific, 2);
+  // Both match; the earlier-installed filter wins.
+  EXPECT_EQ(this->engine.match(make_packet(0x0800, 17, 53)), 1);
+}
+
+TYPED_TEST(DpfEngineTest, SpecificWinsWhenInstalledFirst) {
+  this->engine.insert(udp_port_filter(53), 2);
+  Filter general;
+  general.atoms = {atom_be16(12, 0x0800)};
+  this->engine.insert(general, 1);
+  EXPECT_EQ(this->engine.match(make_packet(0x0800, 17, 53)), 2);
+  EXPECT_EQ(this->engine.match(make_packet(0x0800, 17, 99)), 1);
+}
+
+TYPED_TEST(DpfEngineTest, ShortPacketFailsAtomsBeyondLength) {
+  this->engine.insert(udp_port_filter(53), 7);
+  const std::vector<std::uint8_t> tiny = {0x08, 0x00};
+  EXPECT_EQ(this->engine.match(tiny), -1);
+}
+
+TYPED_TEST(DpfEngineTest, EmptyFilterMatchesEverything) {
+  this->engine.insert(Filter{}, 9);
+  EXPECT_EQ(this->engine.match(make_packet(0, 0, 0)), 9);
+  EXPECT_EQ(this->engine.match({}), 9);
+}
+
+TYPED_TEST(DpfEngineTest, RejectsBadWidth) {
+  Filter f;
+  f.atoms = {Atom{0, 3, 0xff, 1}};
+  EXPECT_THROW(this->engine.insert(f, 1), std::invalid_argument);
+}
+
+TYPED_TEST(DpfEngineTest, RejectsValueOutsideMask) {
+  Filter f;
+  f.atoms = {Atom{0, 1, 0x0f, 0x10}};
+  EXPECT_THROW(this->engine.insert(f, 1), std::invalid_argument);
+}
+
+TEST(DpfCompiled, SharedPrefixesVisitFewNodes) {
+  CompiledEngine compiled;
+  InterpretedEngine interp;
+  for (int i = 0; i < 64; ++i) {
+    const auto port = static_cast<std::uint16_t>(1000 + i);
+    compiled.insert(udp_port_filter(port), i);
+    interp.insert(udp_port_filter(port), i);
+  }
+  const auto pkt = make_packet(0x0800, 17, 1063);
+  MatchStats cs, is;
+  ASSERT_EQ(compiled.match(pkt, &cs), 63);
+  ASSERT_EQ(interp.match(pkt, &is), 63);
+  // Interpreted work scales with the number of filters; compiled work is
+  // the tree depth. This is the order-of-magnitude structural difference.
+  EXPECT_GE(is.atoms_evaluated, 64u);
+  EXPECT_LE(cs.nodes_visited, 8u);
+}
+
+TEST(DpfCompiled, MaskedAtomsDiscriminate) {
+  CompiledEngine engine;
+  Filter f_low;
+  f_low.atoms = {Atom{0, 1, 0x0f, 0x03}};  // low nibble == 3
+  Filter f_high;
+  f_high.atoms = {Atom{0, 1, 0xf0, 0x30}};  // high nibble == 3
+  engine.insert(f_low, 1);
+  engine.insert(f_high, 2);
+  const std::vector<std::uint8_t> p1 = {0x53};
+  const std::vector<std::uint8_t> p2 = {0x35};
+  const std::vector<std::uint8_t> p3 = {0x33};
+  EXPECT_EQ(engine.match(p1), 1);
+  EXPECT_EQ(engine.match(p2), 2);
+  EXPECT_EQ(engine.match(p3), 1);  // both match; earlier wins
+}
+
+// Property: compiled and interpreted engines agree on random filter sets
+// and random packets (including overlapping filters and removals).
+class DpfEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpfEquivalence, EnginesAgree) {
+  util::Rng rng(GetParam());
+  InterpretedEngine interp;
+  CompiledEngine compiled;
+
+  const int n_filters = static_cast<int>(rng.range(1, 24));
+  std::vector<int> ids_i, ids_c;
+  for (int i = 0; i < n_filters; ++i) {
+    Filter f;
+    const int n_atoms = static_cast<int>(rng.below(4));
+    for (int a = 0; a < n_atoms; ++a) {
+      Atom atom;
+      atom.offset = static_cast<std::uint16_t>(rng.below(16));
+      const std::uint8_t widths[] = {1, 2, 4};
+      atom.width = widths[rng.below(3)];
+      atom.mask = atom.width == 1 ? 0xffu : atom.width == 2 ? 0xffffu
+                                                            : 0xffffffffu;
+      if (rng.chance(1, 3)) atom.mask &= 0x0f0f0f0fu;
+      atom.value = static_cast<std::uint32_t>(rng.next()) & atom.mask;
+      f.atoms.push_back(atom);
+    }
+    ids_i.push_back(interp.insert(f, i));
+    ids_c.push_back(compiled.insert(f, i));
+  }
+  // Random removals.
+  for (int i = 0; i < n_filters; ++i) {
+    if (rng.chance(1, 4)) {
+      interp.remove(ids_i[static_cast<std::size_t>(i)]);
+      compiled.remove(ids_c[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> pkt(rng.range(0, 24));
+    for (auto& b : pkt) {
+      // Low-entropy bytes so filters actually match sometimes.
+      b = static_cast<std::uint8_t>(rng.below(4));
+    }
+    EXPECT_EQ(interp.match(pkt), compiled.match(pkt)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpfEquivalence, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace ash::dpf

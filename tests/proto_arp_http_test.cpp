@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "proto/arp.hpp"
+#include "proto/eth_link.hpp"
+#include "proto/http.hpp"
+#include "proto/ip_frag.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ash::proto {
+namespace {
+
+using sim::Node;
+using sim::Process;
+using sim::Simulator;
+using sim::Task;
+using sim::us;
+
+const Ipv4Addr kIpA = Ipv4Addr::of(192, 168, 0, 1);
+const Ipv4Addr kIpB = Ipv4Addr::of(192, 168, 0, 2);
+const MacAddr kMacA{{{2, 0, 0, 0, 0, 1}}};
+const MacAddr kMacB{{{2, 0, 0, 0, 0, 2}}};
+
+struct EthWorld {
+  Simulator sim;
+  Node* a;
+  Node* b;
+  net::EthernetDevice* dev_a;
+  net::EthernetDevice* dev_b;
+
+  EthWorld() {
+    a = &sim.add_node("a");
+    b = &sim.add_node("b");
+    dev_a = new net::EthernetDevice(*a);
+    dev_b = new net::EthernetDevice(*b);
+    dev_a->connect(*dev_b);
+  }
+  ~EthWorld() {
+    delete dev_a;
+    delete dev_b;
+  }
+};
+
+// ------------------------------------------------------------------- ARP
+
+TEST(Arp, ResolvesPeerAddress) {
+  EthWorld w;
+  std::optional<MacAddr> resolved;
+  std::uint64_t served = 0;
+
+  w.b->kernel().spawn("responder", [&](Process& self) -> Task {
+    ArpService arp(self, *w.dev_b, {kMacB, kIpB});
+    co_await arp.serve(us(50000.0));
+    served = arp.requests_answered();
+  });
+  w.a->kernel().spawn("resolver", [&](Process& self) -> Task {
+    ArpService arp(self, *w.dev_a, {kMacA, kIpA});
+    co_await self.sleep_for(us(1000.0));
+    resolved = co_await arp.resolve(kIpB, us(20000.0));
+  });
+  w.sim.run(us(2e5));
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, kMacB);
+  EXPECT_EQ(served, 1u);
+}
+
+TEST(Arp, CachesAndLearnsFromTraffic) {
+  EthWorld w;
+  std::optional<MacAddr> first, second, learned_by_b;
+  w.b->kernel().spawn("responder", [&](Process& self) -> Task {
+    ArpService arp(self, *w.dev_b, {kMacB, kIpB});
+    co_await arp.serve(us(30000.0));
+    // The responder learned A's binding from A's request.
+    learned_by_b = arp.lookup(kIpA);
+  });
+  w.a->kernel().spawn("resolver", [&](Process& self) -> Task {
+    ArpService arp(self, *w.dev_a, {kMacA, kIpA});
+    co_await self.sleep_for(us(1000.0));
+    first = co_await arp.resolve(kIpB, us(20000.0));
+    // Second resolve must hit the cache (no wait).
+    const sim::Cycles t0 = self.node().now();
+    second = co_await arp.resolve(kIpB, us(20000.0));
+    EXPECT_LT(sim::to_us(self.node().now() - t0), 5.0);
+  });
+  w.sim.run(us(2e5));
+  EXPECT_TRUE(first.has_value());
+  EXPECT_TRUE(second.has_value());
+  ASSERT_TRUE(learned_by_b.has_value());
+  EXPECT_EQ(*learned_by_b, kMacA);
+}
+
+TEST(Arp, ResolveTimesOutWithNoResponder) {
+  EthWorld w;
+  std::optional<MacAddr> resolved = MacAddr{};
+  w.a->kernel().spawn("resolver", [&](Process& self) -> Task {
+    ArpService arp(self, *w.dev_a, {kMacA, kIpA});
+    co_await self.sleep_for(us(500.0));
+    resolved = co_await arp.resolve(kIpB, us(5000.0));
+  });
+  w.sim.run(us(1e5));
+  EXPECT_FALSE(resolved.has_value());
+}
+
+TEST(Arp, RarpReverseResolution) {
+  EthWorld w;
+  std::optional<Ipv4Addr> who;
+  w.b->kernel().spawn("rarp-server", [&](Process& self) -> Task {
+    ArpService arp(self, *w.dev_b, {kMacB, kIpB});
+    arp.add_static(kIpA, kMacA);  // boot-server style table
+    co_await arp.serve(us(50000.0));
+  });
+  w.a->kernel().spawn("booting", [&](Process& self) -> Task {
+    ArpService arp(self, *w.dev_a, {kMacA, Ipv4Addr{}});
+    co_await self.sleep_for(us(1000.0));
+    who = co_await arp.rarp_resolve(kMacA, us(20000.0));
+  });
+  w.sim.run(us(2e5));
+  ASSERT_TRUE(who.has_value());
+  EXPECT_EQ(*who, kIpA);
+}
+
+// ----------------------------------------------------------- IP fragments
+
+std::vector<std::uint8_t> make_datagram(Ipv4Addr src, std::uint16_t ident,
+                                        std::uint16_t frag_off_bytes,
+                                        bool more,
+                                        std::span<const std::uint8_t> pay) {
+  std::vector<std::uint8_t> d(kIpHeaderLen + pay.size());
+  IpHeader h;
+  h.protocol = kIpProtoUdp;
+  h.src = src;
+  h.dst = Ipv4Addr::of(10, 0, 0, 9);
+  h.total_len = static_cast<std::uint16_t>(d.size());
+  h.ident = ident;
+  h.more_fragments = more;
+  h.frag_offset = frag_off_bytes / 8;
+  encode_ip({d.data(), kIpHeaderLen}, h);
+  std::memcpy(d.data() + kIpHeaderLen, pay.data(), pay.size());
+  return d;
+}
+
+TEST(IpReassembler, PassesUnfragmentedThrough) {
+  IpReassembler r;
+  const std::uint8_t pay[] = {1, 2, 3, 4, 5};
+  const auto d = make_datagram(kIpA, 7, 0, false, pay);
+  const auto out = r.feed(d);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload.size(), 5u);
+  EXPECT_EQ(out->payload[4], 5);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(IpReassembler, ReassemblesOutOfOrder) {
+  IpReassembler r;
+  util::Rng rng(3);
+  std::vector<std::uint8_t> pay(24 + 24 + 10);  // 2 full blocks + tail
+  for (auto& b : pay) b = static_cast<std::uint8_t>(rng.next());
+
+  const auto f0 = make_datagram(kIpA, 9, 0, true, {pay.data(), 24});
+  const auto f1 = make_datagram(kIpA, 9, 24, true, {pay.data() + 24, 24});
+  const auto f2 = make_datagram(kIpA, 9, 48, false, {pay.data() + 48, 10});
+
+  EXPECT_FALSE(r.feed(f2).has_value());  // last first
+  EXPECT_FALSE(r.feed(f0).has_value());
+  const auto out = r.feed(f1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload, pay);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(IpReassembler, ToleratesDuplicates) {
+  IpReassembler r;
+  const std::uint8_t a[24] = {1}, b[8] = {2};
+  const auto f0 = make_datagram(kIpA, 1, 0, true, a);
+  const auto f1 = make_datagram(kIpA, 1, 24, false, b);
+  EXPECT_FALSE(r.feed(f0).has_value());
+  EXPECT_FALSE(r.feed(f0).has_value());  // duplicate
+  ASSERT_TRUE(r.feed(f1).has_value());
+}
+
+TEST(IpReassembler, KeepsDistinctDatagramsApart) {
+  IpReassembler r;
+  const std::uint8_t a[8] = {0xaa}, b[8] = {0xbb};
+  EXPECT_FALSE(r.feed(make_datagram(kIpA, 1, 0, true, a)).has_value());
+  EXPECT_FALSE(r.feed(make_datagram(kIpB, 1, 0, true, b)).has_value());
+  EXPECT_EQ(r.pending(), 2u);
+  const auto da = r.feed(make_datagram(kIpA, 1, 8, false, b));
+  ASSERT_TRUE(da.has_value());
+  EXPECT_EQ(da->payload[0], 0xaa);
+  EXPECT_EQ(r.pending(), 1u);
+}
+
+TEST(IpReassembler, ExpiresStalePartials) {
+  IpReassembler r;
+  const std::uint8_t a[8] = {1};
+  EXPECT_FALSE(r.feed(make_datagram(kIpA, 1, 0, true, a)).has_value());
+  for (int i = 0; i < 20; ++i) {
+    (void)r.feed(make_datagram(kIpB, static_cast<std::uint16_t>(100 + i), 0,
+                               false, a));
+  }
+  r.expire(10);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(IpFragmentation, SplitsAndReassemblesOverEthernet) {
+  EthWorld w;
+  constexpr std::uint32_t kLen = 5000;  // > 3 fragments at 1500 MTU
+  std::vector<std::uint8_t> received;
+  int datagrams_seen = 0;
+
+  w.b->kernel().spawn("rx", [&](Process& self) -> Task {
+    EthLink link(self, *w.dev_b, {kMacB, kMacA});
+    IpReassembler reass;
+    sim::Node& node = self.node();
+    while (received.empty()) {
+      const net::RxDesc d = co_await link.recv();
+      const std::uint8_t* p =
+          node.mem(d.addr + link.rx_ip_offset(), d.len - link.rx_ip_offset());
+      ++datagrams_seen;
+      auto out = reass.feed({p, d.len - link.rx_ip_offset()});
+      link.release(d);
+      if (out.has_value()) received = std::move(out->payload);
+    }
+  });
+  w.a->kernel().spawn("tx", [&](Process& self) -> Task {
+    EthLink link(self, *w.dev_a, {kMacA, kMacB});
+    co_await self.sleep_for(us(500.0));
+    const std::uint32_t buf = self.segment().base;
+    util::Rng rng(8);
+    std::uint8_t* p = self.node().mem(buf, kLen);
+    for (std::uint32_t i = 0; i < kLen; ++i) {
+      p[i] = static_cast<std::uint8_t>(rng.next());
+    }
+    const bool ok = co_await ip_send_fragmented(link, kIpA, kIpB,
+                                                kIpProtoUdp, buf, kLen, 77);
+    EXPECT_TRUE(ok);
+  });
+  w.sim.run(us(1e6));
+  ASSERT_EQ(received.size(), kLen);
+  util::Rng rng(8);
+  for (std::uint32_t i = 0; i < kLen; ++i) {
+    ASSERT_EQ(received[i], static_cast<std::uint8_t>(rng.next())) << i;
+  }
+  EXPECT_GE(datagrams_seen, 4);
+}
+
+// ------------------------------------------------------------------ HTTP
+
+TEST(Http, GetServesContent) {
+  EthWorld w;
+  std::optional<HttpResponse> response;
+  std::optional<std::string> served_path;
+
+  auto cfg_for = [](bool client) {
+    TcpConfig c;
+    c.local_ip = client ? kIpA : kIpB;
+    c.remote_ip = client ? kIpB : kIpA;
+    c.local_port = client ? 4000 : 80;
+    c.remote_port = client ? 80 : 4000;
+    c.iss = client ? 100 : 900;
+    c.mss = 1456;
+    return c;
+  };
+
+  w.b->kernel().spawn("httpd", [&](Process& self) -> Task {
+    EthLink link(self, *w.dev_b, {kMacB, kMacA});
+    TcpConnection conn(link, cfg_for(false));
+    const bool accepted = co_await conn.accept();
+    EXPECT_TRUE(accepted);
+    served_path = co_await http_serve_one(
+        conn, [](const std::string& path)
+                  -> std::optional<std::vector<std::uint8_t>> {
+          if (path != "/index.html") return std::nullopt;
+          const char* body = "<html>hello from the exokernel</html>";
+          return std::vector<std::uint8_t>(body, body + std::strlen(body));
+        });
+  });
+  w.a->kernel().spawn("browser", [&](Process& self) -> Task {
+    EthLink link(self, *w.dev_a, {kMacA, kMacB});
+    TcpConnection conn(link, cfg_for(true));
+    co_await self.sleep_for(us(500.0));
+    const bool connected = co_await conn.connect();
+    EXPECT_TRUE(connected);
+    response = co_await http_get(conn, "/index.html");
+  });
+  w.sim.run(us(5e6));
+  ASSERT_TRUE(served_path.has_value());
+  EXPECT_EQ(*served_path, "/index.html");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  const std::string body(response->body.begin(), response->body.end());
+  EXPECT_EQ(body, "<html>hello from the exokernel</html>");
+}
+
+TEST(Http, MissingPathGives404) {
+  EthWorld w;
+  std::optional<HttpResponse> response;
+  auto cfg_for = [](bool client) {
+    TcpConfig c;
+    c.local_ip = client ? kIpA : kIpB;
+    c.remote_ip = client ? kIpB : kIpA;
+    c.local_port = client ? 4000 : 80;
+    c.remote_port = client ? 80 : 4000;
+    c.iss = client ? 100 : 900;
+    c.mss = 1456;
+    return c;
+  };
+  w.b->kernel().spawn("httpd", [&](Process& self) -> Task {
+    EthLink link(self, *w.dev_b, {kMacB, kMacA});
+    TcpConnection conn(link, cfg_for(false));
+    const bool accepted = co_await conn.accept();
+    EXPECT_TRUE(accepted);
+    (void)co_await http_serve_one(
+        conn, [](const std::string&)
+                  -> std::optional<std::vector<std::uint8_t>> {
+          return std::nullopt;
+        });
+  });
+  w.a->kernel().spawn("browser", [&](Process& self) -> Task {
+    EthLink link(self, *w.dev_a, {kMacA, kMacB});
+    TcpConnection conn(link, cfg_for(true));
+    co_await self.sleep_for(us(500.0));
+    const bool connected = co_await conn.connect();
+    EXPECT_TRUE(connected);
+    response = co_await http_get(conn, "/nope");
+  });
+  w.sim.run(us(5e6));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 404);
+}
+
+}  // namespace
+}  // namespace ash::proto

@@ -1,0 +1,212 @@
+#include "proto/compose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "proto/an2_link.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+
+namespace ash::proto {
+namespace {
+
+using sim::Node;
+using sim::Process;
+using sim::Simulator;
+using sim::Task;
+using sim::us;
+
+struct ComposeWorld {
+  Simulator sim;
+  Node* a;
+  Node* b;
+  net::An2Device* dev_a;
+  net::An2Device* dev_b;
+
+  ComposeWorld() {
+    a = &sim.add_node("a");
+    b = &sim.add_node("b");
+    dev_a = new net::An2Device(*a);
+    dev_b = new net::An2Device(*b);
+    dev_a->connect(*dev_b);
+  }
+  ~ComposeWorld() {
+    delete dev_a;
+    delete dev_b;
+  }
+};
+
+/// Exchange `count` messages through identically composed stacks built by
+/// `compose`; returns how many the receiver accepted, and its drop count.
+template <typename ComposeFn>
+std::pair<int, std::uint64_t> exchange(ComposeFn compose, int count,
+                                       bool corrupt_second = false) {
+  ComposeWorld w;
+  int accepted = 0;
+  std::uint64_t drops = 0;
+
+  w.b->kernel().spawn("rx", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    ProtocolStack stack(link);
+    compose(stack, false);
+    for (int i = 0; i < count; ++i) {
+      const auto r = co_await stack.recv(us(50000.0));
+      if (!r.has_value()) break;
+      const std::uint8_t* p =
+          self.node().mem(r->payload_addr, r->payload_len);
+      if (p != nullptr && r->payload_len == 8 && p[0] == 0x42) ++accepted;
+      stack.release(*r);
+    }
+    drops = stack.drops();
+  });
+  w.a->kernel().spawn("tx", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    ProtocolStack stack(link);
+    compose(stack, true);
+    co_await self.sleep_for(us(1000.0));
+    const std::uint32_t buf = self.segment().base;
+    std::uint8_t* p = self.node().mem(buf, 8);
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(0x42 + i);
+    for (int i = 0; i < count; ++i) {
+      const bool sent = co_await stack.send_from(buf, 8);
+      EXPECT_TRUE(sent);
+      if (corrupt_second && i == 1) {
+        // Corrupt the staged byte pattern so the NEXT packet's checksum
+        // fails... we instead corrupt the app data after the checksum has
+        // been computed; simpler: flip app data between sends so the
+        // receiver sees valid checksums but a wrong first byte? Keep this
+        // hook unused in checksum tests; corruption is injected below via
+        // a custom layer instead.
+      }
+      co_await self.sleep_for(us(300.0));
+    }
+  });
+  w.sim.run(us(3e6));
+  return {accepted, drops};
+}
+
+TEST(Compose, PortAndChecksumLayersDeliver) {
+  auto [accepted, drops] = exchange(
+      [](ProtocolStack& s, bool tx) {
+        s.push_inner(make_port_layer(7, 7));
+        s.push_inner(make_cksum_layer());
+        (void)tx;
+      },
+      5);
+  EXPECT_EQ(accepted, 5);
+  EXPECT_EQ(drops, 0u);
+}
+
+TEST(Compose, CompositionOrderIsRuntimeChosen) {
+  // Same layers, opposite nesting: still delivers (both ends agree).
+  auto [accepted, drops] = exchange(
+      [](ProtocolStack& s, bool) {
+        s.push_inner(make_cksum_layer());
+        s.push_inner(make_port_layer(9, 9));
+        s.push_inner(make_seq_layer());
+      },
+      4);
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(drops, 0u);
+}
+
+TEST(Compose, PortMismatchDrops) {
+  auto [accepted, drops] = exchange(
+      [](ProtocolStack& s, bool tx) {
+        s.push_inner(make_port_layer(tx ? 7 : 7, tx ? 7 : 8));  // rx wants 8
+      },
+      3);
+  EXPECT_EQ(accepted, 0);
+  EXPECT_EQ(drops, 3u);
+}
+
+TEST(Compose, SeqLayerRejectsReplay) {
+  // The sender's seq layer is re-created fresh for every message batch;
+  // craft a replay by sending with a stack whose tx counter resets: use
+  // two sender stacks against one receiver.
+  ComposeWorld w;
+  int accepted = 0;
+  std::uint64_t drops = 0;
+
+  w.b->kernel().spawn("rx", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    ProtocolStack stack(link);
+    stack.push_inner(make_seq_layer());
+    for (int i = 0; i < 2; ++i) {
+      const auto r = co_await stack.recv(us(50000.0));
+      if (!r.has_value()) break;
+      ++accepted;
+      stack.release(*r);
+    }
+    // The replayed seq 0 must have been dropped.
+    const auto r = co_await stack.recv(us(5000.0));
+    EXPECT_FALSE(r.has_value());
+    drops = stack.drops();
+  });
+  w.a->kernel().spawn("tx", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    const std::uint32_t buf = self.segment().base;
+    std::memset(self.node().mem(buf, 8), 0x42, 8);
+    co_await self.sleep_for(us(1000.0));
+    {
+      ProtocolStack stack(link);
+      stack.push_inner(make_seq_layer());
+      (void)co_await stack.send_from(buf, 8);  // seq 0
+      co_await self.sleep_for(us(300.0));
+      (void)co_await stack.send_from(buf, 8);  // seq 1
+      co_await self.sleep_for(us(300.0));
+    }
+    ProtocolStack replayer(link);  // fresh counters: replays seq 0
+    replayer.push_inner(make_seq_layer());
+    (void)co_await replayer.send_from(buf, 8);
+  });
+  w.sim.run(us(3e6));
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(drops, 1u);
+}
+
+TEST(Compose, ChecksumLayerCatchesCorruptionLayer) {
+  // Insert a "corruptor" layer *outside* the checksum at the sender only:
+  // it flips a payload bit after the checksum was computed (layers encode
+  // innermost-out, so an outer layer's encode runs after inner ones).
+  ComposeWorld w;
+  std::uint64_t drops = 0;
+
+  w.b->kernel().spawn("rx", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    ProtocolStack stack(link);
+    stack.push_inner(LayerSpec{"null", 0, [](auto, auto) {},
+                               [](auto, auto) { return true; }, 0});
+    stack.push_inner(make_cksum_layer());
+    const auto r = co_await stack.recv(us(20000.0));
+    EXPECT_FALSE(r.has_value());
+    drops = stack.drops();
+  });
+  w.a->kernel().spawn("tx", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    ProtocolStack stack(link);
+    sim::Node* node = &self.node();
+    LayerSpec corruptor;
+    corruptor.name = "corruptor";
+    corruptor.header_len = 0;
+    corruptor.encode = [node](std::span<std::uint8_t> h, std::uint32_t) {
+      // Zero-length header: h.data() points at the checksum header that
+      // follows; flip a bit in the checksummed region beyond it.
+      std::uint8_t* bytes = h.data();
+      bytes[4] ^= 0x01;
+    };
+    corruptor.decode = [](auto, auto) { return true; };
+    stack.push_inner(corruptor);
+    stack.push_inner(make_cksum_layer());
+    co_await self.sleep_for(us(1000.0));
+    const std::uint32_t buf = self.segment().base;
+    std::memset(node->mem(buf, 8), 0x42, 8);
+    (void)co_await stack.send_from(buf, 8);
+  });
+  w.sim.run(us(3e6));
+  EXPECT_EQ(drops, 1u);
+}
+
+}  // namespace
+}  // namespace ash::proto

@@ -1,0 +1,153 @@
+#include "proto/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
+
+namespace ash::proto {
+namespace {
+
+TEST(Headers, EthRoundTrip) {
+  EthHeader h;
+  h.dst = {{{1, 2, 3, 4, 5, 6}}};
+  h.src = {{{7, 8, 9, 10, 11, 12}}};
+  h.ethertype = kEtherTypeIp;
+  std::vector<std::uint8_t> buf(kEthHeaderLen);
+  encode_eth(buf, h);
+  const auto back = decode_eth(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->ethertype, kEtherTypeIp);
+  EXPECT_FALSE(decode_eth({buf.data(), 13}).has_value());
+}
+
+TEST(Headers, ArpRoundTrip) {
+  ArpPacket p;
+  p.opcode = kArpOpRequest;
+  p.sender_mac = {{{1, 2, 3, 4, 5, 6}}};
+  p.sender_ip = Ipv4Addr::of(10, 0, 0, 1);
+  p.target_mac = MacAddr::broadcast();
+  p.target_ip = Ipv4Addr::of(10, 0, 0, 2);
+  std::vector<std::uint8_t> buf(kArpPacketLen);
+  encode_arp(buf, p);
+  const auto back = decode_arp(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->opcode, kArpOpRequest);
+  EXPECT_EQ(back->sender_ip, p.sender_ip);
+  EXPECT_EQ(back->target_ip, p.target_ip);
+  EXPECT_TRUE(back->target_mac.is_broadcast());
+}
+
+TEST(Headers, IpRoundTripAndChecksum) {
+  IpHeader h;
+  h.protocol = kIpProtoUdp;
+  h.src = Ipv4Addr::of(192, 168, 1, 1);
+  h.dst = Ipv4Addr::of(192, 168, 1, 2);
+  h.total_len = 48;
+  h.ident = 0x1234;
+  std::vector<std::uint8_t> buf(48, 0xab);
+  encode_ip({buf.data(), kIpHeaderLen}, h);
+  const auto back = decode_ip(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->total_len, 48);
+  EXPECT_EQ(back->protocol, kIpProtoUdp);
+
+  buf[13] ^= 1;  // corrupt a source-address byte
+  EXPECT_FALSE(decode_ip(buf).has_value());
+}
+
+TEST(Headers, IpRejectsBadTotalLen) {
+  IpHeader h;
+  h.total_len = 100;  // longer than the datagram we hand in
+  std::vector<std::uint8_t> buf(40, 0);
+  encode_ip({buf.data(), kIpHeaderLen}, h);
+  EXPECT_FALSE(decode_ip(buf).has_value());
+}
+
+TEST(Headers, IpFragmentFields) {
+  IpHeader h;
+  h.total_len = 28;
+  h.more_fragments = true;
+  h.frag_offset = 0x123;
+  std::vector<std::uint8_t> buf(28, 0);
+  encode_ip({buf.data(), kIpHeaderLen}, h);
+  const auto back = decode_ip(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->more_fragments);
+  EXPECT_EQ(back->frag_offset, 0x123);
+}
+
+TEST(Headers, UdpRoundTrip) {
+  UdpHeader h;
+  h.src_port = 5353;
+  h.dst_port = 53;
+  h.length = 20;
+  h.checksum = 0xbeef;
+  std::vector<std::uint8_t> buf(20, 0);
+  encode_udp(buf, h);
+  const auto back = decode_udp(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->src_port, 5353);
+  EXPECT_EQ(back->dst_port, 53);
+  EXPECT_EQ(back->length, 20);
+  EXPECT_EQ(back->checksum, 0xbeef);
+}
+
+TEST(Headers, TcpRoundTripAllFlags) {
+  TcpHeader h;
+  h.src_port = 1234;
+  h.dst_port = 80;
+  h.seq = 0xdeadbeef;
+  h.ack = 0x01020304;
+  h.flags = {.fin = true, .syn = false, .rst = true, .psh = false,
+             .ack = true};
+  h.window = 8192;
+  std::vector<std::uint8_t> buf(kTcpHeaderLen);
+  encode_tcp(buf, h);
+  const auto back = decode_tcp(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, h.seq);
+  EXPECT_EQ(back->ack, h.ack);
+  EXPECT_EQ(back->flags, h.flags);
+  EXPECT_EQ(back->window, 8192);
+}
+
+TEST(Headers, TransportChecksumVerifies) {
+  util::Rng rng(3);
+  const Ipv4Addr src = Ipv4Addr::of(10, 0, 0, 1);
+  const Ipv4Addr dst = Ipv4Addr::of(10, 0, 0, 2);
+  std::vector<std::uint8_t> seg(kUdpHeaderLen + 33);
+  for (auto& b : seg) b = static_cast<std::uint8_t>(rng.next());
+  seg[6] = seg[7] = 0;  // checksum field zero
+  const std::uint16_t ck = transport_checksum(src, dst, kIpProtoUdp, seg);
+  seg[6] = static_cast<std::uint8_t>(ck >> 8);
+  seg[7] = static_cast<std::uint8_t>(ck);
+
+  std::uint32_t acc = pseudo_header_sum(
+      src, dst, kIpProtoUdp, static_cast<std::uint16_t>(seg.size()));
+  acc = util::cksum_partial(seg, acc);
+  EXPECT_EQ(util::fold16(acc), 0xffff);
+
+  seg[10] ^= 0x40;  // flip a payload bit
+  acc = pseudo_header_sum(src, dst, kIpProtoUdp,
+                          static_cast<std::uint16_t>(seg.size()));
+  acc = util::cksum_partial(seg, acc);
+  EXPECT_NE(util::fold16(acc), 0xffff);
+}
+
+TEST(Headers, SeqArithmeticWrapsCorrectly) {
+  EXPECT_TRUE(seq_lt(0xfffffff0u, 0x10u));   // across the wrap
+  EXPECT_FALSE(seq_lt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(seq_le(5, 5));
+  EXPECT_EQ(seq_diff(10, 3), 7);
+  EXPECT_EQ(seq_diff(3, 10), -7);
+}
+
+}  // namespace
+}  // namespace ash::proto

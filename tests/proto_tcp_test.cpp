@@ -1,0 +1,426 @@
+#include "proto/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ash::proto {
+namespace {
+
+using sim::Node;
+using sim::Process;
+using sim::Simulator;
+using sim::Task;
+using sim::us;
+
+const Ipv4Addr kIpA = Ipv4Addr::of(10, 0, 0, 1);
+const Ipv4Addr kIpB = Ipv4Addr::of(10, 0, 0, 2);
+
+TcpConfig client_cfg() {
+  TcpConfig c;
+  c.local_ip = kIpA;
+  c.remote_ip = kIpB;
+  c.local_port = 4000;
+  c.remote_port = 5000;
+  c.iss = 100;
+  return c;
+}
+
+TcpConfig server_cfg() {
+  TcpConfig c;
+  c.local_ip = kIpB;
+  c.remote_ip = kIpA;
+  c.local_port = 5000;
+  c.remote_port = 4000;
+  c.iss = 900;
+  return c;
+}
+
+struct TcpWorld {
+  Simulator sim;
+  Node* a;
+  Node* b;
+  net::An2Device* dev_a;
+  net::An2Device* dev_b;
+
+  explicit TcpWorld(const net::An2Config& cfg = {}) {
+    a = &sim.add_node("a");
+    b = &sim.add_node("b");
+    dev_a = new net::An2Device(*a, cfg);
+    dev_b = new net::An2Device(*b, cfg);
+    dev_a->connect(*dev_b);
+  }
+  ~TcpWorld() {
+    delete dev_a;
+    delete dev_b;
+  }
+};
+
+/// Fill app memory with a deterministic pattern.
+void fill_pattern(Node& node, std::uint32_t addr, std::uint32_t len,
+                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::uint8_t* p = node.mem(addr, len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    p[i] = static_cast<std::uint8_t>(rng.next());
+  }
+}
+
+bool check_pattern(Node& node, std::uint32_t addr, std::uint32_t len,
+                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::uint8_t* p = node.mem(addr, len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    if (p[i] != static_cast<std::uint8_t>(rng.next())) return false;
+  }
+  return true;
+}
+
+TEST(Tcp, HandshakeEstablishesBothSides) {
+  TcpWorld w;
+  bool a_ok = false, b_ok = false;
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConnection conn(link, server_cfg());
+    b_ok = co_await conn.accept();
+    EXPECT_EQ(conn.state(), TcpState::Established);
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConnection conn(link, client_cfg());
+    co_await self.sleep_for(us(500.0));
+    a_ok = co_await conn.connect();
+    EXPECT_EQ(conn.state(), TcpState::Established);
+  });
+  w.sim.run(us(3e6));
+  EXPECT_TRUE(a_ok);
+  EXPECT_TRUE(b_ok);
+}
+
+TEST(Tcp, TransfersDataReliably) {
+  TcpWorld w;
+  constexpr std::uint32_t kLen = 100 * 1024;
+  bool data_ok = false;
+
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConnection conn(link, server_cfg());
+    co_await conn.accept();
+    const std::uint32_t buf = self.segment().base;
+    std::uint32_t got = 0;
+    while (got < kLen) {
+      const std::uint32_t n = co_await conn.read_into(buf + got, kLen - got);
+      if (n == 0) break;
+      got += n;
+    }
+    data_ok = got == kLen && check_pattern(*w.b, buf, kLen, 77);
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConnection conn(link, client_cfg());
+    co_await self.sleep_for(us(500.0));
+    co_await conn.connect();
+    const std::uint32_t buf = self.segment().base;
+    fill_pattern(*w.a, buf, kLen, 77);
+    // Write in 8 KB chunks like the paper's throughput experiment.
+    for (std::uint32_t off = 0; off < kLen; off += 8192) {
+      const bool wrote =
+          co_await conn.write_from(buf + off, std::min(8192u, kLen - off));
+      EXPECT_TRUE(wrote);
+    }
+  });
+  w.sim.run(us(3e6));
+  EXPECT_TRUE(data_ok);
+}
+
+TEST(Tcp, PingPongEcho) {
+  TcpWorld w;
+  int echoes = 0;
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConnection conn(link, server_cfg());
+    co_await conn.accept();
+    const std::uint32_t buf = self.segment().base;
+    for (int i = 0; i < 5; ++i) {
+      const std::uint32_t n = co_await conn.read_into(buf, 64);
+      EXPECT_EQ(n, 4u);
+      co_await conn.write_from(buf, n);
+    }
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConnection conn(link, client_cfg());
+    co_await self.sleep_for(us(500.0));
+    co_await conn.connect();
+    const std::uint32_t buf = self.segment().base;
+    for (int i = 0; i < 5; ++i) {
+      std::uint8_t* p = w.a->mem(buf, 4);
+      p[0] = static_cast<std::uint8_t>(i);
+      p[1] = p[2] = p[3] = 0x5a;
+      co_await conn.write_from(buf, 4);
+      const std::uint32_t n = co_await conn.read_into(buf + 32, 64);
+      EXPECT_EQ(n, 4u);
+      if (w.a->mem(buf + 32, 1)[0] == i) ++echoes;
+    }
+  });
+  w.sim.run(us(3e6));
+  EXPECT_EQ(echoes, 5);
+}
+
+TEST(Tcp, HeaderPredictionDominatesBulkTransfer) {
+  TcpWorld w;
+  constexpr std::uint32_t kLen = 64 * 1024;
+  TcpConnection::Stats server_stats;
+
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConnection conn(link, server_cfg());
+    co_await conn.accept();
+    const std::uint32_t buf = self.segment().base;
+    std::uint32_t got = 0;
+    while (got < kLen) {
+      const std::uint32_t n = co_await conn.read_into(buf, kLen - got);
+      if (n == 0) break;
+      got += n;
+    }
+    server_stats = conn.stats();
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConnection conn(link, client_cfg());
+    co_await self.sleep_for(us(500.0));
+    co_await conn.connect();
+    const std::uint32_t buf = self.segment().base;
+    fill_pattern(*w.a, buf, 8192, 1);
+    for (std::uint32_t off = 0; off < kLen; off += 8192) {
+      co_await conn.write_from(buf, 8192);
+    }
+  });
+  w.sim.run(us(3e6));
+  // "Except during connection set up and tear down, all segments were
+  // processed by the TCP header-prediction code."
+  EXPECT_GT(server_stats.fastpath_hits, 15u);
+  EXPECT_LE(server_stats.slowpath, 4u);
+  EXPECT_EQ(server_stats.cksum_failures, 0u);
+}
+
+TEST(Tcp, RecoversFromPacketLoss) {
+  net::An2Config lossy;
+  lossy.drop_prob = 0.08;
+  lossy.fault_seed = 1234;
+  TcpWorld w(lossy);
+  constexpr std::uint32_t kLen = 40 * 1024;
+  bool data_ok = false;
+  std::uint64_t retransmits = 0;
+
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConfig cfg = server_cfg();
+    cfg.rto = us(5000.0);  // keep the test fast
+    TcpConnection conn(link, cfg);
+    co_await conn.accept();
+    const std::uint32_t buf = self.segment().base;
+    std::uint32_t got = 0;
+    while (got < kLen) {
+      const std::uint32_t n = co_await conn.read_into(buf + got, kLen - got);
+      if (n == 0) break;
+      got += n;
+    }
+    data_ok = got == kLen && check_pattern(*w.b, buf, kLen, 55);
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConfig cfg = client_cfg();
+    cfg.rto = us(5000.0);
+    cfg.max_retries = 30;
+    TcpConnection conn(link, cfg);
+    co_await self.sleep_for(us(500.0));
+    const bool connected = co_await conn.connect();
+    EXPECT_TRUE(connected);
+    const std::uint32_t buf = self.segment().base;
+    fill_pattern(*w.a, buf, kLen, 55);
+    for (std::uint32_t off = 0; off < kLen; off += 8192) {
+      const bool wrote = co_await conn.write_from(buf + off, 8192);
+      EXPECT_TRUE(wrote);
+    }
+    retransmits = conn.stats().retransmits;
+  });
+  w.sim.run(us(3e6));
+  EXPECT_TRUE(data_ok);
+  EXPECT_GT(retransmits, 0u);
+}
+
+TEST(Tcp, SurvivesDuplicatedPackets) {
+  net::An2Config dupy;
+  dupy.dup_prob = 0.2;
+  dupy.fault_seed = 77;
+  TcpWorld w(dupy);
+  constexpr std::uint32_t kLen = 32 * 1024;
+  bool data_ok = false;
+
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConnection conn(link, server_cfg());
+    co_await conn.accept();
+    const std::uint32_t buf = self.segment().base;
+    std::uint32_t got = 0;
+    while (got < kLen) {
+      const std::uint32_t n = co_await conn.read_into(buf + got, kLen - got);
+      if (n == 0) break;
+      got += n;
+    }
+    data_ok = got == kLen && check_pattern(*w.b, buf, kLen, 99);
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConnection conn(link, client_cfg());
+    co_await self.sleep_for(us(500.0));
+    co_await conn.connect();
+    const std::uint32_t buf = self.segment().base;
+    fill_pattern(*w.a, buf, kLen, 99);
+    for (std::uint32_t off = 0; off < kLen; off += 8192) {
+      const bool wrote = co_await conn.write_from(buf + off, 8192);
+      EXPECT_TRUE(wrote);
+    }
+  });
+  w.sim.run(us(3e6));
+  EXPECT_TRUE(data_ok);
+}
+
+TEST(Tcp, CloseHandshakeReachesClosedOnBothSides) {
+  TcpWorld w;
+  TcpState a_state = TcpState::Established, b_state = TcpState::Established;
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConnection conn(link, server_cfg());
+    co_await conn.accept();
+    const std::uint32_t buf = self.segment().base;
+    (void)co_await conn.read_into(buf, 64);
+    co_await conn.close();
+    b_state = conn.state();
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConnection conn(link, client_cfg());
+    co_await self.sleep_for(us(500.0));
+    co_await conn.connect();
+    const std::uint32_t buf = self.segment().base;
+    w.a->mem(buf, 4)[0] = 1;
+    co_await conn.write_from(buf, 4);
+    co_await conn.close();
+    a_state = conn.state();
+  });
+  w.sim.run(us(3e6));
+  EXPECT_EQ(a_state, TcpState::Closed);
+  EXPECT_EQ(b_state, TcpState::Closed);
+}
+
+TEST(Tcp, ReadAfterPeerCloseReturnsZero) {
+  TcpWorld w;
+  std::uint32_t final_read = 99;
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConnection conn(link, server_cfg());
+    co_await conn.accept();
+    const std::uint32_t buf = self.segment().base;
+    std::uint32_t n = co_await conn.read_into(buf, 64);
+    EXPECT_EQ(n, 4u);
+    final_read = co_await conn.read_into(buf, 64);  // peer FIN -> 0
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConnection conn(link, client_cfg());
+    co_await self.sleep_for(us(500.0));
+    co_await conn.connect();
+    const std::uint32_t buf = self.segment().base;
+    w.a->mem(buf, 4)[0] = 1;
+    co_await conn.write_from(buf, 4);
+    co_await conn.close();
+  });
+  w.sim.run(us(3e6));
+  EXPECT_EQ(final_read, 0u);
+}
+
+TEST(Tcp, SmallMssSegmentsCorrectly) {
+  TcpWorld w;
+  constexpr std::uint32_t kLen = 16 * 1024;
+  bool data_ok = false;
+  TcpConnection::Stats stats;
+
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConfig cfg = server_cfg();
+    cfg.mss = 536;
+    TcpConnection conn(link, cfg);
+    co_await conn.accept();
+    const std::uint32_t buf = self.segment().base;
+    std::uint32_t got = 0;
+    while (got < kLen) {
+      const std::uint32_t n = co_await conn.read_into(buf + got, kLen - got);
+      if (n == 0) break;
+      got += n;
+    }
+    data_ok = got == kLen && check_pattern(*w.b, buf, kLen, 13);
+    stats = conn.stats();
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConfig cfg = client_cfg();
+    cfg.mss = 536;
+    TcpConnection conn(link, cfg);
+    co_await self.sleep_for(us(500.0));
+    co_await conn.connect();
+    const std::uint32_t buf = self.segment().base;
+    fill_pattern(*w.a, buf, 4096, 13);
+    // Note the pattern check reads sequential data; regenerate per chunk.
+    std::uint32_t off = 0;
+    util::Rng rng(13);
+    while (off < kLen) {
+      std::uint8_t* p = w.a->mem(buf, 4096);
+      for (int i = 0; i < 4096; ++i) p[i] = static_cast<std::uint8_t>(rng.next());
+      co_await conn.write_from(buf, 4096);
+      off += 4096;
+    }
+  });
+  w.sim.run(us(3e6));
+  EXPECT_TRUE(data_ok);
+  // 16 KB at MSS 536 = at least 30 data segments.
+  EXPECT_GT(stats.segments_in, 30u);
+}
+
+TEST(Tcp, NoChecksumModeSkipsVerification) {
+  TcpWorld w;
+  TcpConnection::Stats stats;
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    TcpConfig cfg = server_cfg();
+    cfg.checksum = false;
+    TcpConnection conn(link, cfg);
+    co_await conn.accept();
+    const std::uint32_t buf = self.segment().base;
+    (void)co_await conn.read_into(buf, 8192);
+    stats = conn.stats();
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    TcpConfig cfg = client_cfg();
+    cfg.checksum = false;
+    TcpConnection conn(link, cfg);
+    co_await self.sleep_for(us(500.0));
+    co_await conn.connect();
+    const std::uint32_t buf = self.segment().base;
+    fill_pattern(*w.a, buf, 4096, 3);
+    co_await conn.write_from(buf, 4096);
+  });
+  w.sim.run(us(3e6));
+  EXPECT_EQ(stats.cksum_failures, 0u);
+  EXPECT_GT(stats.segments_in, 0u);
+}
+
+}  // namespace
+}  // namespace ash::proto

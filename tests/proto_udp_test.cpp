@@ -1,0 +1,210 @@
+#include "proto/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+
+namespace ash::proto {
+namespace {
+
+using sim::Node;
+using sim::Process;
+using sim::Simulator;
+using sim::Task;
+using sim::us;
+
+const Ipv4Addr kIpA = Ipv4Addr::of(10, 0, 0, 1);
+const Ipv4Addr kIpB = Ipv4Addr::of(10, 0, 0, 2);
+
+struct UdpWorld {
+  Simulator sim;
+  Node* a;
+  Node* b;
+  net::An2Device* dev_a;
+  net::An2Device* dev_b;
+
+  explicit UdpWorld(const net::An2Config& cfg = {}) {
+    a = &sim.add_node("a");
+    b = &sim.add_node("b");
+    dev_a = new net::An2Device(*a, cfg);
+    dev_b = new net::An2Device(*b, cfg);
+    dev_a->connect(*dev_b);
+  }
+  ~UdpWorld() {
+    delete dev_a;
+    delete dev_b;
+  }
+
+  UdpSocket::Options opts_a(bool checksum = true) const {
+    return {kIpA, kIpB, 1000, 2000, checksum};
+  }
+  UdpSocket::Options opts_b(bool checksum = true) const {
+    return {kIpB, kIpA, 2000, 1000, checksum};
+  }
+};
+
+TEST(Udp, EchoRoundTripInPlace) {
+  UdpWorld w;
+  bool ok = false;
+
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    UdpSocket sock(link, w.opts_b());
+    for (int i = 0; i < 3; ++i) {
+      auto dg = co_await sock.recv_in_place();
+      // Echo the payload back from where it landed (zero copy).
+      co_await sock.send_from(dg.payload_addr, dg.payload_len);
+      sock.release(dg);
+    }
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    UdpSocket sock(link, w.opts_a());
+    const std::uint8_t ping[] = {0xca, 0xfe, 0xba, 0xbe};
+    for (int i = 0; i < 3; ++i) {
+      co_await sock.send(ping);
+      auto dg = co_await sock.recv_in_place();
+      EXPECT_EQ(dg.payload_len, 4);
+      const std::uint8_t* p = w.a->mem(dg.payload_addr, 4);
+      ok = p != nullptr && std::memcmp(p, ping, 4) == 0;
+      sock.release(dg);
+    }
+  });
+  w.sim.run(us(3e6));
+  EXPECT_TRUE(ok);
+}
+
+TEST(Udp, RecvCopyDeliversToAppBuffer) {
+  UdpWorld w;
+  std::uint32_t got_len = 0;
+
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    UdpSocket sock(link, w.opts_b());
+    const std::uint32_t app_buf = self.segment().base + 256;
+    const auto dg = co_await sock.recv_copy(app_buf, 1024);
+    got_len = dg.payload_len;
+    const std::uint8_t* p = w.b->mem(app_buf, dg.payload_len);
+    bool match = true;
+    for (std::uint32_t i = 0; i < dg.payload_len; ++i) {
+      match &= p[i] == static_cast<std::uint8_t>(i);
+    }
+    EXPECT_TRUE(match);
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    UdpSocket sock(link, w.opts_a());
+    std::vector<std::uint8_t> data(100);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i);
+    }
+    co_await sock.send(data);
+  });
+  w.sim.run(us(3e6));
+  EXPECT_EQ(got_len, 100u);
+}
+
+TEST(Udp, ChecksumDetectsCorruption) {
+  // The "bad" sender claims source IP 10.0.0.9 in its IP header while
+  // checksumming against that pseudo-header; the receiving socket is
+  // connected to 10.0.0.1 and verifies against ITS peer's pseudo-header,
+  // so the datagram fails checksum verification and is dropped — the
+  // connected-socket discipline our UDP implements.
+  UdpWorld w;
+  int received = 0;
+  std::uint64_t failures = 0;
+
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    UdpSocket sock(link, w.opts_b());
+    // recv with a deadline via the link directly to avoid hanging forever:
+    // one good datagram is expected, the bad one is dropped.
+    for (;;) {
+      auto dg = co_await sock.recv_in_place();
+      ++received;
+      sock.release(dg);
+      if (received >= 1) break;
+    }
+    failures = sock.checksum_failures();
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    // Bad socket: claims source IP 10.0.0.9 in the IP header, so the
+    // receiver's pseudo-header check fails.
+    UdpSocket bad(link, {Ipv4Addr::of(10, 0, 0, 9), kIpB, 1000, 2000, true});
+    const std::uint8_t payload[] = {1, 2, 3, 4};
+    co_await bad.send(payload);
+    co_await self.sleep_for(us(500.0));
+    UdpSocket good(link, w.opts_a());
+    co_await good.send(payload);
+  });
+  w.sim.run(us(3e6));
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(failures, 1u);  // the bad datagram was caught by verification
+}
+
+TEST(Udp, ShortAndUnalignedPayloads) {
+  UdpWorld w;
+  std::vector<std::uint32_t> lens;
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    UdpSocket sock(link, w.opts_b());
+    for (int i = 0; i < 4; ++i) {
+      auto dg = co_await sock.recv_in_place();
+      lens.push_back(dg.payload_len);
+      sock.release(dg);
+    }
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    UdpSocket sock(link, w.opts_a());
+    for (const std::uint32_t n : {1u, 3u, 7u, 1001u}) {
+      std::vector<std::uint8_t> data(n, 0x42);
+      co_await sock.send(data);
+      co_await self.sleep_for(us(300.0));
+    }
+  });
+  w.sim.run(us(3e6));
+  EXPECT_EQ(lens, (std::vector<std::uint32_t>{1, 3, 7, 1001}));
+}
+
+TEST(Udp, LatencyBallparkMatchesTableII) {
+  // 4-byte UDP ping-pong with checksum, polling: the paper reports 244 us
+  // per round trip (Table II). The simulation should land in that band.
+  UdpWorld w;
+  sim::Cycles t0 = 0, t1 = 0;
+  constexpr int kIters = 10;
+
+  w.b->kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_b, {});
+    UdpSocket sock(link, w.opts_b());
+    for (int i = 0; i < kIters; ++i) {
+      auto dg = co_await sock.recv_in_place();
+      co_await sock.send_from(dg.payload_addr, dg.payload_len);
+      sock.release(dg);
+    }
+  });
+  w.a->kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, *w.dev_a, {});
+    UdpSocket sock(link, w.opts_a());
+    const std::uint8_t ping[] = {1, 2, 3, 4};
+    co_await self.sleep_for(us(1000.0));  // let the server start
+    t0 = self.node().now();
+    for (int i = 0; i < kIters; ++i) {
+      co_await sock.send(ping);
+      auto dg = co_await sock.recv_in_place();
+      sock.release(dg);
+    }
+    t1 = self.node().now();
+  });
+  w.sim.run(us(3e6));
+  const double rtt = sim::to_us(t1 - t0) / kIters;
+  EXPECT_GT(rtt, 215.0);
+  EXPECT_LT(rtt, 275.0);
+}
+
+}  // namespace
+}  // namespace ash::proto

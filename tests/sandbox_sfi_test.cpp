@@ -1,0 +1,372 @@
+#include "sandbox/sfi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "vcode/builder.hpp"
+#include "vcode/env_util.hpp"
+#include "vcode/interp.hpp"
+#include "vcode/verifier.hpp"
+
+namespace ash::sandbox {
+namespace {
+
+using vcode::Builder;
+using vcode::ExecLimits;
+using vcode::ExecResult;
+using vcode::FlatMemoryEnv;
+using vcode::kRegArg0;
+using vcode::kRegArg1;
+using vcode::kRegZero;
+using vcode::Op;
+using vcode::Outcome;
+using vcode::Program;
+using vcode::Reg;
+
+Options mips_options() {
+  Options opts;
+  opts.segment = {0x1000, 0x1000};  // [0x1000, 0x2000)
+  return opts;
+}
+
+SandboxResult must_sandbox(const Program& prog, const Options& opts) {
+  std::string error;
+  auto result = sandbox(prog, opts, &error);
+  EXPECT_TRUE(result.has_value()) << error;
+  return std::move(*result);
+}
+
+TEST(Sfi, SegmentValidation) {
+  EXPECT_TRUE((Segment{0x1000, 0x1000}).valid());
+  EXPECT_FALSE((Segment{0x1000, 0x1001}).valid());  // not a power of two
+  EXPECT_FALSE((Segment{0x800, 0x1000}).valid());   // base not aligned
+  EXPECT_FALSE((Segment{0, 4}).valid());            // too small
+  EXPECT_TRUE((Segment{0, 8}).valid());
+}
+
+TEST(Sfi, PreservesSemanticsOfInBoundsCode) {
+  Builder b;
+  const Reg base = b.reg();
+  const Reg v = b.reg();
+  b.movi(base, 0x1100);
+  b.movi(v, 0xabcd1234u);
+  b.sw(v, base, 8);
+  b.lw(kRegArg0, base, 8);
+  b.halt();
+  const Program prog = b.take();
+
+  FlatMemoryEnv env(0x10000);
+  const ExecResult plain = vcode::execute(prog, env);
+  ASSERT_EQ(plain.outcome, Outcome::Halted);
+  ASSERT_EQ(plain.result, 0xabcd1234u);
+
+  const SandboxResult sb = must_sandbox(prog, mips_options());
+  FlatMemoryEnv env2(0x10000);
+  const ExecResult boxed = vcode::execute(sb.program, env2);
+  EXPECT_EQ(boxed.outcome, Outcome::Halted);
+  EXPECT_EQ(boxed.result, 0xabcd1234u);
+}
+
+TEST(Sfi, WildWriteIsConfinedToSegment) {
+  Builder b;
+  const Reg base = b.reg();
+  const Reg v = b.reg();
+  b.movi(base, 0x5008);  // outside the [0x1000,0x2000) segment
+  b.movi(v, 0xdeadbeefu);
+  b.sw(v, base, 0);
+  b.halt();
+  const Program prog = b.take();
+
+  // Unsandboxed: the wild write lands at 0x5008 ("kernel memory").
+  FlatMemoryEnv env(0x10000);
+  ASSERT_EQ(vcode::execute(prog, env).outcome, Outcome::Halted);
+  EXPECT_EQ(env.memory()[0x5008], 0xef);
+
+  // Sandboxed: masked into the segment (0x5008 & 0xfff | 0x1000 = 0x1008).
+  const SandboxResult sb = must_sandbox(prog, mips_options());
+  FlatMemoryEnv env2(0x10000);
+  ASSERT_EQ(vcode::execute(sb.program, env2).outcome, Outcome::Halted);
+  EXPECT_EQ(env2.memory()[0x5008], 0x00);
+  EXPECT_EQ(env2.memory()[0x1008], 0xef);
+}
+
+TEST(Sfi, MisalignedAccessIsForceAligned) {
+  Builder b;
+  const Reg base = b.reg();
+  const Reg v = b.reg();
+  b.movi(base, 0x1001);  // misaligned word address
+  b.movi(v, 0x11223344u);
+  b.sw(v, base, 0);
+  b.halt();
+  const Program prog = b.take();
+
+  // Unsandboxed this is an alignment fault.
+  FlatMemoryEnv env(0x10000);
+  EXPECT_EQ(vcode::execute(prog, env).outcome, Outcome::AlignFault);
+
+  // Sandboxed the address is forced to alignment (footnote 2): 0x1000.
+  const SandboxResult sb = must_sandbox(prog, mips_options());
+  FlatMemoryEnv env2(0x10000);
+  EXPECT_EQ(vcode::execute(sb.program, env2).outcome, Outcome::Halted);
+  EXPECT_EQ(env2.memory()[0x1000], 0x44);
+}
+
+TEST(Sfi, RejectsFloatingPoint) {
+  Builder b;
+  b.fadd(kRegArg0, kRegArg0, kRegArg1);
+  b.halt();
+  std::string error;
+  EXPECT_FALSE(sandbox(b.take(), mips_options(), &error).has_value());
+  EXPECT_NE(error.find("floating-point"), std::string::npos);
+}
+
+TEST(Sfi, ConvertsSignedArithmetic) {
+  Builder b;
+  b.add(kRegArg0, kRegArg0, kRegArg1);
+  b.sub(kRegArg0, kRegArg0, kRegArg1);
+  b.halt();
+  const SandboxResult sb = must_sandbox(b.take(), mips_options());
+  EXPECT_EQ(sb.report.converted_signed, 2u);
+  for (const auto& insn : sb.program.insns) {
+    EXPECT_NE(insn.op, Op::Add);
+    EXPECT_NE(insn.op, Op::Sub);
+  }
+}
+
+TEST(Sfi, RejectsSignedArithmeticWhenConversionDisabled) {
+  Builder b;
+  b.add(kRegArg0, kRegArg0, kRegArg1);
+  b.halt();
+  Options opts = mips_options();
+  opts.convert_signed = false;
+  std::string error;
+  EXPECT_FALSE(sandbox(b.take(), opts, &error).has_value());
+}
+
+TEST(Sfi, RejectsScratchRegisterUse) {
+  vcode::Program prog;
+  prog.insns.push_back({Op::Movi, kScratch0, 0, 0, 5});
+  prog.insns.push_back({Op::Halt, 0, 0, 0, 0});
+  std::string error;
+  EXPECT_FALSE(sandbox(prog, mips_options(), &error).has_value());
+  EXPECT_NE(error.find("scratch"), std::string::npos);
+}
+
+TEST(Sfi, RejectsDoubleSandboxing) {
+  Builder b;
+  b.halt();
+  const SandboxResult sb = must_sandbox(b.take(), mips_options());
+  std::string error;
+  EXPECT_FALSE(sandbox(sb.program, mips_options(), &error).has_value());
+}
+
+TEST(Sfi, IndirectJumpsAreTranslated) {
+  // The register holds a PRE-sandbox instruction index; inserted checks
+  // shift the code, and JrChk must translate the old index to the new one.
+  Builder b;
+  const Reg base = b.reg();
+  const Reg t = b.reg();
+  const Reg v = b.reg();
+  vcode::Label target = b.label();
+  b.movi(base, 0x1100);
+  b.movi(v, 42);
+  b.sw(v, base, 0);  // memory op => sandbox inserts checks before `target`
+  b.movi(t, 5);      // pre-sandbox index of `target`
+  b.jr(t);
+  b.bind(target);
+  b.mark_indirect(target);
+  b.lw(kRegArg0, base, 0);
+  b.halt();
+  const Program prog = b.take();
+  ASSERT_EQ(prog.indirect_targets.size(), 1u);
+  ASSERT_EQ(prog.indirect_targets[0], 5u);
+
+  const SandboxResult sb = must_sandbox(prog, mips_options());
+  FlatMemoryEnv env(0x10000);
+  const ExecResult r = vcode::execute(sb.program, env);
+  EXPECT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(r.result, 42u);
+}
+
+TEST(Sfi, IndirectJumpToUnregisteredAddressFaults) {
+  Builder b;
+  const Reg t = b.reg();
+  vcode::Label target = b.label();
+  b.movi(t, 3);  // NOT a registered label (target is at 2)
+  b.jr(t);
+  b.bind(target);
+  b.mark_indirect(target);
+  b.movi(kRegArg0, 1);
+  b.halt();
+  Program prog = b.take();
+  // Pre-sandbox index 2 is `target`; jumping to 3 must fault after boxing.
+  const SandboxResult sb = must_sandbox(prog, mips_options());
+  FlatMemoryEnv env(0x10000);
+  EXPECT_EQ(vcode::execute(sb.program, env).outcome,
+            Outcome::IndirectJumpFault);
+}
+
+TEST(Sfi, SoftwareBudgetChecksBoundLoops) {
+  Builder b;
+  const Reg i = b.reg();
+  vcode::Label loop = b.label();
+  b.movi(i, 0);
+  b.bind(loop);
+  b.addiu(i, i, 1);
+  b.jmp(loop);  // infinite
+  Options opts = mips_options();
+  opts.software_budget_checks = true;
+  const SandboxResult sb = must_sandbox(b.take(), opts);
+  EXPECT_GE(sb.report.budget_check_insns, 1u);
+
+  FlatMemoryEnv env(0x10000);
+  ExecLimits limits;
+  limits.software_budget = 100;
+  limits.max_insns = 1u << 24;  // only the Budget ops should stop it
+  const ExecResult r = vcode::execute(sb.program, env, limits);
+  EXPECT_EQ(r.outcome, Outcome::BudgetExceeded);
+  EXPECT_LT(r.insns, 500u);
+}
+
+TEST(Sfi, ReportCountsAreConsistent) {
+  Builder b;
+  const Reg base = b.reg();
+  b.movi(base, 0x1100);
+  b.lw(kRegArg0, base, 4);
+  b.sw(kRegArg0, base, 8);
+  b.halt();
+  const SandboxResult sb = must_sandbox(b.take(), mips_options());
+  const Report& rep = sb.report;
+  EXPECT_EQ(rep.original_insns, 4u);
+  EXPECT_EQ(rep.final_insns, sb.program.insns.size());
+  EXPECT_EQ(rep.added(),
+            rep.mem_check_insns + rep.budget_check_insns +
+                rep.epilogue_insns);
+  // Each of the two accesses has a nonzero offset: Addiu + Andi + Ori = 3.
+  EXPECT_EQ(rep.mem_check_insns, 6u);
+  EXPECT_GT(rep.epilogue_insns, 0u);
+  EXPECT_TRUE(sb.program.sandboxed);
+}
+
+TEST(Sfi, EpilogueCanBeDisabled) {
+  Builder b;
+  b.movi(kRegArg0, 9);
+  b.halt();
+  Options opts = mips_options();
+  opts.general_epilogue = false;
+  const SandboxResult sb = must_sandbox(b.take(), opts);
+  EXPECT_EQ(sb.report.epilogue_insns, 0u);
+  FlatMemoryEnv env(0x10000);
+  EXPECT_EQ(vcode::execute(sb.program, env).result, 9u);
+}
+
+TEST(Sfi, X86ModeInsertsNoMemoryChecks) {
+  Builder b;
+  const Reg base = b.reg();
+  b.movi(base, 0x1100);
+  b.lw(kRegArg0, base, 4);
+  b.halt();
+  Options opts;
+  opts.mode = Mode::X86Segments;
+  opts.general_epilogue = false;
+  const SandboxResult sb = must_sandbox(b.take(), opts);
+  EXPECT_EQ(sb.report.mem_check_insns, 0u);
+  EXPECT_EQ(sb.report.added(), 0u);
+}
+
+TEST(Sfi, SandboxedProgramStillVerifies) {
+  Builder b;
+  const Reg base = b.reg();
+  vcode::Label loop = b.label();
+  const Reg i = b.reg();
+  const Reg limit = b.reg();
+  b.movi(base, 0x1000);
+  b.movi(i, 0);
+  b.movi(limit, 16);
+  b.bind(loop);
+  b.sw(i, base, 0);
+  b.addiu(base, base, 4);
+  b.addiu(i, i, 1);
+  b.bltu(i, limit, loop);
+  b.halt();
+  Options opts = mips_options();
+  opts.software_budget_checks = true;
+  const SandboxResult sb = must_sandbox(b.take(), opts);
+  vcode::VerifyPolicy policy;
+  const auto verdict = vcode::verify(sb.program, policy);
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+}
+
+// Property: for random in-segment straight-line memory programs, the
+// sandboxed program computes exactly the same result and memory state as
+// the original.
+class SfiEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SfiEquivalence, InBoundsProgramsUnchanged) {
+  util::Rng rng(GetParam());
+  Builder b;
+  const Reg base = b.reg();
+  const Reg v = b.reg();
+  b.movi(base, 0x1000 + 4 * static_cast<std::uint32_t>(rng.below(64)));
+  b.movi(v, static_cast<std::uint32_t>(rng.next()));
+  const int ops = static_cast<int>(rng.range(1, 20));
+  for (int i = 0; i < ops; ++i) {
+    const auto off = static_cast<std::int32_t>(4 * rng.below(16));
+    switch (rng.below(4)) {
+      case 0: b.sw(v, base, off); break;
+      case 1: b.lw(v, base, off); break;
+      case 2: b.sb(v, base, off); break;
+      default: b.addiu(v, v, static_cast<std::uint32_t>(rng.below(1000)));
+    }
+  }
+  b.mov(kRegArg0, v);
+  b.halt();
+  const Program prog = b.take();
+
+  FlatMemoryEnv env1(0x10000), env2(0x10000);
+  const ExecResult plain = vcode::execute(prog, env1);
+  ASSERT_EQ(plain.outcome, Outcome::Halted);
+
+  const SandboxResult sb = must_sandbox(prog, mips_options());
+  const ExecResult boxed = vcode::execute(sb.program, env2);
+  ASSERT_EQ(boxed.outcome, Outcome::Halted);
+  EXPECT_EQ(boxed.result, plain.result);
+  for (std::size_t i = 0; i < env1.memory().size(); ++i) {
+    ASSERT_EQ(env1.memory()[i], env2.memory()[i]) << "byte " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SfiEquivalence, ::testing::Range(0, 60));
+
+// Property: no matter what addresses a random program computes, sandboxed
+// stores never touch memory outside the segment.
+class SfiContainment : public ::testing::TestWithParam<int> {};
+
+TEST_P(SfiContainment, StoresNeverEscapeSegment) {
+  util::Rng rng(GetParam() + 500);
+  Builder b;
+  const Reg base = b.reg();
+  const Reg v = b.reg();
+  b.movi(base, static_cast<std::uint32_t>(rng.next()) & 0xfffc);
+  b.movi(v, 0xa5a5a5a5u);
+  const int ops = static_cast<int>(rng.range(1, 12));
+  for (int i = 0; i < ops; ++i) {
+    b.sw(v, base, static_cast<std::int32_t>(4 * rng.below(1024)));
+    b.addiu(base, base, static_cast<std::uint32_t>(rng.next() & 0xffff));
+  }
+  b.halt();
+  const SandboxResult sb = must_sandbox(b.take(), mips_options());
+
+  FlatMemoryEnv env(0x10000);
+  const ExecResult r = vcode::execute(sb.program, env);
+  ASSERT_EQ(r.outcome, Outcome::Halted);
+  for (std::size_t i = 0; i < env.memory().size(); ++i) {
+    if (i >= 0x1000 && i < 0x2000) continue;
+    ASSERT_EQ(env.memory()[i], 0u) << "escape at " << std::hex << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SfiContainment, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace ash::sandbox

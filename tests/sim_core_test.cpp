@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace ash::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  q.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  q.cancel(id);
+  q.run_until_idle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(10, [&] {
+    ++count;
+    q.schedule_in(5, [&] { ++count; });
+  });
+  q.run_until_idle();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now(), 15u);
+}
+
+TEST(EventQueue, PastSchedulesClampToNow) {
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  q.step();
+  bool ran = false;
+  q.schedule_at(50, [&] { ran = true; });  // in the past
+  q.step();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilLimitStopsEarly) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(1000, [&] { ++fired; });
+  q.run_until_idle(500);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(Cache, ReadMissThenHit) {
+  Cache cache({.size_bytes = 1024, .line_bytes = 16, .read_miss_penalty = 20});
+  EXPECT_EQ(cache.access(0x100, 4, false), 20u);  // miss fills line
+  EXPECT_EQ(cache.access(0x104, 4, false), 0u);   // same line: hit
+  EXPECT_EQ(cache.access(0x10c, 4, false), 0u);
+  EXPECT_EQ(cache.access(0x110, 4, false), 20u);  // next line
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, DirectMappedConflictEviction) {
+  Cache cache({.size_bytes = 256, .line_bytes = 16, .read_miss_penalty = 10});
+  EXPECT_EQ(cache.access(0, 4, false), 10u);
+  EXPECT_EQ(cache.access(256, 4, false), 10u);  // maps to same line index
+  EXPECT_EQ(cache.access(0, 4, false), 10u);    // evicted: miss again
+}
+
+TEST(Cache, WriteThroughNoAllocate) {
+  Cache cache({.size_bytes = 1024, .line_bytes = 16, .read_miss_penalty = 20});
+  EXPECT_EQ(cache.access(0x40, 4, true), 0u);   // write miss: no fill
+  EXPECT_FALSE(cache.contains(0x40));
+  EXPECT_EQ(cache.access(0x40, 4, false), 20u);  // still a read miss
+  EXPECT_TRUE(cache.contains(0x40));
+  EXPECT_EQ(cache.access(0x40, 4, true), 0u);    // write hit: cheap
+  EXPECT_TRUE(cache.contains(0x40));
+}
+
+TEST(Cache, AccessSpanningTwoLines) {
+  Cache cache({.size_bytes = 1024, .line_bytes = 16, .read_miss_penalty = 20});
+  EXPECT_EQ(cache.access(0x1e, 4, false), 40u);  // crosses 0x10/0x20 lines
+}
+
+TEST(Cache, FlushAllAndInvalidateRange) {
+  Cache cache({.size_bytes = 1024, .line_bytes = 16, .read_miss_penalty = 20});
+  cache.touch_range(0, 64);
+  EXPECT_TRUE(cache.contains(0x30));
+  cache.invalidate_range(0x10, 16);
+  EXPECT_TRUE(cache.contains(0x00));
+  EXPECT_FALSE(cache.contains(0x10));
+  EXPECT_TRUE(cache.contains(0x20));
+  cache.flush_all();
+  EXPECT_FALSE(cache.contains(0x00));
+  EXPECT_FALSE(cache.contains(0x20));
+}
+
+TEST(Cache, InvalidateHugeRangeFlushes) {
+  Cache cache({.size_bytes = 256, .line_bytes = 16, .read_miss_penalty = 20});
+  cache.touch_range(0, 256);
+  cache.invalidate_range(0, 1u << 20);
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(240));
+}
+
+TEST(TimeConversion, CyclesAndMicroseconds) {
+  EXPECT_DOUBLE_EQ(to_us(40), 1.0);
+  EXPECT_EQ(us(1.0), 40u);
+  EXPECT_EQ(us(96.0), 3840u);
+}
+
+}  // namespace
+}  // namespace ash::sim

@@ -1,0 +1,41 @@
+#include "util/byteorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ash::util {
+namespace {
+
+TEST(ByteOrder, Bswap16) {
+  EXPECT_EQ(bswap16(0x1234), 0x3412);
+  EXPECT_EQ(bswap16(0x0000), 0x0000);
+  EXPECT_EQ(bswap16(0xff00), 0x00ff);
+}
+
+TEST(ByteOrder, Bswap32) {
+  EXPECT_EQ(bswap32(0x12345678u), 0x78563412u);
+  EXPECT_EQ(bswap32(bswap32(0xdeadbeefu)), 0xdeadbeefu);
+}
+
+TEST(ByteOrder, LoadStoreBigEndianRoundTrip) {
+  std::array<std::uint8_t, 8> buf{};
+  store_be16(buf.data(), 0xabcd);
+  EXPECT_EQ(buf[0], 0xab);
+  EXPECT_EQ(buf[1], 0xcd);
+  EXPECT_EQ(load_be16(buf.data()), 0xabcd);
+
+  store_be32(buf.data() + 3, 0x01020304u);  // unaligned on purpose
+  EXPECT_EQ(buf[3], 0x01);
+  EXPECT_EQ(buf[6], 0x04);
+  EXPECT_EQ(load_be32(buf.data() + 3), 0x01020304u);
+}
+
+TEST(ByteOrder, NativeLoadStoreRoundTrip) {
+  std::array<std::uint8_t, 7> buf{};
+  store_u32(buf.data() + 1, 0xcafebabeu);
+  EXPECT_EQ(load_u32(buf.data() + 1), 0xcafebabeu);
+}
+
+}  // namespace
+}  // namespace ash::util

@@ -1,0 +1,412 @@
+#include "vcode/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
+#include "vcode/builder.hpp"
+#include "vcode/env_util.hpp"
+
+namespace ash::vcode {
+namespace {
+
+Env& null_env() {
+  static Env env;
+  return env;
+}
+
+TEST(Interp, SumLoop) {
+  Builder b;
+  const Reg x = b.reg();
+  const Reg y = b.reg();
+  Label loop = b.label();
+  Label done = b.label();
+  b.movi(x, 10);
+  b.movi(y, 0);
+  b.bind(loop);
+  b.beq(x, kRegZero, done);
+  b.addu(y, y, x);
+  b.addiu(x, x, static_cast<std::uint32_t>(-1));
+  b.jmp(loop);
+  b.bind(done);
+  b.mov(kRegArg0, y);
+  b.halt();
+  const Program prog = b.take();
+
+  const ExecResult r = execute(prog, null_env());
+  EXPECT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(r.result, 55u);
+  EXPECT_GT(r.insns, 40u);
+  EXPECT_GE(r.cycles, r.insns);  // every op costs >= 1 cycle
+}
+
+TEST(Interp, ArgumentsArriveInR1ToR4) {
+  Builder b;
+  b.addu(kRegArg0, kRegArg0, kRegArg1);
+  b.addu(kRegArg0, kRegArg0, kRegArg2);
+  b.addu(kRegArg0, kRegArg0, kRegArg3);
+  b.halt();
+  const Program prog = b.take();
+  const ExecResult r = execute(prog, null_env(), {}, 1, 2, 3, 4);
+  EXPECT_EQ(r.result, 10u);
+}
+
+TEST(Interp, R0IsHardwiredZero) {
+  Builder b;
+  b.movi(kRegZero, 1234);
+  b.mov(kRegArg0, kRegZero);
+  b.halt();
+  const ExecResult r = execute(b.take(), null_env());
+  EXPECT_EQ(r.result, 0u);
+}
+
+TEST(Interp, VoluntaryAbortCarriesCode) {
+  Builder b;
+  b.abort(77);
+  const ExecResult r = execute(b.take(), null_env());
+  EXPECT_EQ(r.outcome, Outcome::VoluntaryAbort);
+  EXPECT_EQ(r.abort_code, 77u);
+}
+
+TEST(Interp, DivideByZeroFaults) {
+  Builder b;
+  const Reg x = b.reg();
+  b.movi(x, 5);
+  b.divu(kRegArg0, x, kRegZero);
+  b.halt();
+  const ExecResult r = execute(b.take(), null_env());
+  EXPECT_EQ(r.outcome, Outcome::DivideByZero);
+  EXPECT_EQ(r.fault_pc, 1u);
+}
+
+TEST(Interp, RemuByZeroFaults) {
+  Builder b;
+  b.remu(kRegArg0, kRegArg0, kRegZero);
+  b.halt();
+  EXPECT_EQ(execute(b.take(), null_env()).outcome, Outcome::DivideByZero);
+}
+
+TEST(Interp, InfiniteLoopHitsInsnBudget) {
+  Builder b;
+  Label loop = b.label();
+  b.bind(loop);
+  b.jmp(loop);
+  ExecLimits limits;
+  limits.max_insns = 1000;
+  const ExecResult r = execute(b.take(), null_env(), limits);
+  EXPECT_EQ(r.outcome, Outcome::BudgetExceeded);
+  EXPECT_EQ(r.insns, 1000u);
+}
+
+TEST(Interp, CycleCeilingActsAsTimer) {
+  Builder b;
+  Label loop = b.label();
+  b.bind(loop);
+  b.jmp(loop);
+  ExecLimits limits;
+  limits.max_cycles = 500;
+  const ExecResult r = execute(b.take(), null_env(), limits);
+  EXPECT_EQ(r.outcome, Outcome::BudgetExceeded);
+  EXPECT_GE(r.cycles, 500u);
+  EXPECT_LT(r.cycles, 510u);
+}
+
+TEST(Interp, BudgetOpFaultsWhenExhausted) {
+  Builder b;
+  Label loop = b.label();
+  b.bind(loop);
+  b.emit({Op::Budget, 0, 0, 0, 10});
+  b.jmp(loop);
+  ExecLimits limits;
+  limits.software_budget = 100;
+  const ExecResult r = execute(b.take(), null_env(), limits);
+  EXPECT_EQ(r.outcome, Outcome::BudgetExceeded);
+  // 100/10 = at most 10 Budget executions, i.e. ~20 instructions total.
+  EXPECT_LE(r.insns, 21u);
+}
+
+TEST(Interp, MemoryReadWriteThroughEnv) {
+  FlatMemoryEnv env(64);
+  env.memory()[8] = 0x78;
+  env.memory()[9] = 0x56;
+  env.memory()[10] = 0x34;
+  env.memory()[11] = 0x12;
+  Builder b;
+  const Reg base = b.reg();
+  const Reg v = b.reg();
+  b.movi(base, 8);
+  b.lw(v, base, 0);          // little-endian: 0x12345678
+  b.sw(v, base, 4);          // store at 12
+  b.lbu(kRegArg0, base, 4);  // low byte of stored word
+  b.halt();
+  const ExecResult r = execute(b.take(), env);
+  ASSERT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(r.result, 0x78u);
+  EXPECT_EQ(env.memory()[12], 0x78);
+  EXPECT_EQ(env.memory()[15], 0x12);
+}
+
+TEST(Interp, SignExtendingLoads) {
+  FlatMemoryEnv env(16);
+  env.memory()[0] = 0x80;  // Lb -> 0xffffff80
+  env.memory()[2] = 0x00;
+  env.memory()[3] = 0x80;  // Lh at 2 -> 0xffff8000 (little-endian)
+  Builder b;
+  const Reg t = b.reg();
+  b.lb(t, kRegZero, 0);
+  b.lh(kRegArg0, kRegZero, 2);
+  b.addu(kRegArg0, kRegArg0, t);
+  b.halt();
+  const ExecResult r = execute(b.take(), env);
+  EXPECT_EQ(r.result, 0xffff8000u + 0xffffff80u);
+}
+
+TEST(Interp, OutOfBoundsAccessFaults) {
+  FlatMemoryEnv env(16);
+  Builder b;
+  const Reg base = b.reg();
+  b.movi(base, 16);
+  b.lw(kRegArg0, base, 0);
+  b.halt();
+  EXPECT_EQ(execute(b.take(), env).outcome, Outcome::MemFault);
+}
+
+TEST(Interp, MisalignedWordAccessFaults) {
+  FlatMemoryEnv env(16);
+  Builder b;
+  const Reg base = b.reg();
+  b.movi(base, 2);
+  b.lw(kRegArg0, base, 0);
+  b.halt();
+  EXPECT_EQ(execute(b.take(), env).outcome, Outcome::AlignFault);
+}
+
+TEST(Interp, UnalignedExtensionLoadsAnywhere) {
+  FlatMemoryEnv env(16);
+  for (int i = 0; i < 16; ++i) {
+    env.memory()[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  }
+  Builder b;
+  const Reg base = b.reg();
+  b.movi(base, 3);
+  b.lw_u(kRegArg0, base, 0);
+  b.halt();
+  const ExecResult r = execute(b.take(), env);
+  ASSERT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(r.result, 0x06050403u);
+}
+
+TEST(Interp, IndirectJumpWithinProgram) {
+  Builder b;
+  const Reg t = b.reg();
+  Label target = b.label();
+  b.movi(t, 3);
+  b.jr(t);
+  b.abort(1);  // skipped
+  b.bind(target);
+  b.movi(kRegArg0, 99);
+  b.halt();
+  const ExecResult r = execute(b.take(), null_env());
+  EXPECT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(r.result, 99u);
+}
+
+TEST(Interp, IndirectJumpOutOfBoundsFaults) {
+  Builder b;
+  const Reg t = b.reg();
+  b.movi(t, 1000);
+  b.jr(t);
+  b.halt();
+  EXPECT_EQ(execute(b.take(), null_env()).outcome,
+            Outcome::IndirectJumpFault);
+}
+
+TEST(Interp, JrChkOnlyAllowsRegisteredTargets) {
+  Builder b;
+  const Reg t = b.reg();
+  Label ok = b.label();
+  b.movi(t, 4);  // not the registered target (which is @3)
+  b.emit({Op::JrChk, t, 0, 0, 0});
+  b.halt();
+  b.bind(ok);
+  b.mark_indirect(ok);
+  b.movi(kRegArg0, 1);
+  b.halt();
+  Program prog = b.take();
+  EXPECT_EQ(execute(prog, null_env()).outcome, Outcome::IndirectJumpFault);
+  // Now jump to the registered target (@3).
+  prog.insns[0].imm = 3;
+  const ExecResult r = execute(prog, null_env());
+  EXPECT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(r.result, 1u);
+}
+
+TEST(Interp, CallAndRet) {
+  Builder b;
+  Label fn = b.label();
+  b.call(fn);
+  b.addiu(kRegArg0, kRegArg0, 1);  // runs after return
+  b.halt();
+  b.bind(fn);
+  b.movi(kRegArg0, 10);
+  b.ret();
+  const ExecResult r = execute(b.take(), null_env());
+  EXPECT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(r.result, 11u);
+}
+
+TEST(Interp, CallDepthOverflowFaults) {
+  Builder b;
+  Label fn = b.label();
+  b.bind(fn);
+  b.call(fn);  // infinite recursion
+  b.halt();
+  const ExecResult r = execute(b.take(), null_env());
+  EXPECT_EQ(r.outcome, Outcome::CallDepthExceeded);
+}
+
+TEST(Interp, RetWithoutCallFaults) {
+  Builder b;
+  b.ret();
+  EXPECT_EQ(execute(b.take(), null_env()).outcome,
+            Outcome::CallDepthExceeded);
+}
+
+TEST(Interp, Cksum32MatchesUtil) {
+  Builder b;
+  const Reg acc = b.reg();
+  const Reg v = b.reg();
+  b.movi(acc, 0xffff0000u);
+  b.movi(v, 0x0001ffffu);
+  b.cksum32(acc, v);
+  b.mov(kRegArg0, acc);
+  b.halt();
+  const ExecResult r = execute(b.take(), null_env());
+  EXPECT_EQ(r.result, util::cksum32_accumulate(0xffff0000u, 0x0001ffffu));
+}
+
+TEST(Interp, ByteswapOps) {
+  Builder b;
+  const Reg v = b.reg();
+  b.movi(v, 0x11223344u);
+  b.bswap32(v, v);
+  b.mov(kRegArg0, v);
+  b.halt();
+  EXPECT_EQ(execute(b.take(), null_env()).result, 0x44332211u);
+
+  Builder b2;
+  const Reg w = b2.reg();
+  b2.movi(w, 0x0000abcdu);
+  b2.bswap16(kRegArg0, w);
+  b2.halt();
+  EXPECT_EQ(execute(b2.take(), null_env()).result, 0x0000cdabu);
+}
+
+TEST(Interp, PipeIoAgainstStreamEnv) {
+  StreamEnv env;
+  const std::uint8_t input[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  env.bind_input(input);
+  // Byteswap pipe body: read 32 bits, swap, write 32 bits, twice.
+  Builder b;
+  const Reg v = b.reg();
+  const Reg i = b.reg();
+  Label loop = b.label();
+  Label done = b.label();
+  const Reg two = b.reg();
+  b.movi(i, 0);
+  b.movi(two, 2);
+  b.bind(loop);
+  b.bgeu(i, two, done);
+  b.pin32(v);
+  b.bswap32(v, v);
+  b.pout32(v);
+  b.addiu(i, i, 1);
+  b.jmp(loop);
+  b.bind(done);
+  b.halt();
+  const ExecResult r = execute(b.take(), env);
+  ASSERT_EQ(r.outcome, Outcome::Halted);
+  ASSERT_EQ(env.output().size(), 8u);
+  const std::uint8_t expect[] = {4, 3, 2, 1, 8, 7, 6, 5};
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(env.output()[static_cast<std::size_t>(k)], expect[k]) << k;
+}
+
+TEST(Interp, PipeInputExhaustionFaults) {
+  StreamEnv env;
+  const std::uint8_t input[] = {1, 2};
+  env.bind_input(input);
+  Builder b;
+  const Reg v = b.reg();
+  b.pin32(v);  // only 2 bytes available
+  b.halt();
+  EXPECT_EQ(execute(b.take(), env).outcome, Outcome::StreamFault);
+}
+
+TEST(Interp, TrustedCallsDeniedByDefaultEnv) {
+  Builder b;
+  b.t_msglen(kRegArg0);
+  b.halt();
+  EXPECT_EQ(execute(b.take(), null_env()).outcome, Outcome::TrustedDenied);
+}
+
+TEST(Interp, PersistentRegisterImportExport) {
+  // The pipe accumulator pattern: caller seeds a register, runs, reads it
+  // back (Section II-B export/import).
+  Builder b;
+  const Reg acc = b.reg();
+  b.addiu(acc, acc, 5);
+  b.halt();
+  const Program prog = b.take();
+  Env env;
+  Interpreter interp(prog, env);
+  interp.set_reg(acc, 100);
+  const ExecResult r = interp.run();
+  EXPECT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(interp.reg(acc), 105u);
+}
+
+TEST(Interp, FallOffEndIsBadInstruction) {
+  Program prog;
+  prog.insns.push_back({Op::Nop, 0, 0, 0, 0});
+  EXPECT_EQ(execute(prog, null_env()).outcome, Outcome::BadInstruction);
+}
+
+// Property: random arithmetic-only programs never touch memory or escape —
+// they terminate with Halted or a clean fault, never run past the budget
+// silently. Exercises the interpreter's total coverage of opcode space.
+class RandomArithProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomArithProperty, AlwaysTerminatesCleanly) {
+  util::Rng rng(GetParam());
+  Builder b;
+  const Reg r1 = b.reg(), r2 = b.reg(), r3 = b.reg();
+  const Reg regs[] = {r1, r2, r3, kRegArg0};
+  b.movi(r1, static_cast<std::uint32_t>(rng.next()));
+  b.movi(r2, static_cast<std::uint32_t>(rng.next()));
+  b.movi(r3, static_cast<std::uint32_t>(rng.next()));
+  const int len = static_cast<int>(rng.range(1, 40));
+  for (int i = 0; i < len; ++i) {
+    const Reg d = regs[rng.below(4)];
+    const Reg s = regs[rng.below(4)];
+    const Reg t = regs[rng.below(4)];
+    switch (rng.below(8)) {
+      case 0: b.addu(d, s, t); break;
+      case 1: b.subu(d, s, t); break;
+      case 2: b.mulu(d, s, t); break;
+      case 3: b.xor_(d, s, t); break;
+      case 4: b.slli(d, s, static_cast<std::uint32_t>(rng.below(32))); break;
+      case 5: b.sltu(d, s, t); break;
+      case 6: b.cksum32(d, s); break;
+      default: b.bswap32(d, s); break;
+    }
+  }
+  b.halt();
+  const ExecResult r = execute(b.take(), null_env());
+  EXPECT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(r.insns, static_cast<std::uint64_t>(len) + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomArithProperty, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace ash::vcode

@@ -1,0 +1,174 @@
+#include "vcode/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "vcode/builder.hpp"
+#include "vcode/env_util.hpp"
+#include "vcode/interp.hpp"
+
+namespace ash::vcode {
+namespace {
+
+TEST(Optimizer, RemovesSelfMoves) {
+  Builder b;
+  const Reg x = b.reg();
+  b.movi(x, 7);
+  b.mov(x, x);
+  b.mov(kRegArg0, x);
+  b.halt();
+  Program prog = b.take();
+  const OptStats stats = optimize(prog);
+  EXPECT_GE(stats.folded + stats.removed, 1u);
+  Env env;
+  EXPECT_EQ(execute(prog, env).result, 7u);
+  EXPECT_EQ(prog.insns.size(), 3u);  // self-move compacted away
+}
+
+TEST(Optimizer, FoldsMoviAddiuPairs) {
+  Builder b;
+  const Reg x = b.reg();
+  b.movi(x, 100);
+  b.addiu(x, x, 23);
+  b.mov(kRegArg0, x);
+  b.halt();
+  Program prog = b.take();
+  optimize(prog);
+  Env env;
+  EXPECT_EQ(execute(prog, env).result, 123u);
+  EXPECT_EQ(prog.insns.size(), 3u);
+  EXPECT_EQ(prog.insns[0].op, Op::Movi);
+  EXPECT_EQ(prog.insns[0].imm, 123u);
+}
+
+TEST(Optimizer, DoesNotFoldAcrossBranchTarget) {
+  // A branch targets the addiu, so folding movi+addiu would change the
+  // behaviour of that branch path.
+  Builder b;
+  const Reg x = b.reg();
+  Label mid = b.label();
+  b.movi(x, 100);
+  b.bind(mid);
+  b.addiu(x, x, 23);
+  b.mov(kRegArg0, x);
+  b.halt();
+  b.beq(kRegZero, kRegZero, mid);  // unreachable, but a real target
+  Program prog = b.take();
+  const std::size_t before = prog.insns.size();
+  optimize(prog);
+  EXPECT_EQ(prog.insns.size(), before);
+  EXPECT_EQ(prog.insns[0].op, Op::Movi);
+  EXPECT_EQ(prog.insns[0].imm, 100u);
+}
+
+TEST(Optimizer, ThreadsJumpChains) {
+  Builder b;
+  Label l1 = b.label();
+  Label l2 = b.label();
+  Label l3 = b.label();
+  b.jmp(l1);
+  b.bind(l1);
+  b.jmp(l2);
+  b.bind(l2);
+  b.jmp(l3);
+  b.bind(l3);
+  b.movi(kRegArg0, 5);
+  b.halt();
+  Program prog = b.take();
+  const OptStats stats = optimize(prog);
+  EXPECT_GE(stats.threaded, 1u);
+  Env env;
+  EXPECT_EQ(execute(prog, env).result, 5u);
+}
+
+TEST(Optimizer, SelfLoopDoesNotHangThreading) {
+  Builder b;
+  Label loop = b.label();
+  b.bind(loop);
+  b.jmp(loop);
+  Program prog = b.take();
+  optimize(prog);  // must terminate
+  SUCCEED();
+}
+
+TEST(Optimizer, PreservesBranchSemanticsAfterCompaction) {
+  Builder b;
+  const Reg x = b.reg();
+  Label skip = b.label();
+  b.movi(x, 1);
+  b.nop();
+  b.nop();
+  b.beq(x, x, skip);
+  b.movi(kRegArg0, 111);  // skipped
+  b.bind(skip);
+  b.addiu(kRegArg0, kRegArg0, 9);
+  b.halt();
+  Program prog = b.take();
+  optimize(prog);
+  Env env;
+  const ExecResult r = execute(prog, env);
+  EXPECT_EQ(r.outcome, Outcome::Halted);
+  EXPECT_EQ(r.result, 9u);
+}
+
+TEST(Optimizer, SkipsCompactionWithIndirectJumps) {
+  Builder b;
+  const Reg t = b.reg();
+  Label target = b.label();
+  b.nop();
+  b.movi(t, 4);
+  b.jr(t);
+  b.nop();
+  b.bind(target);
+  b.mark_indirect(target);
+  b.movi(kRegArg0, 3);
+  b.halt();
+  Program prog = b.take();
+  const std::size_t before = prog.insns.size();
+  optimize(prog);
+  // Nops must survive: indices are live data.
+  EXPECT_EQ(prog.insns.size(), before);
+  Env env;
+  EXPECT_EQ(execute(prog, env).result, 3u);
+}
+
+// Property: optimization preserves the result of random straight-line
+// arithmetic programs with interleaved movi/addiu chains and jumps.
+class OptimizerEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerEquivalence, SameResultBeforeAndAfter) {
+  util::Rng rng(GetParam() + 99);
+  Builder b;
+  const Reg r1 = b.reg(), r2 = b.reg();
+  b.movi(r1, static_cast<std::uint32_t>(rng.next()));
+  b.movi(r2, static_cast<std::uint32_t>(rng.next()));
+  const int len = static_cast<int>(rng.range(2, 30));
+  for (int i = 0; i < len; ++i) {
+    switch (rng.below(6)) {
+      case 0: b.movi(r1, static_cast<std::uint32_t>(rng.next())); break;
+      case 1: b.addiu(r1, r1, static_cast<std::uint32_t>(rng.below(100))); break;
+      case 2: b.addu(r2, r2, r1); break;
+      case 3: b.mov(r2, r2); break;
+      case 4: b.nop(); break;
+      default: {
+        Label skip = b.label();
+        b.jmp(skip);
+        b.bind(skip);
+        break;
+      }
+    }
+  }
+  b.xor_(kRegArg0, r1, r2);
+  b.halt();
+  Program prog = b.take();
+  Program optimized = prog;
+  optimize(optimized);
+  Env env;
+  EXPECT_EQ(execute(prog, env).result, execute(optimized, env).result);
+  EXPECT_LE(optimized.insns.size(), prog.insns.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerEquivalence, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace ash::vcode

@@ -1,0 +1,119 @@
+#include "vcode/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcode/builder.hpp"
+
+namespace ash::vcode {
+namespace {
+
+Program sample_program() {
+  Builder b;
+  const Reg x = b.reg();
+  const Reg y = b.reg();
+  Label loop = b.label();
+  Label done = b.label();
+  b.movi(x, 10);
+  b.movi(y, 0);
+  b.bind(loop);
+  b.beq(x, kRegZero, done);
+  b.addu(y, y, x);
+  b.addiu(x, x, static_cast<std::uint32_t>(-1));
+  b.jmp(loop);
+  b.bind(done);
+  b.mov(kRegArg0, y);
+  b.halt();
+  return b.take();
+}
+
+TEST(Program, SerializeDeserializeRoundTrip) {
+  const Program prog = sample_program();
+  const auto bytes = prog.serialize();
+  const auto back = Program::deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, prog);
+}
+
+TEST(Program, DeserializeRejectsTruncation) {
+  auto bytes = sample_program().serialize();
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 3) {
+    const std::span<const std::uint8_t> slice(bytes.data(), bytes.size() - cut);
+    EXPECT_FALSE(Program::deserialize(slice).has_value()) << cut;
+  }
+}
+
+TEST(Program, DeserializeRejectsBadMagic) {
+  auto bytes = sample_program().serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(Program::deserialize(bytes).has_value());
+}
+
+TEST(Program, DeserializeRejectsInvalidOpcode) {
+  auto bytes = sample_program().serialize();
+  bytes[16] = 0xee;  // first instruction's opcode byte
+  EXPECT_FALSE(Program::deserialize(bytes).has_value());
+}
+
+TEST(Program, DeserializeRejectsTrailingGarbage) {
+  auto bytes = sample_program().serialize();
+  bytes.push_back(0);
+  EXPECT_FALSE(Program::deserialize(bytes).has_value());
+}
+
+TEST(Builder, ThrowsOnUnboundLabel) {
+  Builder b;
+  Label l = b.label();
+  b.jmp(l);
+  b.halt();
+  EXPECT_THROW(b.take(), std::logic_error);
+}
+
+TEST(Builder, ThrowsOnDoubleBind) {
+  Builder b;
+  Label l = b.label();
+  b.bind(l);
+  EXPECT_THROW(b.bind(l), std::logic_error);
+}
+
+TEST(Builder, IndirectTargetsRecordedSortedUnique) {
+  Builder b;
+  Label l1 = b.label();
+  Label l2 = b.label();
+  b.nop();
+  b.bind(l2);
+  b.nop();
+  b.bind(l1);
+  b.halt();
+  b.mark_indirect(l1);
+  b.mark_indirect(l2);
+  b.mark_indirect(l1);  // duplicate
+  const Program prog = b.take();
+  ASSERT_EQ(prog.indirect_targets.size(), 2u);
+  EXPECT_EQ(prog.indirect_targets[0], 1u);
+  EXPECT_EQ(prog.indirect_targets[1], 2u);
+}
+
+TEST(Builder, RegisterExhaustionThrows) {
+  Builder b;
+  for (int i = 0; i < kNumRegs; ++i) {
+    try {
+      b.reg();
+    } catch (const std::length_error&) {
+      SUCCEED();
+      return;
+    }
+  }
+  FAIL() << "expected register exhaustion";
+}
+
+TEST(Disassemble, ContainsMnemonicsAndTargets) {
+  const Program prog = sample_program();
+  const std::string text = disassemble(prog);
+  EXPECT_NE(text.find("movi"), std::string::npos);
+  EXPECT_NE(text.find("beq"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+  EXPECT_NE(text.find("@2"), std::string::npos);  // loop target
+}
+
+}  // namespace
+}  // namespace ash::vcode

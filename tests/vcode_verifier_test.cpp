@@ -1,0 +1,131 @@
+#include "vcode/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcode/builder.hpp"
+
+namespace ash::vcode {
+namespace {
+
+VerifyPolicy ash_policy() {
+  VerifyPolicy p;  // defaults: no FP, no signed traps, trusted ok
+  return p;
+}
+
+TEST(Verifier, AcceptsWellFormedProgram) {
+  Builder b;
+  const Reg x = b.reg();
+  b.movi(x, 1);
+  b.addu(kRegArg0, x, x);
+  b.halt();
+  const auto r = verify(b.take(), ash_policy());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(Verifier, RejectsEmptyProgram) {
+  Program prog;
+  EXPECT_FALSE(verify(prog, ash_policy()).ok());
+}
+
+TEST(Verifier, RejectsFloatingPoint) {
+  Builder b;
+  b.fadd(kRegArg0, kRegArg0, kRegArg1);
+  b.halt();
+  const auto r = verify(b.take(), ash_policy());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.issues[0].message.find("floating-point"), std::string::npos);
+}
+
+TEST(Verifier, AllowsFloatingPointWhenPolicyPermits) {
+  Builder b;
+  b.fadd(kRegArg0, kRegArg0, kRegArg1);
+  b.halt();
+  VerifyPolicy p = ash_policy();
+  p.allow_fp = true;
+  EXPECT_TRUE(verify(b.take(), p).ok());
+}
+
+TEST(Verifier, RejectsSignedTrappingArithmetic) {
+  Builder b;
+  b.add(kRegArg0, kRegArg0, kRegArg1);
+  b.halt();
+  EXPECT_FALSE(verify(b.take(), ash_policy()).ok());
+}
+
+TEST(Verifier, RejectsOutOfRangeRegisters) {
+  Program prog;
+  prog.insns.push_back({Op::Addu, 70, 1, 2, 0});
+  prog.insns.push_back({Op::Halt, 0, 0, 0, 0});
+  EXPECT_FALSE(verify(prog, ash_policy()).ok());
+}
+
+TEST(Verifier, RejectsOutOfBoundsBranch) {
+  Program prog;
+  prog.insns.push_back({Op::Jmp, 0, 0, 0, 99});
+  EXPECT_FALSE(verify(prog, ash_policy()).ok());
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  Program prog;
+  prog.insns.push_back({Op::Addu, 1, 2, 3, 0});
+  const auto r = verify(prog, ash_policy());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.to_string().find("fall off"), std::string::npos);
+}
+
+TEST(Verifier, RejectsPipeIoOutsidePipes) {
+  Builder b;
+  b.pin32(kRegArg0);
+  b.halt();
+  const Program prog = b.take();
+  EXPECT_FALSE(verify(prog, ash_policy()).ok());
+  VerifyPolicy p = ash_policy();
+  p.allow_pipe_io = true;
+  EXPECT_TRUE(verify(prog, p).ok());
+}
+
+TEST(Verifier, RejectsTrustedCallsWhenForbidden) {
+  Builder b;
+  b.t_msglen(kRegArg0);
+  b.halt();
+  VerifyPolicy p = ash_policy();
+  p.allow_trusted = false;
+  EXPECT_FALSE(verify(b.take(), p).ok());
+}
+
+TEST(Verifier, RejectsIndirectJumpWhenForbidden) {
+  Builder b;
+  b.jr(kRegArg0);
+  VerifyPolicy p = ash_policy();
+  p.allow_indirect = false;
+  EXPECT_FALSE(verify(b.take(), p).ok());
+}
+
+TEST(Verifier, RejectsBadIndirectTargetTable) {
+  Builder b;
+  b.halt();
+  Program prog = b.take();
+  prog.indirect_targets.push_back(50);
+  EXPECT_FALSE(verify(prog, ash_policy()).ok());
+}
+
+TEST(Verifier, RejectsTDilpLengthRegisterOutOfRange) {
+  Program prog;
+  prog.insns.push_back({Op::TDilp, 1, 2, 3, 200});
+  prog.insns.push_back({Op::Halt, 0, 0, 0, 0});
+  EXPECT_FALSE(verify(prog, ash_policy()).ok());
+}
+
+TEST(Verifier, ReportsMultipleIssuesWithPcs) {
+  Program prog;
+  prog.insns.push_back({Op::Fadd, 1, 2, 3, 0});
+  prog.insns.push_back({Op::Jmp, 0, 0, 0, 1000});
+  prog.insns.push_back({Op::Addu, 1, 2, 3, 0});  // also falls off end
+  const auto r = verify(prog, ash_policy());
+  EXPECT_GE(r.issues.size(), 3u);
+  EXPECT_EQ(r.issues[0].pc, 0u);
+  EXPECT_EQ(r.issues[1].pc, 1u);
+}
+
+}  // namespace
+}  // namespace ash::vcode

@@ -1,0 +1,174 @@
+// ashtool — command-line inspection of VCODE handler images (.ashv).
+//
+//   ashtool gen <handler> <file>          write a library handler image
+//       handlers: remote-increment | remote-write-specific |
+//                 remote-write-generic | active-messages | dsm-lock
+//   ashtool dis <file>                    disassemble + verify an image
+//   ashtool sandbox <file> <out> [base size]
+//                                         SFI-rewrite an image (defaults:
+//                                         base 0x100000, size 0x100000)
+//   ashtool run <file> [a0 a1 a2 a3]      execute in a 1 MB flat memory
+//
+// The serialized format is exactly what AshSystem::download consumes —
+// these files are "what the kernel sees".
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ashlib/handlers.hpp"
+#include "sandbox/sfi.hpp"
+#include "vcode/env_util.hpp"
+#include "vcode/interp.hpp"
+#include "vcode/verifier.hpp"
+
+namespace {
+
+using ash::vcode::Program;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ashtool gen <handler> <file>\n"
+               "       ashtool dis <file>\n"
+               "       ashtool sandbox <file> <out> [base size]\n"
+               "       ashtool run <file> [a0 a1 a2 a3]\n");
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+  return static_cast<bool>(out);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+int cmd_gen(const std::string& name, const std::string& file) {
+  Program prog;
+  if (name == "remote-increment") {
+    prog = ash::ashlib::make_remote_increment();
+  } else if (name == "remote-write-specific") {
+    prog = ash::ashlib::make_remote_write_specific();
+  } else if (name == "remote-write-generic") {
+    prog = ash::ashlib::make_remote_write_generic();
+  } else if (name == "active-messages") {
+    prog = ash::ashlib::make_active_message_dispatcher(4);
+  } else if (name == "dsm-lock") {
+    prog = ash::ashlib::make_dsm_lock_handler(8);
+  } else {
+    std::fprintf(stderr, "unknown handler '%s'\n", name.c_str());
+    return 1;
+  }
+  if (!write_file(file, prog.serialize())) {
+    std::fprintf(stderr, "cannot write %s\n", file.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu instructions\n", file.c_str(),
+              prog.insns.size());
+  return 0;
+}
+
+int cmd_dis(const std::string& file) {
+  const auto bytes = read_file(file);
+  const auto prog = Program::deserialize(bytes);
+  if (!prog.has_value()) {
+    std::fprintf(stderr, "%s: not a valid .ashv image\n", file.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu instructions, %zu indirect targets, %zu translated, "
+              "%s\n\n",
+              file.c_str(), prog->insns.size(),
+              prog->indirect_targets.size(), prog->indirect_map.size(),
+              prog->sandboxed ? "SANDBOXED" : "not sandboxed");
+  std::fputs(ash::vcode::disassemble(*prog).c_str(), stdout);
+
+  ash::vcode::VerifyPolicy policy;
+  const auto verdict = ash::vcode::verify(*prog, policy);
+  if (verdict.ok()) {
+    std::printf("\nverification: OK (ASH download policy)\n");
+  } else {
+    std::printf("\nverification issues:\n%s", verdict.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_sandbox(const std::string& file, const std::string& out,
+                std::uint32_t base, std::uint32_t size) {
+  const auto bytes = read_file(file);
+  const auto prog = Program::deserialize(bytes);
+  if (!prog.has_value()) {
+    std::fprintf(stderr, "%s: not a valid .ashv image\n", file.c_str());
+    return 1;
+  }
+  ash::sandbox::Options opts;
+  opts.segment = {base, size};
+  std::string error;
+  const auto boxed = ash::sandbox::sandbox(*prog, opts, &error);
+  if (!boxed.has_value()) {
+    std::fprintf(stderr, "sandboxing rejected: %s\n", error.c_str());
+    return 1;
+  }
+  if (!write_file(out, boxed->program.serialize())) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  const auto& r = boxed->report;
+  std::printf("%s -> %s: %u -> %u instructions (+%u)\n", file.c_str(),
+              out.c_str(), r.original_insns, r.final_insns, r.added());
+  std::printf("  memory checks %u, budget checks %u, epilogue %u, "
+              "signed converted %u\n",
+              r.mem_check_insns, r.budget_check_insns, r.epilogue_insns,
+              r.converted_signed);
+  return 0;
+}
+
+int cmd_run(const std::string& file, std::uint32_t a0, std::uint32_t a1,
+            std::uint32_t a2, std::uint32_t a3) {
+  const auto bytes = read_file(file);
+  const auto prog = Program::deserialize(bytes);
+  if (!prog.has_value()) {
+    std::fprintf(stderr, "%s: not a valid .ashv image\n", file.c_str());
+    return 1;
+  }
+  ash::vcode::FlatMemoryEnv env(1u << 20);
+  const auto r = ash::vcode::execute(*prog, env, {}, a0, a1, a2, a3);
+  std::printf("outcome: %s\n", ash::vcode::to_string(r.outcome));
+  std::printf("  %llu instructions, %llu cycles (%.2f us at 40 MHz)\n",
+              static_cast<unsigned long long>(r.insns),
+              static_cast<unsigned long long>(r.cycles), r.cycles / 40.0);
+  std::printf("  result (r1) = %u, abort code = %u, final pc = %u\n",
+              r.result, r.abort_code, r.fault_pc);
+  return r.outcome == ash::vcode::Outcome::Halted ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen" && argc == 4) return cmd_gen(argv[2], argv[3]);
+  if (cmd == "dis" && argc == 3) return cmd_dis(argv[2]);
+  if (cmd == "sandbox" && (argc == 4 || argc == 6)) {
+    std::uint32_t base = 0x100000, size = 0x100000;
+    if (argc == 6) {
+      base = static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr, 0));
+      size = static_cast<std::uint32_t>(std::strtoul(argv[5], nullptr, 0));
+    }
+    return cmd_sandbox(argv[2], argv[3], base, size);
+  }
+  if (cmd == "run" && argc >= 3 && argc <= 7) {
+    std::uint32_t a[4] = {0, 0, 0, 0};
+    for (int i = 3; i < argc; ++i) {
+      a[i - 3] = static_cast<std::uint32_t>(std::strtoul(argv[i], nullptr, 0));
+    }
+    return cmd_run(argv[2], a[0], a[1], a[2], a[3]);
+  }
+  return usage();
+}
