@@ -6,8 +6,16 @@
 //    mode that needs "almost no software checks";
 //  * ASH dispatch with pre-bound address translation (Section III-A note);
 //  * DILP composition depth: fused loop cost as pipes stack up, and the
-//    Ethernet striped-source loop variant (Section III-C).
+//    Ethernet striped-source loop variant (Section III-C);
+//  * the host execution engine (--code-cache={on,off}): pre-decoded
+//    threaded form vs plain interpreter. Simulated cycles are bit-identical
+//    on both paths; the axis only changes host wall-clock, reported in
+//    Ablation C.
 #include "bench_util.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstring>
 
 #include "ashlib/handlers.hpp"
 #include "core/ash.hpp"
@@ -15,10 +23,14 @@
 #include "dilp/engine.hpp"
 #include "dilp/stdpipes.hpp"
 #include "util/byteorder.hpp"
+#include "vcode/codecache.hpp"
 #include "vcode/interp.hpp"
 
 namespace ash::bench {
 namespace {
+
+// --code-cache={on,off}: which engine executes the handlers below.
+bool g_use_code_cache = true;
 
 /// Cycles for one remote-increment invocation under the given options
 /// (execution only; dispatch costs added per the option set).
@@ -55,15 +67,26 @@ double invocation_cycles(const core::AshOptions& opts) {
   ec.engine = &ash_sys.dilp();
   ec.tx_cost = sim::us(4.0);
   core::AshEnv env(ec);
-  vcode::Interpreter interp(installed, env);
-  interp.set_args(msg, 4, seg + 0x100, 0);
   vcode::ExecLimits limits;
   if (opts.software_budget_checks) {
     limits.software_budget = node.cost().ash_max_runtime;
   } else {
     limits.max_cycles = node.cost().ash_max_runtime;
   }
-  const auto r = interp.run(limits);
+  vcode::ExecResult r;
+  if (g_use_code_cache) {
+    vcode::CodeCache cache(installed);
+    std::array<std::uint32_t, vcode::kNumRegs> regs{};
+    regs[vcode::kRegArg0] = msg;
+    regs[vcode::kRegArg1] = 4;
+    regs[vcode::kRegArg2] = seg + 0x100;
+    regs[vcode::kRegArg3] = 0;
+    r = cache.run(env, regs, limits);
+  } else {
+    vcode::Interpreter interp(installed, env);
+    interp.set_args(msg, 4, seg + 0x100, 0);
+    r = interp.run(limits);
+  }
   if (r.outcome != vcode::Outcome::Halted) return -2;
 
   const auto& cost = node.cost();
@@ -72,6 +95,59 @@ double invocation_cycles(const core::AshOptions& opts) {
       (opts.prebound_translation ? 0 : cost.ash_context_install) +
       cost.ash_timer_clear;
   return static_cast<double>(r.cycles + dispatch);
+}
+
+/// Host nanoseconds per remote-increment invocation (sandboxed defaults),
+/// one setup amortised over many runs — the same shape as AshSystem::invoke
+/// (fresh Interpreter per run vs prebuilt CodeCache with fresh registers).
+double host_ns_per_invocation(bool use_cache) {
+  sim::Simulator s;
+  sim::Node& node = s.add_node("n");
+  core::AshSystem ash_sys(node);
+  const std::uint32_t seg = 0x100000;
+
+  sandbox::Options sb;
+  sb.segment = {seg, 0x100000};
+  std::string error;
+  auto boxed = sandbox::sandbox(ashlib::make_remote_increment(), sb, &error);
+  if (!boxed) return -1;
+  const vcode::Program installed = std::move(boxed->program);
+  const vcode::CodeCache cache(installed);
+
+  const std::uint32_t msg = seg + 0x8000;
+  util::store_u32(node.mem(msg, 4), 42);
+  core::AshEnv::Config ec;
+  ec.node = &node;
+  ec.owner_seg = {seg, 0x100000};
+  ec.msg_addr = msg;
+  ec.msg_len = 4;
+  ec.engine = &ash_sys.dilp();
+  ec.tx_cost = sim::us(4.0);
+  core::AshEnv env(ec);
+  vcode::ExecLimits limits;
+  limits.max_cycles = node.cost().ash_max_runtime;
+
+  constexpr int kWarmup = 2000;
+  constexpr int kRuns = 20000;
+  const auto once = [&]() -> vcode::Outcome {
+    if (use_cache) {
+      std::array<std::uint32_t, vcode::kNumRegs> regs{};
+      regs[vcode::kRegArg0] = msg;
+      regs[vcode::kRegArg1] = 4;
+      regs[vcode::kRegArg2] = seg + 0x100;
+      return cache.run(env, regs, limits).outcome;
+    }
+    vcode::Interpreter interp(installed, env);
+    interp.set_args(msg, 4, seg + 0x100, 0);
+    return interp.run(limits).outcome;
+  };
+  for (int i = 0; i < kWarmup; ++i) {
+    if (once() != vcode::Outcome::Halted) return -2;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRuns; ++i) once();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / kRuns;
 }
 
 double fused_insns_per_word(int n_pipes, bool striped) {
@@ -94,9 +170,24 @@ double fused_insns_per_word(int n_pipes, bool striped) {
 }  // namespace
 }  // namespace ash::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ash::bench;
   using ash::core::AshOptions;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--code-cache=on") == 0) {
+      g_use_code_cache = true;
+    } else if (std::strcmp(argv[i], "--code-cache=off") == 0) {
+      g_use_code_cache = false;
+    } else {
+      std::fprintf(stderr, "usage: bench_ablations [--code-cache={on,off}]\n");
+      return 2;
+    }
+  }
+  std::printf("execution engine: %s (simulated cycles are identical on "
+              "either path)\n",
+              g_use_code_cache ? "code cache (pre-decoded threaded form)"
+                               : "interpreter");
 
   std::vector<Row> rows;
   {
@@ -151,5 +242,14 @@ int main() {
   std::printf("linear growth with actually-used pipes is the dynamic-ILP "
               "memory argument:\nstatic ILP grows with every *possible* "
               "composition instead (Section VI-3c).\n");
+
+  std::vector<Row> host_rows;
+  host_rows.push_back({"interpreter", host_ns_per_invocation(false), -1,
+                       "host ns/invocation"});
+  host_rows.push_back({"code cache (translate at download)",
+                       host_ns_per_invocation(true), -1,
+                       "host ns/invocation"});
+  print_table("Ablation C", "host execution engine (simulated results "
+                            "bit-identical)", host_rows);
   return 0;
 }

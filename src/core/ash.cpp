@@ -1,5 +1,6 @@
 #include "core/ash.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "core/ash_env.hpp"
@@ -57,6 +58,14 @@ int AshSystem::download(sim::Process& owner, const vcode::Program& prog,
     entry->prog = prog;
   }
 
+  // Translate stage: build the pre-decoded threaded form once, at install.
+  const int env_override = vcode::code_cache_env_override();
+  entry->opts.use_code_cache =
+      env_override >= 0 ? env_override != 0 : opts.use_code_cache;
+  if (entry->opts.use_code_cache) {
+    entry->cache = std::make_unique<vcode::CodeCache>(entry->prog);
+  }
+
   installed_.push_back(std::move(entry));
   return static_cast<int>(installed_.size() - 1);
 }
@@ -74,6 +83,10 @@ const vcode::Program& AshSystem::program(int ash_id) const {
 
 const sim::Process& AshSystem::owner(int ash_id) const {
   return *at(ash_id).owner;
+}
+
+const vcode::CodeCache* AshSystem::code_cache(int ash_id) const {
+  return at(ash_id).cache.get();
 }
 
 bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
@@ -107,12 +120,6 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
   env_cfg.tx_cost = tx_cost;
   AshEnv env(env_cfg);
 
-  vcode::Interpreter interp(ash.prog, env);
-  // Calling convention: r1 = message address, r2 = length, r3 = the
-  // application argument bound at attach, r4 = reply channel.
-  interp.set_args(msg.addr, msg.len, msg.user_arg,
-                  static_cast<std::uint32_t>(msg.channel));
-
   vcode::ExecLimits limits;
   limits.max_insns = 1u << 20;
   if (ash.opts.software_budget_checks) {
@@ -122,7 +129,22 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
     limits.max_cycles = node_.cost().ash_max_runtime;
   }
 
-  const vcode::ExecResult exec = interp.run(limits);
+  // Calling convention: r1 = message address, r2 = length, r3 = the
+  // application argument bound at attach, r4 = reply channel.
+  vcode::ExecResult exec;
+  if (ash.cache != nullptr) {
+    std::array<std::uint32_t, vcode::kNumRegs> regs{};
+    regs[vcode::kRegArg0] = msg.addr;
+    regs[vcode::kRegArg1] = msg.len;
+    regs[vcode::kRegArg2] = msg.user_arg;
+    regs[vcode::kRegArg3] = static_cast<std::uint32_t>(msg.channel);
+    exec = ash.cache->run(env, regs, limits);
+  } else {
+    vcode::Interpreter interp(ash.prog, env);
+    interp.set_args(msg.addr, msg.len, msg.user_arg,
+                    static_cast<std::uint32_t>(msg.channel));
+    exec = interp.run(limits);
+  }
   stats.cycles += exec.cycles;
   stats.insns += exec.insns;
 

@@ -36,6 +36,7 @@
 #include "sandbox/sfi.hpp"
 #include "sim/node.hpp"
 #include "sim/process.hpp"
+#include "vcode/codecache.hpp"
 #include "vcode/program.hpp"
 
 namespace ash::core {
@@ -61,6 +62,13 @@ struct AshOptions {
   bool software_budget_checks = false;
   sandbox::Mode mode = sandbox::Mode::Mips;
   bool general_epilogue = true;
+  /// Translate the (verified, sandboxed) program into the pre-decoded
+  /// threaded form at download time and execute through it. Simulated
+  /// results are bit-identical either way — this is a host wall-clock
+  /// knob, exposed for ablation. Overridable per-process with the
+  /// ASH_USE_CODE_CACHE environment variable (0/off forces the
+  /// interpreter, anything else forces the cache).
+  bool use_code_cache = true;
 };
 
 struct AshStats {
@@ -121,6 +129,10 @@ class AshSystem {
   const vcode::Program& program(int ash_id) const;
   const sim::Process& owner(int ash_id) const;
 
+  /// The translated form built at download time, or nullptr when the
+  /// handler was installed with the code cache disabled.
+  const vcode::CodeCache* code_cache(int ash_id) const;
+
   /// Delivers one collected TSend at handler completion: (channel, bytes).
   using SendFn = std::function<bool(int, std::span<const std::uint8_t>)>;
 
@@ -136,6 +148,9 @@ class AshSystem {
     vcode::Program prog;
     AshOptions opts;
     AshStats stats;
+    // Pre-decoded threaded form, built once at install (the translate
+    // stage); invocation never re-decodes. Null when ablated off.
+    std::unique_ptr<vcode::CodeCache> cache;
     // livelock window state
     sim::Cycles window_start = 0;
     std::uint32_t window_count = 0;

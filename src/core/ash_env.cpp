@@ -1,5 +1,6 @@
 #include "core/ash_env.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "core/ash.hpp"
@@ -45,6 +46,41 @@ bool AshEnv::mem_write(std::uint32_t addr, const void* src,
   if (p == nullptr) return false;
   std::memcpy(p, src, len);
   return true;
+}
+
+bool AshEnv::fast_mem(vcode::Env::FastMem* out) {
+  // Striped messages need per-byte address translation in mem_read; only
+  // the plain layout is expressible as flat windows.
+  if (cfg_.stripe_chunk != 0) return false;
+  const std::uint64_t mem_size = cfg_.node->memory_size();
+  const auto clamp = [mem_size](std::uint64_t v) {
+    return static_cast<std::uint32_t>(v < mem_size ? v : mem_size);
+  };
+  // Clamping to backing storage folds Node::mem's nullptr rejection into
+  // the window check, so acceptance matches mem_read/mem_write exactly.
+  out->mem = cfg_.node->mem(0, 0);
+  out->mem_base = 0;
+  out->owner_lo = clamp(cfg_.owner_seg.base);
+  out->owner_hi = clamp(static_cast<std::uint64_t>(cfg_.owner_seg.base) +
+                        cfg_.owner_seg.size);
+  out->msg_lo = clamp(cfg_.msg_addr);
+  out->msg_hi =
+      clamp(static_cast<std::uint64_t>(cfg_.msg_addr) + cfg_.msg_len);
+  // With a plain (unstriped) layout, mem_cycles is exactly one
+  // dcache().access() per access, so the engine may inline the model.
+  // Offered only for power-of-two geometry (shift/mask indexing).
+  const sim::Cache::Raw raw = cfg_.node->dcache().raw();
+  const auto pow2 = [](std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; };
+  if (pow2(raw.line_bytes) && pow2(raw.n_lines)) {
+    out->dtags = raw.tags;
+    out->dline_shift = static_cast<std::uint32_t>(std::countr_zero(raw.line_bytes));
+    out->dline_mask = raw.n_lines - 1;
+    out->dread_miss_penalty = raw.read_miss_penalty;
+    out->dwrite_cost = raw.write_cost;
+    out->dhits = raw.hits;
+    out->dmisses = raw.misses;
+  }
+  return out->mem != nullptr;
 }
 
 std::uint64_t AshEnv::mem_cycles(std::uint32_t addr, std::uint32_t len,

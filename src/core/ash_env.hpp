@@ -52,6 +52,7 @@ class AshEnv final : public vcode::Env {
                  std::uint32_t len) override;
   std::uint64_t mem_cycles(std::uint32_t addr, std::uint32_t len,
                            bool is_write) override;
+  bool fast_mem(vcode::Env::FastMem* out) override;
   bool t_msglen(std::uint32_t* len_out, std::uint64_t* cycles) override;
   bool t_send(std::uint32_t chan, std::uint32_t addr, std::uint32_t len,
               std::uint32_t* status, std::uint64_t* cycles) override;

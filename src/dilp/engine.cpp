@@ -1,12 +1,22 @@
 #include "dilp/engine.hpp"
 
+#include <array>
+
 namespace ash::dilp {
+
+Engine::Engine() {
+  const int env_override = vcode::code_cache_env_override();
+  if (env_override >= 0) use_cache_ = env_override != 0;
+}
 
 int Engine::register_ilp(const PipeList& pl, Direction dir,
                          std::string* error, const LoopLayout& layout) {
   auto compiled = compile_pipes(pl, dir, error, layout);
   if (!compiled) return -1;
   ilps_.push_back(std::move(*compiled));
+  // Translate stage: the fused loop goes through the same download-time
+  // pre-decoding ASHs get, once, at registration.
+  caches_.push_back(std::make_unique<vcode::CodeCache>(ilps_.back().loop));
   return static_cast<int>(ilps_.size() - 1);
 }
 
@@ -26,18 +36,41 @@ Engine::RunResult Engine::run(int id, vcode::Env& env, std::uint32_t src,
     return result;
   }
 
+  vcode::ExecLimits limits;
+  // Generous static bound: the loop's own length per word plus slack.
+  limits.max_insns =
+      64 + static_cast<std::uint64_t>(len / 4 + 1) *
+               (ilp->insns_per_word + 8);
+
+  if (use_cache_) {
+    const vcode::CodeCache& cache = *caches_[static_cast<std::size_t>(id)];
+    std::array<std::uint32_t, vcode::kNumRegs> regs{};
+    regs[vcode::kRegArg0] = src;
+    regs[vcode::kRegArg1] = dst;
+    regs[vcode::kRegArg2] = len;
+    for (std::size_t i = 0; i < ilp->persistents.size(); ++i) {
+      const vcode::Reg r = ilp->persistents[i].loop_reg;
+      if (r != vcode::kRegZero && r < vcode::kNumRegs) {
+        regs[r] = i < persistent_in.size() ? persistent_in[i] : 0;
+      }
+    }
+    result.exec = cache.run(env, regs, limits);
+    if (persistent_out != nullptr) {
+      persistent_out->clear();
+      persistent_out->reserve(ilp->persistents.size());
+      for (const PersistentBinding& b : ilp->persistents) {
+        persistent_out->push_back(regs[b.loop_reg]);
+      }
+    }
+    return result;
+  }
+
   vcode::Interpreter interp(ilp->loop, env);
   interp.set_args(src, dst, len);
   for (std::size_t i = 0; i < ilp->persistents.size(); ++i) {
     const std::uint32_t seed = i < persistent_in.size() ? persistent_in[i] : 0;
     interp.set_reg(ilp->persistents[i].loop_reg, seed);
   }
-
-  vcode::ExecLimits limits;
-  // Generous static bound: the loop's own length per word plus slack.
-  limits.max_insns =
-      64 + static_cast<std::uint64_t>(len / 4 + 1) *
-               (ilp->insns_per_word + 8);
   result.exec = interp.run(limits);
 
   if (persistent_out != nullptr) {

@@ -18,12 +18,19 @@
 #include <vector>
 
 #include "dilp/compiler.hpp"
+#include "vcode/codecache.hpp"
 #include "vcode/interp.hpp"
 
 namespace ash::dilp {
 
 class Engine {
  public:
+  /// By default the engine translates each registered loop into the
+  /// pre-decoded threaded form at registration time (the same download-time
+  /// translate stage ASHs get) and runs through it; ASH_USE_CODE_CACHE
+  /// overrides the initial setting. Simulated results are identical either
+  /// way.
+  Engine();
   /// Compile and register a pipe composition. Returns the ilp id, or -1
   /// on failure (with `error` filled in). `layout` selects the network-
   /// interface-specific loop variant (e.g. Ethernet striped source).
@@ -50,8 +57,18 @@ class Engine {
                 std::span<const std::uint32_t> persistent_in = {},
                 std::vector<std::uint32_t>* persistent_out = nullptr) const;
 
+  /// Ablation knob: execute loops through the translated form (true) or
+  /// the interpreter (false). Translation always happens at registration;
+  /// this only selects the execution path for future run() calls.
+  void set_use_code_cache(bool on) noexcept { use_cache_ = on; }
+  bool use_code_cache() const noexcept { return use_cache_; }
+
  private:
   std::vector<CompiledIlp> ilps_;
+  // Parallel to ilps_: the translated loop bodies (always built; cheap,
+  // and keeps the knob a pure execution-path selector).
+  std::vector<std::unique_ptr<vcode::CodeCache>> caches_;
+  bool use_cache_ = true;
 };
 
 }  // namespace ash::dilp

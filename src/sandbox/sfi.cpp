@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "vcode/codecache.hpp"
 #include "vcode/verifier.hpp"
 
 namespace ash::sandbox {
@@ -211,6 +212,9 @@ std::optional<SandboxResult> sandbox(const Program& prog, const Options& opts,
   }
   rewritten.sandboxed = true;
   report.final_insns = static_cast<std::uint32_t>(rewritten.insns.size());
+  report.basic_blocks = vcode::count_basic_blocks(rewritten);
+  report.jump_map_entries =
+      static_cast<std::uint32_t>(rewritten.indirect_map.size());
   return result;
 }
 

@@ -55,6 +55,25 @@ class Cache {
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
 
+  /// Raw view of the model's state for engines that inline the access
+  /// accounting (vcode::Env::FastMem). Any inlined copy must reproduce
+  /// access() exactly: read miss = penalty + tag fill; write = write_cost,
+  /// hit or miss, never a fill; counters bumped per line touched.
+  struct Raw {
+    std::uint32_t* tags;
+    std::uint32_t n_lines;
+    std::uint32_t line_bytes;
+    Cycles read_miss_penalty;
+    Cycles write_cost;
+    std::uint64_t* hits;
+    std::uint64_t* misses;
+  };
+  Raw raw() noexcept {
+    return {tags_.data(),          n_lines_, config_.line_bytes,
+            config_.read_miss_penalty, config_.write_cost,
+            &hits_,                &misses_};
+  }
+
  private:
   std::uint32_t line_index(std::uint32_t addr) const noexcept {
     return (addr / config_.line_bytes) % n_lines_;

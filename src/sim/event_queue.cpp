@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace ash::sim {
@@ -7,31 +8,44 @@ namespace ash::sim {
 EventId EventQueue::schedule_at(Cycles at, EventFn fn) {
   const EventId id = next_id_++;
   if (at < now_) at = now_;
-  heap_.push(Ev{at, id, std::move(fn)});
-  ++pending_;
+  heap_.push_back(Ev{at, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  // Lazily discarded when popped; track so pending() stays meaningful.
-  if (id == 0 || id >= next_id_) return;
-  if (cancelled_.insert(id).second && pending_ > 0) --pending_;
+  if (live_.erase(id) == 0) return;  // fired, cancelled, or never issued
+  cancelled_.insert(id);
+  // Keep tombstones bounded by the live population: once they outnumber
+  // live events, one O(n) sweep rebuilds the heap without them.
+  if (cancelled_.size() > live_.size()) compact();
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Ev& e) {
+    return cancelled_.find(e.id) != cancelled_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_.clear();
 }
 
 Cycles EventQueue::next_time() {
-  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
+  while (!heap_.empty()) {
+    if (cancelled_.erase(heap_.front().id) == 0) return heap_.front().at;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
-  return heap_.empty() ? ~Cycles{0} : heap_.top().at;
+  return ~Cycles{0};
 }
 
 bool EventQueue::step() {
   while (!heap_.empty()) {
-    Ev ev = std::move(const_cast<Ev&>(heap_.top()));
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Ev ev = std::move(heap_.back());
+    heap_.pop_back();
     if (cancelled_.erase(ev.id) > 0) continue;
-    --pending_;
+    live_.erase(ev.id);
     now_ = ev.at;
     ev.fn();
     return true;
@@ -41,15 +55,8 @@ bool EventQueue::step() {
 
 std::size_t EventQueue::run_until_idle(Cycles limit) {
   std::size_t executed = 0;
-  while (!heap_.empty()) {
-    // Peek for the limit check without executing past it.
-    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-      cancelled_.erase(heap_.top().id);
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().at > limit) break;
-    if (step()) ++executed;
-  }
+  // next_time() prunes cancelled heads, so the limit check sees live events.
+  while (next_time() <= limit && step()) ++executed;
   if (now_ < limit && limit != ~Cycles{0}) now_ = limit;
   return executed;
 }

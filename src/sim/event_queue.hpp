@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -31,6 +30,12 @@ constexpr Cycles us(double microseconds) noexcept {
 using EventFn = std::function<void()>;
 using EventId = std::uint64_t;
 
+/// Cancellation is tombstone-based but bounded: cancelling an id that is
+/// not live (already fired, already cancelled, never issued) is a true
+/// no-op, and whenever parked tombstones outnumber live events the heap is
+/// compacted in one pass. Workloads that re-arm and cancel timers
+/// indefinitely (TCP retransmit timers) therefore hold memory proportional
+/// to the live event count, not to history.
 class EventQueue {
  public:
   Cycles now() const noexcept { return now_; }
@@ -55,8 +60,12 @@ class EventQueue {
   /// Returns the number of events executed.
   std::size_t run_until_idle(Cycles limit = ~Cycles{0});
 
-  bool empty() const noexcept { return pending_ == 0; }
-  std::size_t pending() const noexcept { return pending_; }
+  bool empty() const noexcept { return live_.empty(); }
+  std::size_t pending() const noexcept { return live_.size(); }
+
+  /// Cancelled entries still parked in the heap. Bounded by pending() via
+  /// compaction; exposed so tests can pin the no-leak invariant.
+  std::size_t cancelled_backlog() const noexcept { return cancelled_.size(); }
 
   /// Time of the next live event, or ~0 when the queue is empty. Discards
   /// cancelled entries encountered at the head.
@@ -74,11 +83,14 @@ class EventQueue {
     }
   };
 
+  /// Drop every tombstoned entry from the heap in one O(n) pass.
+  void compact();
+
   Cycles now_ = 0;
   EventId next_id_ = 1;
-  std::size_t pending_ = 0;
-  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Ev> heap_;                   // binary heap ordered by Later
+  std::unordered_set<EventId> live_;       // scheduled, not fired/cancelled
+  std::unordered_set<EventId> cancelled_;  // tombstones still in heap_
 };
 
 }  // namespace ash::sim

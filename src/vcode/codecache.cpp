@@ -1,0 +1,1040 @@
+#include "vcode/codecache.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/byteorder.hpp"
+#include "util/checksum.hpp"
+#include "vcode/opcodes.hpp"
+
+namespace ash::vcode {
+
+// Everything the handlers touch during a run. Kept flat (raw pointers, no
+// indirection through the CodeCache object) so the dispatch loop stays in
+// registers.
+struct CodeCache::RunCtx {
+  std::uint32_t* regs = nullptr;
+  Env* env = nullptr;
+  const ExecLimits* limits = nullptr;
+  const TInsn* const* head_of = nullptr;
+  const JumpTable* jt = nullptr;
+  std::uint32_t n = 0;
+
+  // Host fast path for loads/stores (fm.mem nullptr = use the virtual
+  // mem_read/mem_write). mem_cycles is charged either way.
+  Env::FastMem fm;
+
+  ExecResult res;
+  detail::ResumeState rs;  // software budget + call stack (original pcs)
+
+  // Exit channel: a handler returns nullptr after setting either a final
+  // outcome or a delegation point.
+  std::uint32_t exit_pc = 0;
+  Outcome exit_outcome = Outcome::Halted;
+  bool delegate = false;
+};
+
+namespace {
+
+using TInsn = CodeCache::TInsn;
+using RunCtx = CodeCache::RunCtx;
+using Handler = CodeCache::Handler;
+using Kind = CodeCache::Kind;
+
+float as_float(std::uint32_t bits) noexcept {
+  float f;
+  std::memcpy(&f, &bits, sizeof f);
+  return f;
+}
+
+std::uint32_t as_bits(float f) noexcept {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof bits);
+  return bits;
+}
+
+inline const TInsn* fail(RunCtx& c, Outcome o, std::uint32_t at) {
+  c.exit_outcome = o;
+  c.exit_pc = at;
+  return nullptr;
+}
+
+/// Hand the exact machine state (counters, budget, call stack, registers)
+/// to the interpreter core, resuming at original index `at`. Always
+/// bit-identical; used when a hoisted check can no longer prove that the
+/// per-instruction prechecks it replaced would all pass.
+inline const TInsn* hand_off(RunCtx& c, std::uint32_t at) {
+  c.delegate = true;
+  c.exit_pc = at;
+  return nullptr;
+}
+
+/// Guarded register write: r0 stays hardwired to zero. The interpreter
+/// writes then resets r0 after each instruction; since no instruction
+/// reads its own destination after writing it, the guarded form is
+/// equivalent — including inside fused pairs, which re-read operands from
+/// the register file.
+inline void wr(RunCtx& c, std::uint32_t r, std::uint32_t v) {
+  if (r != kRegZero) c.regs[r] = v;
+}
+
+inline void step1(const TInsn* t, RunCtx& c) {
+  ++c.res.insns;
+  c.res.cycles += t->base;
+}
+
+inline void step2(const TInsn* t, RunCtx& c) {
+  c.res.insns += 2;
+  c.res.cycles += t->base;  // base holds the pair's summed cost
+}
+
+/// After a dynamic-cost operation (memory access or trusted call), the
+/// block header's static cycle bound may be stale: re-check the remaining
+/// hoisted amount and delegate if a downstream precheck could fire.
+inline const TInsn* post_dyn(const TInsn* t, RunCtx& c) {
+  if (c.limits->max_cycles != 0 && t->rest_static != CodeCache::kNoPostCheck &&
+      c.res.cycles + t->rest_static >= c.limits->max_cycles) {
+    return hand_off(c, t->next_pc);
+  }
+  return t + 1;
+}
+
+/// Enter the block whose original start index is `idx` (< n).
+inline const TInsn* jump_to(RunCtx& c, std::uint32_t idx) {
+  const TInsn* h = c.head_of[idx];
+  if (h == nullptr) return hand_off(c, idx);  // defensive; leaders cover all
+  return h;
+}
+
+// --- block bookkeeping -----------------------------------------------------
+
+const TInsn* h_head(const TInsn* t, RunCtx& c) {
+  // Hoisted prechecks for the whole block: imm = instruction count L,
+  // imm2 = static cycle sum of all but the last position. If any
+  // per-instruction precheck in the block might fire, fall back to the
+  // interpreter core at the block start with untouched counters.
+  if (c.res.insns + t->imm - 1 >= c.limits->max_insns ||
+      (c.limits->max_cycles != 0 &&
+       c.res.cycles + t->imm2 >= c.limits->max_cycles)) {
+    return hand_off(c, t->pc);
+  }
+  return t + 1;
+}
+
+const TInsn* h_end(const TInsn* t, RunCtx& c) {
+  // Fell off the end of the program (pc == n).
+  return fail(c, Outcome::BadInstruction, t->pc);
+}
+
+// --- control ---------------------------------------------------------------
+
+const TInsn* h_nop(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  return t + 1;
+}
+
+const TInsn* h_halt(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  return fail(c, Outcome::Halted, t->pc);
+}
+
+const TInsn* h_abort(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  c.res.abort_code = t->imm;
+  return fail(c, Outcome::VoluntaryAbort, t->pc);
+}
+
+const TInsn* h_jmp(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  if (t->target != nullptr) return t->target;
+  return fail(c, Outcome::BadInstruction, t->imm);  // target >= n
+}
+
+const TInsn* h_jr(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  const std::uint32_t tv = c.regs[t->a];
+  if (tv >= c.n) return fail(c, Outcome::IndirectJumpFault, t->pc);
+  return jump_to(c, tv);
+}
+
+const TInsn* h_jrchk(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  const std::int64_t tr = c.jt->lookup(c.regs[t->a]);
+  if (tr < 0) return fail(c, Outcome::IndirectJumpFault, t->pc);
+  const auto idx = static_cast<std::uint32_t>(tr);
+  if (idx >= c.n) return fail(c, Outcome::BadInstruction, idx);
+  return jump_to(c, idx);
+}
+
+const TInsn* h_call(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  if (c.rs.call_depth >= kMaxCallDepth) {
+    return fail(c, Outcome::CallDepthExceeded, t->pc);
+  }
+  c.rs.call_stack[c.rs.call_depth++] = t->pc + 1;
+  if (t->target != nullptr) return t->target;
+  return fail(c, Outcome::BadInstruction, t->imm);
+}
+
+const TInsn* h_ret(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  if (c.rs.call_depth == 0) {
+    return fail(c, Outcome::CallDepthExceeded, t->pc);
+  }
+  const std::uint32_t rpc = c.rs.call_stack[--c.rs.call_depth];
+  if (rpc >= c.n) return fail(c, Outcome::BadInstruction, rpc);
+  return jump_to(c, rpc);
+}
+
+template <Op B>
+inline bool br_taken(std::uint32_t a, std::uint32_t b) {
+  if constexpr (B == Op::Beq) return a == b;
+  if constexpr (B == Op::Bne) return a != b;
+  if constexpr (B == Op::Bltu) return a < b;
+  if constexpr (B == Op::Bgeu) return a >= b;
+  if constexpr (B == Op::Blt) {
+    return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+  }
+  if constexpr (B == Op::Bge) {
+    return static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b);
+  }
+}
+
+template <Op B>
+const TInsn* h_branch(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  if (br_taken<B>(c.regs[t->a], c.regs[t->b])) {
+    if (t->target != nullptr) return t->target;
+    return fail(c, Outcome::BadInstruction, t->imm);
+  }
+  return t + 1;
+}
+
+const TInsn* h_budget(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  if (c.rs.budget <= t->imm) return fail(c, Outcome::BudgetExceeded, t->pc);
+  c.rs.budget -= t->imm;
+  return t + 1;
+}
+
+// --- moves / arithmetic ----------------------------------------------------
+
+const TInsn* h_movi(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  wr(c, t->a, t->imm);
+  return t + 1;
+}
+
+const TInsn* h_mov(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  wr(c, t->a, c.regs[t->b]);
+  return t + 1;
+}
+
+template <Op OP>
+const TInsn* h_alu(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  const std::uint32_t rb = c.regs[t->b];
+  const std::uint32_t rc = c.regs[t->c];
+  std::uint32_t v = 0;
+  if constexpr (OP == Op::Addu || OP == Op::Add) v = rb + rc;
+  if constexpr (OP == Op::Subu || OP == Op::Sub) v = rb - rc;
+  if constexpr (OP == Op::Mulu) v = rb * rc;
+  if constexpr (OP == Op::And) v = rb & rc;
+  if constexpr (OP == Op::Or) v = rb | rc;
+  if constexpr (OP == Op::Xor) v = rb ^ rc;
+  if constexpr (OP == Op::Sll) v = rb << (rc & 31);
+  if constexpr (OP == Op::Srl) v = rb >> (rc & 31);
+  if constexpr (OP == Op::Sra) {
+    v = static_cast<std::uint32_t>(static_cast<std::int32_t>(rb) >> (rc & 31));
+  }
+  if constexpr (OP == Op::Sltu) v = rb < rc ? 1 : 0;
+  if constexpr (OP == Op::Slt) {
+    v = static_cast<std::int32_t>(rb) < static_cast<std::int32_t>(rc) ? 1 : 0;
+  }
+  if constexpr (OP == Op::Fadd) v = as_bits(as_float(rb) + as_float(rc));
+  if constexpr (OP == Op::Fmul) v = as_bits(as_float(rb) * as_float(rc));
+  wr(c, t->a, v);
+  return t + 1;
+}
+
+template <Op OP>
+const TInsn* h_alui(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  const std::uint32_t rb = c.regs[t->b];
+  std::uint32_t v = 0;
+  if constexpr (OP == Op::Addiu) v = rb + t->imm;
+  if constexpr (OP == Op::Andi) v = rb & t->imm;
+  if constexpr (OP == Op::Ori) v = rb | t->imm;
+  if constexpr (OP == Op::Xori) v = rb ^ t->imm;
+  if constexpr (OP == Op::Slli) v = rb << (t->imm & 31);
+  if constexpr (OP == Op::Srli) v = rb >> (t->imm & 31);
+  if constexpr (OP == Op::Srai) {
+    v = static_cast<std::uint32_t>(static_cast<std::int32_t>(rb) >>
+                                   (t->imm & 31));
+  }
+  wr(c, t->a, v);
+  return t + 1;
+}
+
+template <Op OP>
+const TInsn* h_divrem(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  const std::uint32_t rc = c.regs[t->c];
+  if (rc == 0) return fail(c, Outcome::DivideByZero, t->pc);
+  const std::uint32_t rb = c.regs[t->b];
+  wr(c, t->a, OP == Op::Divu ? rb / rc : rb % rc);
+  return t + 1;
+}
+
+const TInsn* h_cksum32(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  wr(c, t->a, util::cksum32_accumulate(c.regs[t->a], c.regs[t->b]));
+  return t + 1;
+}
+
+const TInsn* h_bswap32(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  wr(c, t->a, util::bswap32(c.regs[t->b]));
+  return t + 1;
+}
+
+const TInsn* h_bswap16(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  wr(c, t->a, util::bswap16(static_cast<std::uint16_t>(c.regs[t->b])));
+  return t + 1;
+}
+
+// --- memory ----------------------------------------------------------------
+
+constexpr std::uint32_t mem_len(Op m) {
+  return (m == Op::Lhu || m == Op::Lh || m == Op::Sh)   ? 2
+         : (m == Op::Lbu || m == Op::Lb || m == Op::Sb) ? 1
+                                                        : 4;
+}
+constexpr bool mem_aligned(Op m) { return m != Op::Lwu_u && m != Op::Sw_u; }
+constexpr bool mem_store(Op m) {
+  return m == Op::Sw || m == Op::Sh || m == Op::Sb || m == Op::Sw_u;
+}
+
+/// Shared access tail for plain and fused memory ops: alignment check,
+/// environment access, cache-model cycles, post-dynamic budget re-check.
+/// Faults report `fpc` (the memory op's own original index).
+/// [addr, addr+len) fully inside [lo, hi)? len is a small constant, so the
+/// no-overflow form stays branch-cheap.
+inline bool in_window(std::uint32_t addr, std::uint32_t len, std::uint32_t lo,
+                      std::uint32_t hi) {
+  return addr >= lo && addr < hi && hi - addr >= len;
+}
+
+/// Inlined copy of the environment's direct-mapped cache model
+/// (sim::Cache::access), used when fast_mem hands over the raw state.
+/// Must stay bit-identical: read miss = penalty + tag fill; write =
+/// write_cost hit or miss, never a fill; hit/miss counters per line.
+inline std::uint64_t fm_cycles(const Env::FastMem& fm, std::uint32_t addr,
+                               std::uint32_t len, bool is_write) {
+  std::uint64_t extra = 0;
+  const std::uint32_t first = addr >> fm.dline_shift;
+  const std::uint32_t last = (addr + (len - 1)) >> fm.dline_shift;
+  for (std::uint32_t line = first; line <= last; ++line) {
+    const std::uint32_t idx = line & fm.dline_mask;
+    const std::uint32_t tag = line + 1;
+    if (fm.dtags[idx] == tag) {
+      ++*fm.dhits;
+      if (is_write) extra += fm.dwrite_cost;
+      continue;
+    }
+    ++*fm.dmisses;
+    if (is_write) {
+      extra += fm.dwrite_cost;
+      continue;
+    }
+    extra += fm.dread_miss_penalty;
+    fm.dtags[idx] = tag;
+  }
+  return extra;
+}
+
+template <Op M>
+inline const TInsn* mem_access(const TInsn* t, RunCtx& c, std::uint32_t addr,
+                               std::uint32_t data_reg, std::uint32_t fpc) {
+  constexpr std::uint32_t len = mem_len(M);
+  if constexpr (mem_aligned(M) && len > 1) {
+    if ((addr & (len - 1)) != 0) return fail(c, Outcome::AlignFault, fpc);
+  }
+  if (c.fm.mem != nullptr) {
+    // Direct host access: the environment vouched that these window checks
+    // are exactly its mem_read/mem_write acceptance (Env::fast_mem).
+    const bool owner = in_window(addr, len, c.fm.owner_lo, c.fm.owner_hi);
+    if constexpr (mem_store(M)) {
+      if (!owner) return fail(c, Outcome::MemFault, fpc);
+      const std::uint32_t v = c.regs[data_reg];
+      std::memcpy(c.fm.mem + (addr - c.fm.mem_base), &v, len);
+      c.res.cycles += c.fm.dtags != nullptr
+                          ? fm_cycles(c.fm, addr, len, /*is_write=*/true)
+                          : c.env->mem_cycles(addr, len, /*is_write=*/true);
+    } else {
+      if (!owner && !in_window(addr, len, c.fm.msg_lo, c.fm.msg_hi)) {
+        return fail(c, Outcome::MemFault, fpc);
+      }
+      std::uint32_t v = 0;
+      std::memcpy(&v, c.fm.mem + (addr - c.fm.mem_base), len);
+      c.res.cycles += c.fm.dtags != nullptr
+                          ? fm_cycles(c.fm, addr, len, /*is_write=*/false)
+                          : c.env->mem_cycles(addr, len, /*is_write=*/false);
+      if constexpr (M == Op::Lh) {
+        v = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(static_cast<std::int16_t>(v)));
+      }
+      if constexpr (M == Op::Lb) {
+        v = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(static_cast<std::int8_t>(v)));
+      }
+      wr(c, data_reg, v);
+    }
+    return post_dyn(t, c);
+  }
+  if constexpr (mem_store(M)) {
+    const std::uint32_t v = c.regs[data_reg];
+    if (!c.env->mem_write(addr, &v, len)) {
+      return fail(c, Outcome::MemFault, fpc);
+    }
+    c.res.cycles += c.env->mem_cycles(addr, len, /*is_write=*/true);
+  } else {
+    std::uint8_t buf[4] = {};
+    if (!c.env->mem_read(addr, buf, len)) {
+      return fail(c, Outcome::MemFault, fpc);
+    }
+    c.res.cycles += c.env->mem_cycles(addr, len, /*is_write=*/false);
+    std::uint32_t v = 0;
+    std::memcpy(&v, buf, len);  // simulated machine is little-endian
+    if constexpr (M == Op::Lh) {
+      v = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::int16_t>(v)));
+    }
+    if constexpr (M == Op::Lb) {
+      v = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::int8_t>(v)));
+    }
+    wr(c, data_reg, v);
+  }
+  return post_dyn(t, c);
+}
+
+template <Op M>
+const TInsn* h_mem(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  const std::uint32_t addr = c.regs[t->b] + t->imm;
+  return mem_access<M>(t, c, addr, t->a, t->pc);
+}
+
+// --- superinstructions -----------------------------------------------------
+
+enum class AluK : std::uint8_t { Andi, Ori, Addiu };
+
+template <AluK K>
+inline std::uint32_t alu_imm_val(std::uint32_t rb, std::uint32_t imm) {
+  if constexpr (K == AluK::Andi) return rb & imm;
+  if constexpr (K == AluK::Ori) return rb | imm;
+  if constexpr (K == AluK::Addiu) return rb + imm;
+}
+
+/// Fused {Andi|Ori|Addiu} a,b,imm ; {load|store} c,(a,imm2). Covers the
+/// SFI sandbox's address-mask sequences and plain addi+load idioms.
+template <AluK K, Op M>
+const TInsn* h_fused_mem(const TInsn* t, RunCtx& c) {
+  step2(t, c);
+  wr(c, t->a, alu_imm_val<K>(c.regs[t->b], t->imm));
+  const std::uint32_t addr = c.regs[t->a] + t->imm2;  // re-read: r0-exact
+  return mem_access<M>(t, c, addr, t->c, t->pc2);
+}
+
+/// Fused {Sltu|Slt} a,b,c ; {Beq|Bne} a,r0,imm2.
+template <Op CMP, Op BR>
+const TInsn* h_fused_cmpbr(const TInsn* t, RunCtx& c) {
+  step2(t, c);
+  std::uint32_t v;
+  if constexpr (CMP == Op::Sltu) {
+    v = c.regs[t->b] < c.regs[t->c] ? 1 : 0;
+  } else {
+    v = static_cast<std::int32_t>(c.regs[t->b]) <
+                static_cast<std::int32_t>(c.regs[t->c])
+            ? 1
+            : 0;
+  }
+  wr(c, t->a, v);
+  const std::uint32_t av = c.regs[t->a];  // re-read: r0-exact
+  bool taken;
+  if constexpr (BR == Op::Beq) {
+    taken = av == 0;  // second operand is r0 (fusion precondition)
+  } else {
+    taken = av != 0;
+  }
+  if (taken) {
+    if (t->target != nullptr) return t->target;
+    return fail(c, Outcome::BadInstruction, t->imm2);
+  }
+  return t + 1;
+}
+
+/// Fused {Andi|Ori|Addiu} a,b,imm ; {Beq|Bne} a,r0,imm2 — the
+/// decrement-and-loop back-edge of counted loops (e.g. the DILP fused
+/// transfer loop). Both halves are static-cost, so the block header's
+/// hoisted prechecks already cover the pair.
+template <AluK K, Op BR>
+const TInsn* h_fused_alubr(const TInsn* t, RunCtx& c) {
+  step2(t, c);
+  wr(c, t->a, alu_imm_val<K>(c.regs[t->b], t->imm));
+  const std::uint32_t av = c.regs[t->a];  // re-read: r0-exact
+  bool taken;
+  if constexpr (BR == Op::Beq) {
+    taken = av == 0;  // second operand is r0 (fusion precondition)
+  } else {
+    taken = av != 0;
+  }
+  if (taken) {
+    if (t->target != nullptr) return t->target;
+    return fail(c, Outcome::BadInstruction, t->imm2);
+  }
+  return t + 1;
+}
+
+/// Fused {Andi|Ori|Addiu} a,b,imm ; {Andi|Ori|Addiu} c,d,imm2 — e.g. the
+/// paired pointer bumps of copy loops. The second half reads its source
+/// from the register file after the first half retires, so dependent
+/// pairs (d == a) stay exact.
+template <AluK K1, AluK K2>
+const TInsn* h_fused_alualu(const TInsn* t, RunCtx& c) {
+  step2(t, c);
+  wr(c, t->a, alu_imm_val<K1>(c.regs[t->b], t->imm));
+  wr(c, t->c, alu_imm_val<K2>(c.regs[t->d], t->imm2));
+  return t + 1;
+}
+
+// --- pipes -----------------------------------------------------------------
+
+template <std::uint32_t W, bool IN>
+const TInsn* h_pipe(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  if constexpr (IN) {
+    std::uint32_t v = 0;
+    if (!c.env->pipe_in(W, &v)) return fail(c, Outcome::StreamFault, t->pc);
+    wr(c, t->a, v);
+  } else {
+    if (!c.env->pipe_out(W, c.regs[t->a])) {
+      return fail(c, Outcome::StreamFault, t->pc);
+    }
+  }
+  return t + 1;
+}
+
+// --- trusted kernel entry points -------------------------------------------
+
+const TInsn* h_tmsglen(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  std::uint32_t len = 0;
+  std::uint64_t cy = 0;
+  if (!c.env->t_msglen(&len, &cy)) {
+    return fail(c, Outcome::TrustedDenied, t->pc);
+  }
+  c.res.cycles += cy;
+  wr(c, t->a, len);
+  return post_dyn(t, c);
+}
+
+const TInsn* h_tsend(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  std::uint32_t status = 0;
+  std::uint64_t cy = 0;
+  if (!c.env->t_send(c.regs[t->a], c.regs[t->b], c.regs[t->c], &status, &cy)) {
+    return fail(c, Outcome::TrustedDenied, t->pc);
+  }
+  c.res.cycles += cy;
+  c.regs[kRegArg0] = status;
+  return post_dyn(t, c);
+}
+
+const TInsn* h_tdilp(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  if (t->imm >= kNumRegs) return fail(c, Outcome::BadInstruction, t->pc);
+  std::uint32_t status = 0;
+  std::uint64_t cy = 0;
+  if (!c.env->t_dilp(c.regs[t->a], c.regs[t->b], c.regs[t->c],
+                     c.regs[t->imm], &status, &cy)) {
+    return fail(c, Outcome::TrustedDenied, t->pc);
+  }
+  c.res.cycles += cy;
+  c.regs[kRegArg0] = status;
+  return post_dyn(t, c);
+}
+
+const TInsn* h_tusercopy(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  std::uint32_t status = 0;
+  std::uint64_t cy = 0;
+  if (!c.env->t_usercopy(c.regs[t->a], c.regs[t->b], c.regs[t->c], &status,
+                         &cy)) {
+    return fail(c, Outcome::TrustedDenied, t->pc);
+  }
+  c.res.cycles += cy;
+  c.regs[kRegArg0] = status;
+  return post_dyn(t, c);
+}
+
+const TInsn* h_tmsgload(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  std::uint32_t value = 0;
+  std::uint64_t cy = 0;
+  if (!c.env->t_msgload(c.regs[t->b] + t->imm, &value, &cy)) {
+    return fail(c, Outcome::TrustedDenied, t->pc);
+  }
+  c.res.cycles += cy;
+  wr(c, t->a, value);
+  return post_dyn(t, c);
+}
+
+const TInsn* h_bad(const TInsn* t, RunCtx& c) {
+  step1(t, c);
+  return fail(c, Outcome::BadInstruction, t->pc);
+}
+
+// --- handler selection -----------------------------------------------------
+
+Handler pick_plain(Op op) {
+  switch (op) {
+    case Op::Nop: return h_nop;
+    case Op::Halt: return h_halt;
+    case Op::Abort: return h_abort;
+    case Op::Jmp: return h_jmp;
+    case Op::Jr: return h_jr;
+    case Op::JrChk: return h_jrchk;
+    case Op::Call: return h_call;
+    case Op::Ret: return h_ret;
+    case Op::Beq: return h_branch<Op::Beq>;
+    case Op::Bne: return h_branch<Op::Bne>;
+    case Op::Bltu: return h_branch<Op::Bltu>;
+    case Op::Bgeu: return h_branch<Op::Bgeu>;
+    case Op::Blt: return h_branch<Op::Blt>;
+    case Op::Bge: return h_branch<Op::Bge>;
+    case Op::Budget: return h_budget;
+    case Op::Movi: return h_movi;
+    case Op::Mov: return h_mov;
+    case Op::Addu: return h_alu<Op::Addu>;
+    case Op::Add: return h_alu<Op::Add>;
+    case Op::Addiu: return h_alui<Op::Addiu>;
+    case Op::Subu: return h_alu<Op::Subu>;
+    case Op::Sub: return h_alu<Op::Sub>;
+    case Op::Mulu: return h_alu<Op::Mulu>;
+    case Op::Divu: return h_divrem<Op::Divu>;
+    case Op::Remu: return h_divrem<Op::Remu>;
+    case Op::And: return h_alu<Op::And>;
+    case Op::Andi: return h_alui<Op::Andi>;
+    case Op::Or: return h_alu<Op::Or>;
+    case Op::Ori: return h_alui<Op::Ori>;
+    case Op::Xor: return h_alu<Op::Xor>;
+    case Op::Xori: return h_alui<Op::Xori>;
+    case Op::Sll: return h_alu<Op::Sll>;
+    case Op::Slli: return h_alui<Op::Slli>;
+    case Op::Srl: return h_alu<Op::Srl>;
+    case Op::Srli: return h_alui<Op::Srli>;
+    case Op::Sra: return h_alu<Op::Sra>;
+    case Op::Srai: return h_alui<Op::Srai>;
+    case Op::Sltu: return h_alu<Op::Sltu>;
+    case Op::Slt: return h_alu<Op::Slt>;
+    case Op::Fadd: return h_alu<Op::Fadd>;
+    case Op::Fmul: return h_alu<Op::Fmul>;
+    case Op::Lw: return h_mem<Op::Lw>;
+    case Op::Lhu: return h_mem<Op::Lhu>;
+    case Op::Lh: return h_mem<Op::Lh>;
+    case Op::Lbu: return h_mem<Op::Lbu>;
+    case Op::Lb: return h_mem<Op::Lb>;
+    case Op::Sw: return h_mem<Op::Sw>;
+    case Op::Sh: return h_mem<Op::Sh>;
+    case Op::Sb: return h_mem<Op::Sb>;
+    case Op::Lwu_u: return h_mem<Op::Lwu_u>;
+    case Op::Sw_u: return h_mem<Op::Sw_u>;
+    case Op::Cksum32: return h_cksum32;
+    case Op::Bswap32: return h_bswap32;
+    case Op::Bswap16: return h_bswap16;
+    case Op::Pin8: return h_pipe<1, true>;
+    case Op::Pin16: return h_pipe<2, true>;
+    case Op::Pin32: return h_pipe<4, true>;
+    case Op::Pout8: return h_pipe<1, false>;
+    case Op::Pout16: return h_pipe<2, false>;
+    case Op::Pout32: return h_pipe<4, false>;
+    case Op::TMsgLen: return h_tmsglen;
+    case Op::TSend: return h_tsend;
+    case Op::TDilp: return h_tdilp;
+    case Op::TUserCopy: return h_tusercopy;
+    case Op::TMsgLoad: return h_tmsgload;
+    case Op::kCount: return h_bad;
+  }
+  return h_bad;
+}
+
+template <AluK K>
+Handler pick_fused_mem_for(Op mem) {
+  switch (mem) {
+    case Op::Lw: return h_fused_mem<K, Op::Lw>;
+    case Op::Lhu: return h_fused_mem<K, Op::Lhu>;
+    case Op::Lh: return h_fused_mem<K, Op::Lh>;
+    case Op::Lbu: return h_fused_mem<K, Op::Lbu>;
+    case Op::Lb: return h_fused_mem<K, Op::Lb>;
+    case Op::Sw: return h_fused_mem<K, Op::Sw>;
+    case Op::Sh: return h_fused_mem<K, Op::Sh>;
+    case Op::Sb: return h_fused_mem<K, Op::Sb>;
+    case Op::Lwu_u: return h_fused_mem<K, Op::Lwu_u>;
+    case Op::Sw_u: return h_fused_mem<K, Op::Sw_u>;
+    default: return nullptr;
+  }
+}
+
+Handler pick_fused_mem(Op alu, Op mem) {
+  switch (alu) {
+    case Op::Andi: return pick_fused_mem_for<AluK::Andi>(mem);
+    case Op::Ori: return pick_fused_mem_for<AluK::Ori>(mem);
+    case Op::Addiu: return pick_fused_mem_for<AluK::Addiu>(mem);
+    default: return nullptr;
+  }
+}
+
+Handler pick_fused_cmpbr(Op cmp, Op br) {
+  if (cmp == Op::Sltu) {
+    return br == Op::Beq ? h_fused_cmpbr<Op::Sltu, Op::Beq>
+                         : h_fused_cmpbr<Op::Sltu, Op::Bne>;
+  }
+  return br == Op::Beq ? h_fused_cmpbr<Op::Slt, Op::Beq>
+                       : h_fused_cmpbr<Op::Slt, Op::Bne>;
+}
+
+Handler pick_fused_alubr(Op alu, Op br) {
+  switch (alu) {
+    case Op::Andi:
+      return br == Op::Beq ? h_fused_alubr<AluK::Andi, Op::Beq>
+                           : h_fused_alubr<AluK::Andi, Op::Bne>;
+    case Op::Ori:
+      return br == Op::Beq ? h_fused_alubr<AluK::Ori, Op::Beq>
+                           : h_fused_alubr<AluK::Ori, Op::Bne>;
+    case Op::Addiu:
+      return br == Op::Beq ? h_fused_alubr<AluK::Addiu, Op::Beq>
+                           : h_fused_alubr<AluK::Addiu, Op::Bne>;
+    default: return nullptr;
+  }
+}
+
+template <AluK K1>
+Handler pick_fused_alualu_for(Op alu2) {
+  switch (alu2) {
+    case Op::Andi: return h_fused_alualu<K1, AluK::Andi>;
+    case Op::Ori: return h_fused_alualu<K1, AluK::Ori>;
+    case Op::Addiu: return h_fused_alualu<K1, AluK::Addiu>;
+    default: return nullptr;
+  }
+}
+
+Handler pick_fused_alualu(Op alu1, Op alu2) {
+  switch (alu1) {
+    case Op::Andi: return pick_fused_alualu_for<AluK::Andi>(alu2);
+    case Op::Ori: return pick_fused_alualu_for<AluK::Ori>(alu2);
+    case Op::Addiu: return pick_fused_alualu_for<AluK::Addiu>(alu2);
+    default: return nullptr;
+  }
+}
+
+// --- leader analysis -------------------------------------------------------
+
+/// leader[i] = 1 iff original index i begins a basic block. Every control
+/// transfer ends its block (its successor indices are leaders), and every
+/// translated indirect-jump target begins one, so any dynamic control
+/// transfer always lands on a block head. If the program contains an
+/// unchecked Jr — which may target *any* index — every index is a leader
+/// and translation degenerates to exact per-instruction prechecks.
+std::vector<std::uint8_t> compute_leaders(const Program& prog) {
+  const auto n = static_cast<std::uint32_t>(prog.insns.size());
+  std::vector<std::uint8_t> leader(static_cast<std::size_t>(n) + 1, 0);
+  if (n == 0) return leader;
+  leader[0] = 1;
+  bool any_jr = false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    switch (prog.insns[i].op) {
+      case Op::Jmp:
+      case Op::Call:
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Bltu:
+      case Op::Bgeu:
+      case Op::Blt:
+      case Op::Bge:
+        if (prog.insns[i].imm < n) leader[prog.insns[i].imm] = 1;
+        if (i + 1 < n) leader[i + 1] = 1;
+        break;
+      case Op::Jr:
+        any_jr = true;
+        [[fallthrough]];
+      case Op::JrChk:
+      case Op::Ret:
+      case Op::Halt:
+      case Op::Abort:
+        if (i + 1 < n) leader[i + 1] = 1;
+        break;
+      default:
+        break;
+    }
+  }
+  auto mark = [&](std::uint32_t v) {
+    if (v < n) leader[v] = 1;
+  };
+  if (!prog.indirect_map.empty()) {
+    for (const auto& [k, v] : prog.indirect_map) mark(v);
+  } else {
+    for (std::uint32_t tgt : prog.indirect_targets) mark(tgt);
+  }
+  if (any_jr) std::fill(leader.begin(), leader.begin() + n, 1);
+  return leader;
+}
+
+std::uint32_t base_cost(Op op) {
+  return valid_op(static_cast<std::uint8_t>(op)) ? op_info(op).base_cycles : 0;
+}
+
+}  // namespace
+
+std::uint32_t count_basic_blocks(const Program& prog) {
+  const auto leader = compute_leaders(prog);
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i + 1 < leader.size(); ++i) count += leader[i];
+  return count;
+}
+
+int code_cache_env_override() {
+  const char* v = std::getenv("ASH_USE_CODE_CACHE");
+  if (v == nullptr || *v == '\0') return -1;
+  std::string s(v);
+  for (auto& ch : s) {
+    ch = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (s == "0" || s == "off" || s == "false" || s == "no") return 0;
+  return 1;
+}
+
+CodeCache::CodeCache(const Program& prog) : prog_(prog), jt_(prog_) {
+  build();
+}
+
+void CodeCache::build() {
+  const auto n = static_cast<std::uint32_t>(prog_.insns.size());
+  const auto leader = compute_leaders(prog_);
+
+  struct Fixup {
+    std::size_t slot;
+    std::uint32_t target;
+  };
+  std::vector<Fixup> fixups;
+  std::vector<std::pair<std::uint32_t, std::size_t>> heads;
+
+  std::vector<std::uint32_t> prefix;  // per-block base-cycle prefix sums
+  for (std::uint32_t s = 0; s < n;) {
+    std::uint32_t e = s + 1;
+    while (e < n && !leader[e]) ++e;
+    const std::uint32_t len = e - s;
+
+    // prefix[k] = sum of base cycles of positions s .. s+k-1.
+    prefix.assign(static_cast<std::size_t>(len) + 1, 0);
+    for (std::uint32_t k = 0; k < len; ++k) {
+      prefix[k + 1] = prefix[k] + base_cost(prog_.insns[s + k].op);
+    }
+    // Remaining hoisted static cycles after original position j: the
+    // prechecks this block skips sit before positions j+1 .. e-1, and the
+    // last of them sees the static costs of positions j+1 .. e-2.
+    auto rest_after = [&](std::uint32_t j) -> std::uint32_t {
+      if (j + 1 >= e) return kNoPostCheck;
+      return prefix[len - 1] - prefix[j + 1 - s];
+    };
+
+    TInsn head{};
+    head.fn = h_head;
+    head.kind = Kind::Head;
+    head.imm = len;
+    head.imm2 = prefix[len - 1];  // static cost of all but the last position
+    head.pc = s;
+    heads.emplace_back(s, code_.size());
+    code_.push_back(head);
+    ++blocks_;
+
+    std::uint32_t j = s;
+    while (j < e) {
+      const Insn& f = prog_.insns[j];
+      if (j + 1 < e) {
+        const Insn& g = prog_.insns[j + 1];
+        Handler fh = nullptr;
+        Kind kind = Kind::Plain;
+        const bool f_alu_imm =
+            f.op == Op::Andi || f.op == Op::Ori || f.op == Op::Addiu;
+        if (f_alu_imm && valid_op(static_cast<std::uint8_t>(g.op)) &&
+            op_info(g.op).is_mem && g.b == f.a) {
+          fh = pick_fused_mem(f.op, g.op);
+          kind = Kind::FusedAluMem;
+        } else if ((f.op == Op::Sltu || f.op == Op::Slt) &&
+                   (g.op == Op::Beq || g.op == Op::Bne) && g.a == f.a &&
+                   g.b == kRegZero) {
+          fh = pick_fused_cmpbr(f.op, g.op);
+          kind = Kind::FusedCmpBr;
+        } else if (f_alu_imm && (g.op == Op::Beq || g.op == Op::Bne) &&
+                   g.a == f.a && g.b == kRegZero) {
+          fh = pick_fused_alubr(f.op, g.op);
+          kind = Kind::FusedAluBr;
+        } else if (f_alu_imm && (g.op == Op::Andi || g.op == Op::Ori ||
+                                 g.op == Op::Addiu)) {
+          fh = pick_fused_alualu(f.op, g.op);
+          kind = Kind::FusedAluAlu;
+        }
+        if (fh != nullptr) {
+          TInsn ti{};
+          ti.fn = fh;
+          ti.kind = kind;
+          ti.a = f.a;
+          ti.b = f.b;
+          ti.c = kind == Kind::FusedAluMem || kind == Kind::FusedAluAlu
+                     ? g.a
+                     : f.c;
+          ti.d = kind == Kind::FusedAluAlu ? g.b : 0;
+          ti.imm = f.imm;
+          ti.imm2 = g.imm;
+          ti.base = base_cost(f.op) + base_cost(g.op);
+          ti.pc = j;
+          ti.pc2 = j + 1;
+          ti.next_pc = j + 2;
+          ti.rest_static = rest_after(j + 1);
+          if (kind == Kind::FusedCmpBr || kind == Kind::FusedAluBr) {
+            fixups.push_back({code_.size(), g.imm});
+          }
+          code_.push_back(ti);
+          ++fused_;
+          j += 2;
+          continue;
+        }
+      }
+      TInsn ti{};
+      ti.fn = pick_plain(f.op);
+      ti.kind = Kind::Plain;
+      ti.a = f.a;
+      ti.b = f.b;
+      ti.c = f.c;
+      ti.imm = f.imm;
+      ti.base = base_cost(f.op);
+      ti.pc = j;
+      ti.pc2 = j;
+      ti.next_pc = j + 1;
+      ti.rest_static = rest_after(j);
+      switch (f.op) {
+        case Op::Jmp:
+        case Op::Call:
+        case Op::Beq:
+        case Op::Bne:
+        case Op::Bltu:
+        case Op::Bgeu:
+        case Op::Blt:
+        case Op::Bge:
+          fixups.push_back({code_.size(), f.imm});
+          break;
+        default:
+          break;
+      }
+      code_.push_back(ti);
+      ++j;
+    }
+    s = e;
+  }
+
+  TInsn end{};
+  end.fn = h_end;
+  end.kind = Kind::End;
+  end.pc = n;
+  code_.push_back(end);
+
+  head_of_.assign(static_cast<std::size_t>(n) + 1, nullptr);
+  for (const auto& [pc, slot] : heads) head_of_[pc] = &code_[slot];
+  head_of_[n] = &code_.back();
+  for (const auto& fx : fixups) {
+    code_[fx.slot].target = fx.target < n ? head_of_[fx.target] : nullptr;
+  }
+}
+
+ExecResult CodeCache::run(Env& env, std::array<std::uint32_t, kNumRegs>& regs,
+                          const ExecLimits& limits) const {
+  regs[kRegZero] = 0;
+  env.bind_regs(regs.data());
+
+  RunCtx c;
+  c.regs = regs.data();
+  c.env = &env;
+  c.limits = &limits;
+  c.head_of = head_of_.data();
+  c.jt = &jt_;
+  c.n = static_cast<std::uint32_t>(prog_.insns.size());
+  c.rs.budget = limits.software_budget;
+  if (!env.fast_mem(&c.fm)) c.fm.mem = nullptr;
+
+  const TInsn* ti = head_of_[0];
+  while (ti != nullptr) ti = ti->fn(ti, c);
+
+  if (c.delegate) {
+    c.rs.pc = c.exit_pc;
+    return detail::run_core(prog_, env, regs.data(), limits, jt_, c.rs, c.res);
+  }
+  c.res.outcome = c.exit_outcome;
+  c.res.fault_pc = c.exit_pc;
+  c.res.result = regs[kRegArg0];
+  return c.res;
+}
+
+std::string CodeCache::dump() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "codecache: %zu source insns, %zu blocks, %zu fused pairs, "
+                "%zu slots\n",
+                prog_.insns.size(), blocks_, fused_, code_.size());
+  out += line;
+  for (const TInsn& t : code_) {
+    switch (t.kind) {
+      case Kind::Head:
+        std::snprintf(line, sizeof line,
+                      "block @%u: len=%u hoisted_static_cycles=%u\n", t.pc,
+                      t.imm, t.imm2);
+        out += line;
+        break;
+      case Kind::Plain:
+        std::snprintf(line, sizeof line, "  %4u: %s  [cost %u]\n", t.pc,
+                      to_string(prog_.insns[t.pc]).c_str(), t.base);
+        out += line;
+        break;
+      case Kind::FusedAluMem:
+      case Kind::FusedCmpBr:
+      case Kind::FusedAluBr:
+      case Kind::FusedAluAlu: {
+        const char* fam = "alu+mem";
+        if (t.kind == Kind::FusedCmpBr) fam = "cmp+br";
+        if (t.kind == Kind::FusedAluBr) fam = "alu+br";
+        if (t.kind == Kind::FusedAluAlu) fam = "alu+alu";
+        std::snprintf(line, sizeof line,
+                      "  %4u: fuse[%s] {%s ; %s}  [cost %u]\n", t.pc, fam,
+                      to_string(prog_.insns[t.pc]).c_str(),
+                      to_string(prog_.insns[t.pc2]).c_str(), t.base);
+        out += line;
+        break;
+      }
+      case Kind::End:
+        std::snprintf(line, sizeof line, "  %4u: <end>\n", t.pc);
+        out += line;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ash::vcode

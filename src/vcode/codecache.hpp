@@ -1,0 +1,122 @@
+// Download-time VCODE translation: pre-decoded threaded execution engine.
+//
+// The paper's download pipeline is verify -> sandbox -> install; this adds a
+// *translate* stage between sandbox and install. A CodeCache compiles a
+// verified Program once into a dense pre-decoded form:
+//
+//   - every instruction is resolved to a handler function pointer (threaded
+//     dispatch — no per-step opcode switch or op_info() lookup),
+//   - its base cycle cost is baked into the decoded slot,
+//   - common adjacent pairs are fused into superinstructions (the SFI
+//     sandbox's mask+load / mask+store sequences, cmp+branch, addi+load),
+//   - the per-instruction budget prechecks are hoisted to basic-block
+//     boundaries (each block header carries its instruction count and
+//     static cycle sum), and
+//   - indirect jumps go through the shared O(1) JumpTable.
+//
+// Equivalence guarantee: simulated results — outcome, cycles, insns,
+// result, abort_code, fault_pc, and the final register file — are
+// bit-identical to vcode::Interpreter on every program and every limit
+// combination. Whenever a hoisted check detects that a budget ceiling
+// *may* fire inside a block (or a dynamic memory/trusted-call cost makes
+// the hoisted bound stale), the engine hands the exact machine state to
+// detail::run_core, which finishes the run with the interpreter's own
+// per-instruction semantics. Translation only changes host wall-clock
+// cost, never simulated behavior; a differential property test enforces
+// this (tests/vcode_codecache_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcode/interp.hpp"
+#include "vcode/program.hpp"
+
+namespace ash::vcode {
+
+/// Number of basic blocks the translator would form for `prog` (shared
+/// leader analysis; used by the sandbox report for download-time stats).
+std::uint32_t count_basic_blocks(const Program& prog);
+
+/// ASH_USE_CODE_CACHE environment override: -1 = unset, 0 = forced off,
+/// 1 = forced on. ("0", "off", "false", "no" turn it off.)
+int code_cache_env_override();
+
+class CodeCache {
+ public:
+  /// Translate `prog` (copied; the cache is self-contained).
+  explicit CodeCache(const Program& prog);
+
+  // Translated code holds pointers into its own storage.
+  CodeCache(const CodeCache&) = delete;
+  CodeCache& operator=(const CodeCache&) = delete;
+
+  const Program& program() const noexcept { return prog_; }
+  const JumpTable& jump_table() const noexcept { return jt_; }
+  std::size_t block_count() const noexcept { return blocks_; }
+  std::size_t fused_count() const noexcept { return fused_; }
+
+  /// Execute against `env` with the caller's register file (imported on
+  /// entry, exported on exit — same contract as Interpreter's explicit
+  /// register file). Bit-identical to Interpreter::run on the same inputs.
+  ExecResult run(Env& env, std::array<std::uint32_t, kNumRegs>& regs,
+                 const ExecLimits& limits = {}) const;
+
+  /// Human-readable listing of the translated form (blocks, fusions,
+  /// hoisted budget sums) for `ashtool dump-translated`.
+  std::string dump() const;
+
+  struct RunCtx;
+  struct TInsn;
+  using Handler = const TInsn* (*)(const TInsn*, RunCtx&);
+
+  /// How a translated slot was formed (kept for dump()).
+  enum class Kind : std::uint8_t {
+    Head,        // basic-block header carrying hoisted budget sums
+    Plain,       // one source instruction
+    FusedAluMem, // Andi/Ori/Addiu + load/store superinstruction
+    FusedCmpBr,  // Sltu/Slt + Beq/Bne superinstruction
+    FusedAluBr,  // Andi/Ori/Addiu + Beq/Bne-against-r0 superinstruction
+    FusedAluAlu, // Andi/Ori/Addiu + Andi/Ori/Addiu superinstruction
+    End,         // synthetic pc==n slot (falls off the end -> BadInstruction)
+  };
+
+  /// One pre-decoded slot. For fused pairs: a/b/imm come from the first
+  /// source instruction, c/d/imm2 from the second; `base` is the summed
+  /// base cycle cost; pc/pc2 are the original indices for exact fault
+  /// reporting.
+  struct TInsn {
+    Handler fn = nullptr;
+    std::uint8_t a = 0, b = 0, c = 0, d = 0;
+    Kind kind = Kind::Plain;
+    std::uint32_t base = 0;
+    std::uint32_t imm = 0;
+    std::uint32_t imm2 = 0;
+    const TInsn* target = nullptr;  // resolved branch/jump destination head
+    std::uint32_t pc = 0;           // original index (block start for Head)
+    std::uint32_t pc2 = 0;          // original index of fused second half
+    std::uint32_t next_pc = 0;      // original fall-through index
+    // Sum of base cycles of the remaining block positions that still have a
+    // (hoisted) cycle precheck after this slot; kNoPostCheck when this slot
+    // ends the block. Consulted after dynamic-cost ops only.
+    std::uint32_t rest_static = 0;
+  };
+
+  static constexpr std::uint32_t kNoPostCheck = 0xffffffffu;
+
+ private:
+  void build();
+
+  Program prog_;
+  JumpTable jt_;
+  std::vector<TInsn> code_;
+  // Original leader index -> its Head slot (size n+1; [n] = End slot;
+  // nullptr for non-leaders).
+  std::vector<const TInsn*> head_of_;
+  std::size_t blocks_ = 0;
+  std::size_t fused_ = 0;
+};
+
+}  // namespace ash::vcode

@@ -31,6 +31,14 @@ class FlatMemoryEnv : public Env {
     return true;
   }
 
+  bool fast_mem(FastMem* out) override {
+    out->mem = mem_.data();
+    out->mem_base = 0;
+    out->owner_lo = 0;
+    out->owner_hi = static_cast<std::uint32_t>(mem_.size());
+    return !mem_.empty();
+  }
+
  private:
   bool in_bounds(std::uint32_t addr, std::uint32_t len) const noexcept {
     return static_cast<std::uint64_t>(addr) + len <= mem_.size();

@@ -33,6 +33,7 @@ bool Env::mem_write(std::uint32_t, const void*, std::uint32_t) {
 std::uint64_t Env::mem_cycles(std::uint32_t, std::uint32_t, bool) {
   return 0;
 }
+bool Env::fast_mem(FastMem*) { return false; }
 bool Env::t_msglen(std::uint32_t*, std::uint64_t*) { return false; }
 bool Env::t_send(std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t*,
                  std::uint64_t*) {
@@ -68,18 +69,55 @@ std::uint32_t as_bits(float f) noexcept {
 
 }  // namespace
 
-ExecResult Interpreter::run(const ExecLimits& limits) {
-  const auto& insns = prog_->insns;
-  const std::uint32_t n = static_cast<std::uint32_t>(insns.size());
-  auto& regs = regs_;
-  regs[kRegZero] = 0;
-  env_->bind_regs(regs.data());
+JumpTable::JumpTable(const Program& prog) {
+  // Gather (key, translated-target) pairs: a sandboxed program translates
+  // pre-sandbox addresses through indirect_map; an unsandboxed one admits
+  // exactly its registered targets unchanged.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+  if (!prog.indirect_map.empty()) {
+    entries = prog.indirect_map;
+  } else {
+    entries.reserve(prog.indirect_targets.size());
+    for (std::uint32_t t : prog.indirect_targets) entries.emplace_back(t, t);
+  }
+  if (entries.empty()) return;
 
-  ExecResult res;
-  std::uint32_t pc = 0;
-  std::uint64_t budget = limits.software_budget;
-  std::array<std::uint32_t, kMaxCallDepth> call_stack;
-  std::uint32_t call_depth = 0;
+  std::uint32_t max_dense_key = 0;
+  for (const auto& [k, v] : entries) {
+    if (k < kMaxProgramLen && k > max_dense_key) max_dense_key = k;
+  }
+  dense_.assign(static_cast<std::size_t>(max_dense_key) + 1, -1);
+  for (const auto& [k, v] : entries) {
+    if (k < dense_.size()) {
+      dense_[k] = static_cast<std::int64_t>(v);
+    } else {
+      sparse_.emplace_back(k, v);
+    }
+  }
+  std::sort(sparse_.begin(), sparse_.end());
+}
+
+std::int64_t JumpTable::lookup_sparse(std::uint32_t t) const noexcept {
+  const auto it = std::lower_bound(
+      sparse_.begin(), sparse_.end(), t,
+      [](const auto& e, std::uint32_t v) { return e.first < v; });
+  if (it == sparse_.end() || it->first != t) return -1;
+  return static_cast<std::int64_t>(it->second);
+}
+
+namespace detail {
+
+ExecResult run_core(const Program& prog, Env& env, std::uint32_t* regs,
+                    const ExecLimits& limits, const JumpTable& jt,
+                    ResumeState& rs, ExecResult res) {
+  const auto& insns = prog.insns;
+  const std::uint32_t n = static_cast<std::uint32_t>(insns.size());
+  Env* const env_ = &env;
+
+  std::uint32_t pc = rs.pc;
+  std::uint64_t budget = rs.budget;
+  auto& call_stack = rs.call_stack;
+  std::uint32_t call_depth = rs.call_depth;
 
   auto finish = [&](Outcome o, std::uint32_t at) {
     res.outcome = o;
@@ -118,24 +156,11 @@ ExecResult Interpreter::run(const ExecLimits& limits) {
         break;
       }
       case Op::JrChk: {
-        const std::uint32_t t = regs[insn.a];
-        if (!prog_->indirect_map.empty()) {
-          // Sandboxed program: t is a pre-sandbox address; translate it.
-          const auto& map = prog_->indirect_map;
-          const auto it = std::lower_bound(
-              map.begin(), map.end(), t,
-              [](const auto& e, std::uint32_t v) { return e.first < v; });
-          if (it == map.end() || it->first != t) {
-            return finish(Outcome::IndirectJumpFault, pc);
-          }
-          next = it->second;
-          break;
-        }
-        const auto& targets = prog_->indirect_targets;
-        if (!std::binary_search(targets.begin(), targets.end(), t)) {
-          return finish(Outcome::IndirectJumpFault, pc);
-        }
-        next = t;
+        // O(1) translation through the shared jump table (covers both the
+        // sandboxed indirect_map and the unsandboxed indirect_targets).
+        const std::int64_t t = jt.lookup(regs[insn.a]);
+        if (t < 0) return finish(Outcome::IndirectJumpFault, pc);
+        next = static_cast<std::uint32_t>(t);
         break;
       }
       case Op::Call:
@@ -405,6 +430,17 @@ ExecResult Interpreter::run(const ExecLimits& limits) {
     regs[kRegZero] = 0;  // r0 is hardwired
     pc = next;
   }
+}
+
+}  // namespace detail
+
+ExecResult Interpreter::run(const ExecLimits& limits) {
+  regs_[kRegZero] = 0;
+  env_->bind_regs(regs_.data());
+  detail::ResumeState rs;
+  rs.budget = limits.software_budget;
+  return detail::run_core(*prog_, *env_, regs_.data(), limits, jt_, rs,
+                          ExecResult{});
 }
 
 ExecResult execute(const Program& prog, Env& env, const ExecLimits& limits,

@@ -16,6 +16,8 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "vcode/program.hpp"
 
@@ -82,6 +84,38 @@ class Env {
   virtual std::uint64_t mem_cycles(std::uint32_t addr, std::uint32_t len,
                                    bool is_write);
 
+  /// Optional host fast path for plain (unstriped) memory, used by the
+  /// download-time translated form. A provider guarantees:
+  ///   * a read of [addr, addr+len) succeeds in mem_read iff the range is
+  ///     fully inside the owner window or fully inside the msg window;
+  ///   * a write succeeds in mem_write iff fully inside the owner window;
+  ///   * an accepted access touches host bytes mem[addr - mem_base ...],
+  ///     little-endian, exactly as mem_read/mem_write would;
+  ///   * windows are already clamped to backing storage.
+  /// mem_cycles is still consulted per access, so simulated time and the
+  /// cache model are unchanged. Return false (the default) when the access
+  /// rules are not expressible as two windows (striped messages, custom
+  /// environments); engines then use mem_read/mem_write.
+  struct FastMem {
+    std::uint8_t* mem = nullptr;   // host pointer for simulated mem_base
+    std::uint32_t mem_base = 0;    // simulated address of mem[0]
+    std::uint32_t owner_lo = 0, owner_hi = 0;  // readable + writable [lo,hi)
+    std::uint32_t msg_lo = 0, msg_hi = 0;      // readable [lo,hi)
+    // Optional inlined cycle accounting: a raw view of a direct-mapped
+    // write-through/no-allocate cache model with power-of-two geometry
+    // (sim::Cache::Raw semantics). When dtags is null — or the provider
+    // cannot guarantee mem_cycles is exactly that model for every accepted
+    // access — engines charge through mem_cycles instead.
+    std::uint32_t* dtags = nullptr;
+    std::uint32_t dline_shift = 0;   // log2(line_bytes)
+    std::uint32_t dline_mask = 0;    // n_lines - 1
+    std::uint64_t dread_miss_penalty = 0;
+    std::uint64_t dwrite_cost = 0;
+    std::uint64_t* dhits = nullptr;
+    std::uint64_t* dmisses = nullptr;
+  };
+  virtual bool fast_mem(FastMem* out);
+
   // Trusted kernel entry points. Return false to deny (involuntary abort).
   // `cycles` is the cost the kernel charges for the call's work.
   virtual bool t_msglen(std::uint32_t* len_out, std::uint64_t* cycles);
@@ -106,12 +140,64 @@ class Env {
   virtual bool pipe_out(std::uint32_t width, std::uint32_t value);
 };
 
+/// O(1) indirect-jump target lookup, shared by the interpreter and the
+/// download-time code cache. Built once per program from `indirect_map`
+/// (sandboxed: pre-sandbox address -> rewritten index) or from
+/// `indirect_targets` (unsandboxed: identity mapping). A program with
+/// neither has no legal indirect targets, so every JrChk faults.
+///
+/// Common keys (< kMaxProgramLen) live in a dense flat table; a hostile
+/// program may register arbitrary 32-bit keys, which fall back to a small
+/// sorted side vector so the dense table stays bounded.
+class JumpTable {
+ public:
+  JumpTable() = default;
+  explicit JumpTable(const Program& prog);
+
+  /// Translated target index for pre-translation address `t`, or a
+  /// negative value if `t` is not a registered indirect target.
+  std::int64_t lookup(std::uint32_t t) const noexcept {
+    if (t < dense_.size()) return dense_[t];
+    if (sparse_.empty()) return -1;
+    return lookup_sparse(t);
+  }
+
+ private:
+  std::int64_t lookup_sparse(std::uint32_t t) const noexcept;
+
+  std::vector<std::int64_t> dense_;  // index = key; negative = illegal
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sparse_;
+};
+
+namespace detail {
+
+/// Non-result execution state (pc, software budget, call stack), exposed so
+/// the code cache can hand a partially executed program back to the exact
+/// interpreter core mid-run with bit-identical continuation semantics.
+/// Call-stack entries are original instruction indices.
+struct ResumeState {
+  std::uint32_t pc = 0;
+  std::uint64_t budget = 0;
+  std::uint32_t call_depth = 0;
+  std::array<std::uint32_t, kMaxCallDepth> call_stack{};
+};
+
+/// The interpreter core loop, resumable from an arbitrary ResumeState with
+/// pre-accumulated counters in `res`. Does NOT touch regs[kRegZero] on
+/// entry and does NOT call env.bind_regs — callers do both.
+ExecResult run_core(const Program& prog, Env& env, std::uint32_t* regs,
+                    const ExecLimits& limits, const JumpTable& jt,
+                    ResumeState& rs, ExecResult res);
+
+}  // namespace detail
+
 /// Interpreter with an explicit register file, so callers can import and
 /// export persistent registers across runs (the paper's pipe accumulator
 /// export/import, Section II-B).
 class Interpreter {
  public:
-  Interpreter(const Program& prog, Env& env) : prog_(&prog), env_(&env) {}
+  Interpreter(const Program& prog, Env& env)
+      : prog_(&prog), env_(&env), jt_(prog) {}
 
   void set_reg(Reg r, std::uint32_t v) noexcept {
     if (r != kRegZero && r < kNumRegs) regs_[r] = v;
@@ -133,6 +219,7 @@ class Interpreter {
  private:
   const Program* prog_;
   Env* env_;
+  JumpTable jt_;
   std::array<std::uint32_t, kNumRegs> regs_{};
 };
 

@@ -2,14 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 
+#include "core/ash_env.hpp"
 #include "core/upcall.hpp"
 #include "dilp/stdpipes.hpp"
+#include "sandbox/sfi.hpp"
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
 #include "util/checksum.hpp"
 #include "vcode/builder.hpp"
+#include "vcode/codecache.hpp"
 
 namespace ash::core {
 namespace {
@@ -417,6 +421,95 @@ TEST(AshSystem, AshFasterThanUpcallForRemoteIncrement) {
   const auto ash_cycles = kernel_cycles(true);
   const auto upcall_cycles = kernel_cycles(false);
   EXPECT_LT(ash_cycles + sim::us(10.0), upcall_cycles);
+}
+
+TEST(AshSystem, CodeCacheInlinedCacheModelBitIdentical) {
+  // The code cache inlines the node's direct-mapped cache model when the
+  // environment offers it (AshEnv::fast_mem); the interpreter always goes
+  // through the virtual mem_cycles hook. Run a memory-heavy handler on two
+  // fresh (cold-cache) nodes, one per engine, and require identical
+  // simulated results AND identical D-cache hit/miss counters.
+  struct Run {
+    vcode::ExecResult res;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  const auto run_engine = [](bool use_cache) -> Run {
+    Builder bld;
+    const Reg i = bld.reg(), sum = bld.reg(), v = bld.reg(), p = bld.reg(),
+              lim = bld.reg();
+    bld.movi(i, 0);
+    bld.movi(sum, 0);
+    bld.movi(lim, 1024);
+    const auto loop = bld.label();
+    bld.bind(loop);
+    bld.addu(p, kRegArg0, i);  // msg word + a sub-word byte
+    bld.lw(v, p, 0);
+    bld.addu(sum, sum, v);
+    bld.lbu(v, p, 1);
+    bld.addu(sum, sum, v);
+    bld.addu(p, kRegArg2, i);  // owner scratch: word + halfword store
+    bld.sw(sum, p, 0);
+    bld.sh(sum, p, 2);
+    bld.addiu(i, i, 4);
+    bld.bltu(i, lim, loop);
+    bld.addiu(kRegArg0, sum, 0);
+    bld.halt();
+
+    sim::Simulator s;
+    sim::Node& node = s.add_node("n");
+    const std::uint32_t seg = 0x100000;
+    sandbox::Options sb;
+    sb.segment = {seg, 0x100000};
+    std::string error;
+    auto boxed = sandbox::sandbox(bld.take(), sb, &error);
+    EXPECT_TRUE(boxed.has_value()) << error;
+    if (!boxed) return {};
+    const vcode::Program installed = std::move(boxed->program);
+
+    const std::uint32_t msg = seg + 0x8000;
+    const std::uint32_t scratch = seg + 0x4000;
+    for (std::uint32_t k = 0; k < 1024; ++k) {
+      *node.mem(msg + k, 1) = static_cast<std::uint8_t>(k * 131u + 7u);
+    }
+    AshEnv::Config ec;
+    ec.node = &node;
+    ec.owner_seg = {seg, 0x100000};
+    ec.msg_addr = msg;
+    ec.msg_len = 1024;
+    AshEnv env(ec);
+
+    Run out;
+    if (use_cache) {
+      const vcode::CodeCache cache(installed);
+      std::array<std::uint32_t, vcode::kNumRegs> regs{};
+      regs[kRegArg0] = msg;
+      regs[kRegArg1] = 1024;
+      regs[kRegArg2] = scratch;
+      out.res = cache.run(env, regs, {});
+    } else {
+      vcode::Interpreter interp(installed, env);
+      interp.set_args(msg, 1024, scratch, 0);
+      out.res = interp.run({});
+    }
+    out.hits = node.dcache().hits();
+    out.misses = node.dcache().misses();
+    return out;
+  };
+
+  const Run interp = run_engine(false);
+  const Run cached = run_engine(true);
+  ASSERT_EQ(interp.res.outcome, vcode::Outcome::Halted)
+      << vcode::to_string(interp.res.outcome);
+  EXPECT_EQ(cached.res.outcome, interp.res.outcome);
+  EXPECT_EQ(cached.res.insns, interp.res.insns);
+  EXPECT_EQ(cached.res.cycles, interp.res.cycles);
+  EXPECT_EQ(cached.res.result, interp.res.result);
+  EXPECT_EQ(cached.hits, interp.hits);
+  EXPECT_EQ(cached.misses, interp.misses);
+  // The workload must actually exercise the model on both sides.
+  EXPECT_GT(interp.hits, 0u);
+  EXPECT_GT(interp.misses, 0u);
 }
 
 }  // namespace

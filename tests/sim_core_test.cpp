@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/cache.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
@@ -70,6 +73,76 @@ TEST(EventQueue, RunUntilLimitStopsEarly) {
   q.run_until_idle(500);
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  EXPECT_TRUE(q.step());
+  q.cancel(id);         // already fired
+  q.cancel(id);         // twice
+  q.cancel(99999);      // never issued
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.cancelled_backlog(), 0u);
+  q.run_until_idle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce) {
+  EventQueue q;
+  const EventId id = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run_until_idle(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+// The re-armed retransmit-timer pattern: schedule far out, cancel, re-arm,
+// many thousands of times with only a handful of events ever live. The
+// tombstone set must stay bounded by the live population instead of
+// accumulating one entry per cancelled timer for the whole run.
+TEST(EventQueue, ReArmedTimersKeepBacklogBounded) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1, [&] { ++fired; });  // one live anchor event
+  for (int i = 0; i < 10000; ++i) {
+    const EventId timer = q.schedule_in(1'000'000, [&] { ++fired; });
+    q.cancel(timer);
+    ASSERT_LE(q.cancelled_backlog(), q.pending());
+  }
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_LE(q.cancelled_backlog(), 1u);
+  EXPECT_EQ(q.run_until_idle(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 1u);
+}
+
+TEST(EventQueue, CompactionPreservesOrdering) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> victims;
+  for (int i = 0; i < 50; ++i) {
+    const EventId id =
+        q.schedule_at(10 * (i % 7) + 5, [&order, i] { order.push_back(i); });
+    if (i % 2 == 1) victims.push_back(id);
+  }
+  for (const EventId id : victims) q.cancel(id);  // triggers compaction
+  EXPECT_EQ(q.pending(), 25u);
+  q.run_until_idle();
+  ASSERT_EQ(order.size(), 25u);
+  // Survivors still run in (time, schedule-order) order.
+  std::vector<int> expected = order;
+  std::stable_sort(expected.begin(), expected.end(), [](int a, int b) {
+    return (10 * (a % 7) + 5) < (10 * (b % 7) + 5);
+  });
+  EXPECT_EQ(order, expected);
+  for (const int i : order) EXPECT_EQ(i % 2, 0);
 }
 
 TEST(Cache, ReadMissThenHit) {

@@ -1,0 +1,499 @@
+// Differential execution: the download-time code cache must be
+// bit-identical to the interpreter — outcome, insns, cycles, result,
+// abort_code, fault_pc, final registers, and final memory — on random
+// verified programs (sandboxed and unsandboxed) and on handcrafted edge
+// cases around fused pairs, hoisted budget checks, and indirect jumps.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "sandbox/sfi.hpp"
+#include "util/rng.hpp"
+#include "vcode/codecache.hpp"
+#include "vcode/interp.hpp"
+#include "vcode/program.hpp"
+#include "vcode/verifier.hpp"
+
+namespace ash::vcode {
+namespace {
+
+constexpr std::uint32_t kSegBase = 0x10000;
+constexpr std::uint32_t kSegSize = 0x10000;
+
+// Deterministic environment: flat memory window, pseudo-random (but
+// stateless) cache-model cycles, deterministic trusted entry points that
+// exercise the bound-register path, and argument-dependent denials.
+class DiffEnv : public Env {
+ public:
+  explicit DiffEnv(std::uint64_t seed, std::uint32_t base = kSegBase,
+                   std::uint32_t size = kSegSize)
+      : base_(base), mem_(size) {
+    for (std::size_t i = 0; i < mem_.size(); ++i) {
+      mem_[i] = static_cast<std::uint8_t>(i * 31 + seed * 7 + 5);
+    }
+  }
+
+  const std::vector<std::uint8_t>& memory() const { return mem_; }
+
+  void bind_regs(std::uint32_t* regs) override { regs_ = regs; }
+
+  bool mem_read(std::uint32_t addr, void* dst, std::uint32_t len) override {
+    if (!in_range(addr, len)) return false;
+    std::memcpy(dst, mem_.data() + (addr - base_), len);
+    return true;
+  }
+  bool mem_write(std::uint32_t addr, const void* src,
+                 std::uint32_t len) override {
+    if (!in_range(addr, len)) return false;
+    std::memcpy(mem_.data() + (addr - base_), src, len);
+    return true;
+  }
+  std::uint64_t mem_cycles(std::uint32_t addr, std::uint32_t len,
+                           bool is_write) override {
+    return ((addr * 2654435761u) >> 28 & 7u) + len / 4 + (is_write ? 1 : 0);
+  }
+  // Offered on half the differential runs so the cache engine is diffed
+  // against the interpreter on both its direct and its virtual memory path.
+  bool fast_mem(FastMem* out) override {
+    if (!offer_fast_mem_) return false;
+    out->mem = mem_.data();
+    out->mem_base = base_;
+    out->owner_lo = base_;
+    out->owner_hi = base_ + static_cast<std::uint32_t>(mem_.size());
+    return true;
+  }
+  void set_offer_fast_mem(bool on) { offer_fast_mem_ = on; }
+
+  bool t_msglen(std::uint32_t* len_out, std::uint64_t* cycles) override {
+    *len_out = 4096;
+    *cycles = 3;
+    return true;
+  }
+  bool t_send(std::uint32_t chan, std::uint32_t addr, std::uint32_t len,
+              std::uint32_t* status, std::uint64_t* cycles) override {
+    if (chan % 7 == 3) return false;
+    *status = chan ^ len ^ (addr >> 4);
+    *cycles = 10 + (addr & 3);
+    return true;
+  }
+  bool t_dilp(std::uint32_t id, std::uint32_t src, std::uint32_t dst,
+              std::uint32_t len, std::uint32_t* status,
+              std::uint64_t* cycles) override {
+    if (id % 5 == 4) return false;
+    // Touch a persistent register through the bound register file, the
+    // way the real DILP engine exports accumulators.
+    if (regs_ != nullptr) regs_[48] += len + 1;
+    *status = id + src + dst;
+    *cycles = 5 + (len & 7);
+    return true;
+  }
+  bool t_usercopy(std::uint32_t dst, std::uint32_t src, std::uint32_t len,
+                  std::uint32_t* status, std::uint64_t* cycles) override {
+    if (len > 0x1000) return false;
+    *status = dst ^ src;
+    *cycles = 4 + len % 3;
+    return true;
+  }
+  bool t_msgload(std::uint32_t offset, std::uint32_t* value,
+                 std::uint64_t* cycles) override {
+    if (offset > 0x100000) return false;
+    *value = offset * 2654435761u;
+    *cycles = 2 + (offset & 1);
+    return true;
+  }
+
+ private:
+  bool in_range(std::uint32_t addr, std::uint32_t len) const {
+    return addr >= base_ && addr - base_ <= mem_.size() - len &&
+           len <= mem_.size();
+  }
+  std::uint32_t base_;
+  std::vector<std::uint8_t> mem_;
+  std::uint32_t* regs_ = nullptr;
+  bool offer_fast_mem_ = true;
+};
+
+std::array<std::uint32_t, kNumRegs> seed_regs(util::Rng& rng) {
+  std::array<std::uint32_t, kNumRegs> regs{};
+  for (std::uint32_t r = 1; r <= 12; ++r) {
+    if (rng.chance(1, 2)) {
+      regs[r] = kSegBase + (static_cast<std::uint32_t>(rng.next()) &
+                            (kSegSize - 4));
+    } else {
+      regs[r] = static_cast<std::uint32_t>(rng.next());
+    }
+  }
+  return regs;
+}
+
+/// Run `prog` through both engines with identical seeds and compare every
+/// observable. `tag` makes failures attributable to a seed/limit combo.
+void expect_identical(const Program& prog,
+                      const std::array<std::uint32_t, kNumRegs>& seeds,
+                      const ExecLimits& limits, std::uint64_t env_seed,
+                      const std::string& tag) {
+  DiffEnv env_a(env_seed);
+  Interpreter interp(prog, env_a);
+  for (std::uint32_t r = 1; r < kNumRegs; ++r) {
+    interp.set_reg(static_cast<Reg>(r), seeds[r]);
+  }
+  const ExecResult a = interp.run(limits);
+
+  DiffEnv env_b(env_seed);
+  env_b.set_offer_fast_mem(env_seed % 2 == 0);
+  CodeCache cache(prog);
+  std::array<std::uint32_t, kNumRegs> regs = seeds;
+  regs[kRegZero] = 0;
+  const ExecResult b = cache.run(env_b, regs, limits);
+
+  ASSERT_EQ(static_cast<int>(a.outcome), static_cast<int>(b.outcome))
+      << tag << " interp=" << to_string(a.outcome)
+      << " cache=" << to_string(b.outcome);
+  ASSERT_EQ(a.insns, b.insns) << tag;
+  ASSERT_EQ(a.cycles, b.cycles) << tag;
+  ASSERT_EQ(a.result, b.result) << tag;
+  ASSERT_EQ(a.abort_code, b.abort_code) << tag;
+  ASSERT_EQ(a.fault_pc, b.fault_pc) << tag;
+  for (std::uint32_t r = 0; r < kNumRegs; ++r) {
+    ASSERT_EQ(interp.reg(static_cast<Reg>(r)), regs[r])
+        << tag << " register r" << r;
+  }
+  ASSERT_EQ(env_a.memory(), env_b.memory()) << tag;
+}
+
+/// Random verified program over registers r0..r20 (sandbox-compatible).
+Program random_program(util::Rng& rng) {
+  Program prog;
+  const std::uint32_t n = static_cast<std::uint32_t>(rng.range(4, 40));
+  auto reg = [&] { return static_cast<std::uint8_t>(rng.below(21)); };
+  std::vector<std::uint32_t> targets;
+
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    Insn in{};
+    const std::uint64_t pick = rng.below(100);
+    if (pick < 20) {
+      static constexpr Op kAlu3[] = {Op::Addu, Op::Subu, Op::Mulu, Op::And,
+                                     Op::Or,   Op::Xor,  Op::Sll,  Op::Srl,
+                                     Op::Sra,  Op::Sltu, Op::Slt};
+      in.op = kAlu3[rng.below(std::size(kAlu3))];
+      in.a = reg();
+      in.b = reg();
+      in.c = reg();
+    } else if (pick < 35) {
+      static constexpr Op kAluI[] = {Op::Addiu, Op::Andi, Op::Ori, Op::Xori,
+                                     Op::Slli,  Op::Srli, Op::Srai};
+      in.op = kAluI[rng.below(std::size(kAluI))];
+      in.a = reg();
+      in.b = reg();
+      in.imm = static_cast<std::uint32_t>(rng.next());
+    } else if (pick < 40) {
+      in.op = rng.chance(1, 2) ? Op::Movi : Op::Mov;
+      in.a = reg();
+      in.b = reg();
+      in.imm = static_cast<std::uint32_t>(rng.next());
+    } else if (pick < 50) {
+      static constexpr Op kMem[] = {Op::Lw, Op::Lhu,   Op::Lh,  Op::Lbu,
+                                    Op::Lb, Op::Lwu_u, Op::Sw,  Op::Sh,
+                                    Op::Sb, Op::Sw_u};
+      in.op = kMem[rng.below(std::size(kMem))];
+      in.a = reg();
+      in.b = reg();
+      in.imm = static_cast<std::uint32_t>(rng.below(64));
+    } else if (pick < 60) {
+      static constexpr Op kBr[] = {Op::Beq, Op::Bne, Op::Bltu,
+                                   Op::Bgeu, Op::Blt, Op::Bge};
+      in.op = kBr[rng.below(std::size(kBr))];
+      in.a = reg();
+      in.b = rng.chance(1, 3) ? 0 : reg();  // r0 compares feed fusion
+      in.imm = static_cast<std::uint32_t>(rng.below(n));
+    } else if (pick < 63) {
+      in.op = Op::Jmp;
+      in.imm = static_cast<std::uint32_t>(rng.below(n));
+    } else if (pick < 65) {
+      in.op = Op::Call;
+      in.imm = static_cast<std::uint32_t>(rng.below(n));
+    } else if (pick < 67) {
+      in.op = Op::Ret;
+    } else if (pick < 70 && i + 2 < n) {
+      // Seeded indirect jump: Movi a, target ; Jr a — usually lands.
+      const auto tgt = static_cast<std::uint32_t>(rng.below(n));
+      targets.push_back(tgt);
+      in.op = Op::Movi;
+      in.a = reg();
+      in.imm = tgt;
+      prog.insns.push_back(in);
+      ++i;
+      in = Insn{};
+      in.op = Op::Jr;
+      in.a = prog.insns.back().a;
+    } else if (pick < 75) {
+      static constexpr Op kNet[] = {Op::Cksum32, Op::Bswap32, Op::Bswap16};
+      in.op = kNet[rng.below(std::size(kNet))];
+      in.a = reg();
+      in.b = reg();
+    } else if (pick < 83) {
+      static constexpr Op kTrusted[] = {Op::TMsgLen, Op::TSend, Op::TDilp,
+                                        Op::TUserCopy, Op::TMsgLoad};
+      in.op = kTrusted[rng.below(std::size(kTrusted))];
+      in.a = reg();
+      in.b = reg();
+      in.c = reg();
+      in.imm = in.op == Op::TDilp
+                   ? static_cast<std::uint32_t>(rng.below(kNumRegs))
+                   : static_cast<std::uint32_t>(rng.below(32));
+    } else if (pick < 86) {
+      in.op = Op::Budget;
+      in.imm = static_cast<std::uint32_t>(rng.below(16));
+    } else if (pick < 88) {
+      in.op = Op::Abort;
+      in.imm = static_cast<std::uint32_t>(rng.below(1000));
+    } else if (pick < 90) {
+      in.op = Op::Halt;
+    } else if (pick < 94) {
+      in.op = rng.chance(1, 2) ? Op::Divu : Op::Remu;
+      in.a = reg();
+      in.b = reg();
+      in.c = reg();
+    } else {
+      in.op = Op::Nop;
+    }
+    prog.insns.push_back(in);
+  }
+  Insn halt{};
+  halt.op = Op::Halt;
+  prog.insns.push_back(halt);
+
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  prog.indirect_targets = std::move(targets);
+  return prog;
+}
+
+TEST(CodeCacheDifferential, RandomProgramsMatchInterpreter) {
+  VerifyPolicy policy;
+  policy.allow_trusted = true;
+  policy.allow_indirect = true;
+
+  int programs_run = 0;
+  std::uint64_t seed = 0;
+  while (programs_run < 1200) {
+    util::Rng rng(seed++);
+    Program prog = random_program(rng);
+    if (!verify(prog, policy).ok()) continue;
+    ++programs_run;
+
+    const auto seeds = seed_regs(rng);
+    const std::uint64_t env_seed = rng.next();
+    const std::string tag = "seed=" + std::to_string(seed - 1);
+
+    ExecLimits relaxed;
+    relaxed.max_insns = 5000;
+    expect_identical(prog, seeds, relaxed, env_seed, tag + " relaxed");
+
+    ExecLimits cycle_capped;
+    cycle_capped.max_insns = 5000;
+    cycle_capped.max_cycles = rng.range(1, 300);
+    expect_identical(prog, seeds, cycle_capped, env_seed, tag + " cycles");
+
+    ExecLimits tight;
+    tight.max_insns = rng.range(1, 60);
+    tight.software_budget = rng.range(1, 50);
+    expect_identical(prog, seeds, tight, env_seed, tag + " tight");
+
+    // Sandboxed variant of the same program, same comparisons.
+    sandbox::Options sopts;
+    sopts.segment = {kSegBase, kSegSize};
+    sopts.mode = rng.chance(1, 5) ? sandbox::Mode::X86Segments
+                                  : sandbox::Mode::Mips;
+    sopts.software_budget_checks = rng.chance(1, 2);
+    sopts.general_epilogue = rng.chance(1, 2);
+    std::string err;
+    auto sres = sandbox::sandbox(prog, sopts, &err);
+    if (!sres.has_value()) continue;
+    expect_identical(sres->program, seeds, relaxed, env_seed, tag + " sb");
+    expect_identical(sres->program, seeds, cycle_capped, env_seed,
+                     tag + " sb-cycles");
+    expect_identical(sres->program, seeds, tight, env_seed, tag + " sb-tight");
+  }
+  EXPECT_GE(programs_run, 1200);
+}
+
+// Sweep every instruction/cycle ceiling across a program holding all three
+// fusion families plus a dynamic-cost trusted call, so the budget ceiling
+// lands exactly on superinstruction and basic-block boundaries.
+TEST(CodeCacheDifferential, BudgetBoundarySweep) {
+  Program prog;
+  auto add = [&](Op op, std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint32_t imm) {
+    prog.insns.push_back({op, a, b, c, imm});
+  };
+  add(Op::Movi, 5, 0, 0, 0x8000);
+  add(Op::Movi, 6, 0, 0, 0xABCD);
+  add(Op::Andi, 7, 5, 0, 0xFFFC);    // fused with the Sw below
+  add(Op::Sw, 6, 7, 0, 0);
+  add(Op::Addiu, 7, 7, 0, 4);        // fused with the Lw below
+  add(Op::Lw, 8, 7, 0, 0);
+  add(Op::Sltu, 9, 8, 6, 0);         // fused with the Bne below
+  add(Op::Bne, 9, 0, 0, 9);
+  add(Op::Nop, 0, 0, 0, 0);
+  add(Op::TMsgLen, 10, 0, 0, 0);     // dynamic trusted cycles
+  add(Op::Cksum32, 10, 8, 0, 0);
+  add(Op::Halt, 0, 0, 0, 0);
+
+  std::array<std::uint32_t, kNumRegs> seeds{};
+  // Full flat memory at 0 so the masked addresses stay valid.
+  for (std::uint64_t max_insns = 0; max_insns <= 14; ++max_insns) {
+    for (std::uint64_t max_cycles = 0; max_cycles <= 40; ++max_cycles) {
+      ExecLimits lim;
+      lim.max_insns = max_insns;
+      lim.max_cycles = max_cycles;
+
+      DiffEnv env_a(1, /*base=*/0, /*size=*/0x10000);
+      Interpreter interp(prog, env_a);
+      const ExecResult a = interp.run(lim);
+
+      DiffEnv env_b(1, /*base=*/0, /*size=*/0x10000);
+      CodeCache cache(prog);
+      std::array<std::uint32_t, kNumRegs> regs = seeds;
+      const ExecResult b = cache.run(env_b, regs, lim);
+
+      ASSERT_EQ(static_cast<int>(a.outcome), static_cast<int>(b.outcome))
+          << "insns=" << max_insns << " cycles=" << max_cycles;
+      ASSERT_EQ(a.insns, b.insns) << max_insns << "/" << max_cycles;
+      ASSERT_EQ(a.cycles, b.cycles) << max_insns << "/" << max_cycles;
+      ASSERT_EQ(a.fault_pc, b.fault_pc) << max_insns << "/" << max_cycles;
+      ASSERT_EQ(a.result, b.result) << max_insns << "/" << max_cycles;
+      for (std::uint32_t r = 0; r < kNumRegs; ++r) {
+        ASSERT_EQ(interp.reg(static_cast<Reg>(r)), regs[r]) << "r" << r;
+      }
+    }
+  }
+  // The program really does fuse all three families.
+  CodeCache cache(prog);
+  EXPECT_EQ(cache.fused_count(), 3u);
+}
+
+TEST(CodeCacheDifferential, JrChkUnmappedTargetFaults) {
+  Program prog;
+  prog.insns.push_back({Op::Movi, 5, 0, 0, 7});
+  prog.insns.push_back({Op::JrChk, 5, 0, 0, 0});
+  prog.insns.push_back({Op::Halt, 0, 0, 0, 0});
+  prog.indirect_map = {{3, 2}};
+  prog.sandboxed = true;
+
+  DiffEnv env_a(2);
+  Interpreter interp(prog, env_a);
+  const ExecResult a = interp.run({});
+
+  DiffEnv env_b(2);
+  CodeCache cache(prog);
+  std::array<std::uint32_t, kNumRegs> regs{};
+  const ExecResult b = cache.run(env_b, regs, {});
+
+  EXPECT_EQ(a.outcome, Outcome::IndirectJumpFault);
+  EXPECT_EQ(b.outcome, Outcome::IndirectJumpFault);
+  EXPECT_EQ(a.fault_pc, 1u);
+  EXPECT_EQ(b.fault_pc, 1u);
+  EXPECT_EQ(a.insns, b.insns);
+  EXPECT_EQ(a.cycles, b.cycles);
+
+  // Mapped variant lands, including through the sparse (out-of-dense-range)
+  // side of the shared jump table.
+  Program mapped = prog;
+  mapped.indirect_map = {{7, 2}};
+  DiffEnv env_c(2);
+  Interpreter interp2(mapped, env_c);
+  EXPECT_EQ(interp2.run({}).outcome, Outcome::Halted);
+  DiffEnv env_d(2);
+  CodeCache cache2(mapped);
+  std::array<std::uint32_t, kNumRegs> regs2{};
+  EXPECT_EQ(cache2.run(env_d, regs2, {}).outcome, Outcome::Halted);
+
+  Program sparse = prog;
+  const std::uint32_t big = static_cast<std::uint32_t>(kMaxProgramLen) + 123;
+  sparse.insns[0].imm = big;
+  sparse.indirect_map = {{big, 2}};
+  DiffEnv env_e(2);
+  Interpreter interp3(sparse, env_e);
+  EXPECT_EQ(interp3.run({}).outcome, Outcome::Halted);
+  DiffEnv env_f(2);
+  CodeCache cache3(sparse);
+  std::array<std::uint32_t, kNumRegs> regs3{};
+  EXPECT_EQ(cache3.run(env_f, regs3, {}).outcome, Outcome::Halted);
+}
+
+TEST(CodeCacheDifferential, FaultInsideFusedPairReportsSecondHalf) {
+  // Andi+Sw fuse; the store's address is outside every segment, so the
+  // fault must surface at the store's own pc with both halves counted.
+  Program prog;
+  prog.insns.push_back({Op::Movi, 5, 0, 0, 0xdead0000});
+  prog.insns.push_back({Op::Andi, 6, 5, 0, 0xFFFF0000});
+  prog.insns.push_back({Op::Sw, 5, 6, 0, 0});
+  prog.insns.push_back({Op::Halt, 0, 0, 0, 0});
+
+  DiffEnv env_a(3);
+  Interpreter interp(prog, env_a);
+  const ExecResult a = interp.run({});
+
+  DiffEnv env_b(3);
+  CodeCache cache(prog);
+  std::array<std::uint32_t, kNumRegs> regs{};
+  const ExecResult b = cache.run(env_b, regs, {});
+
+  EXPECT_EQ(cache.fused_count(), 1u);
+  EXPECT_EQ(a.outcome, Outcome::MemFault);
+  EXPECT_EQ(b.outcome, Outcome::MemFault);
+  EXPECT_EQ(a.fault_pc, 2u);
+  EXPECT_EQ(b.fault_pc, 2u);
+  EXPECT_EQ(a.insns, 3u);
+  EXPECT_EQ(b.insns, 3u);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(CodeCacheDifferential, AbortReachedThroughFusedBranch) {
+  // Sltu+Bne fuse; the taken branch lands on an Abort in another block.
+  Program prog;
+  prog.insns.push_back({Op::Movi, 5, 0, 0, 1});
+  prog.insns.push_back({Op::Movi, 6, 0, 0, 2});
+  prog.insns.push_back({Op::Sltu, 7, 5, 6, 0});
+  prog.insns.push_back({Op::Bne, 7, 0, 0, 5});
+  prog.insns.push_back({Op::Halt, 0, 0, 0, 0});
+  prog.insns.push_back({Op::Abort, 0, 0, 0, 77});
+
+  DiffEnv env_a(4);
+  Interpreter interp(prog, env_a);
+  const ExecResult a = interp.run({});
+
+  DiffEnv env_b(4);
+  CodeCache cache(prog);
+  std::array<std::uint32_t, kNumRegs> regs{};
+  const ExecResult b = cache.run(env_b, regs, {});
+
+  EXPECT_EQ(cache.fused_count(), 1u);
+  EXPECT_EQ(a.outcome, Outcome::VoluntaryAbort);
+  EXPECT_EQ(b.outcome, Outcome::VoluntaryAbort);
+  EXPECT_EQ(a.abort_code, 77u);
+  EXPECT_EQ(b.abort_code, 77u);
+  EXPECT_EQ(a.fault_pc, 5u);
+  EXPECT_EQ(b.fault_pc, 5u);
+  EXPECT_EQ(a.insns, b.insns);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(CodeCacheTranslation, DumpShowsBlocksAndFusions) {
+  Program prog;
+  prog.insns.push_back({Op::Andi, 6, 5, 0, 0xFFFC});
+  prog.insns.push_back({Op::Lw, 7, 6, 0, 0});
+  prog.insns.push_back({Op::Halt, 0, 0, 0, 0});
+  CodeCache cache(prog);
+  const std::string d = cache.dump();
+  EXPECT_NE(d.find("block @0"), std::string::npos);
+  EXPECT_NE(d.find("fuse[alu+mem]"), std::string::npos);
+  EXPECT_NE(d.find("codecache:"), std::string::npos);
+  EXPECT_EQ(cache.block_count(), count_basic_blocks(prog));
+}
+
+}  // namespace
+}  // namespace ash::vcode

@@ -8,6 +8,10 @@
 //                                         SFI-rewrite an image (defaults:
 //                                         base 0x100000, size 0x100000)
 //   ashtool run <file> [a0 a1 a2 a3]      execute in a 1 MB flat memory
+//   ashtool dump-translated <file>        print the pre-decoded threaded
+//                                         form built by the download-time
+//                                         translate stage (blocks, hoisted
+//                                         budget checks, fused pairs)
 //
 // The serialized format is exactly what AshSystem::download consumes —
 // these files are "what the kernel sees".
@@ -20,6 +24,7 @@
 
 #include "ashlib/handlers.hpp"
 #include "sandbox/sfi.hpp"
+#include "vcode/codecache.hpp"
 #include "vcode/env_util.hpp"
 #include "vcode/interp.hpp"
 #include "vcode/verifier.hpp"
@@ -33,7 +38,8 @@ int usage() {
                "usage: ashtool gen <handler> <file>\n"
                "       ashtool dis <file>\n"
                "       ashtool sandbox <file> <out> [base size]\n"
-               "       ashtool run <file> [a0 a1 a2 a3]\n");
+               "       ashtool run <file> [a0 a1 a2 a3]\n"
+               "       ashtool dump-translated <file>\n");
   return 2;
 }
 
@@ -148,6 +154,18 @@ int cmd_run(const std::string& file, std::uint32_t a0, std::uint32_t a1,
   return r.outcome == ash::vcode::Outcome::Halted ? 0 : 1;
 }
 
+int cmd_dump_translated(const std::string& file) {
+  const auto bytes = read_file(file);
+  const auto prog = Program::deserialize(bytes);
+  if (!prog.has_value()) {
+    std::fprintf(stderr, "%s: not a valid .ashv image\n", file.c_str());
+    return 1;
+  }
+  const ash::vcode::CodeCache cache(*prog);
+  std::fputs(cache.dump().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,6 +180,9 @@ int main(int argc, char** argv) {
       size = static_cast<std::uint32_t>(std::strtoul(argv[5], nullptr, 0));
     }
     return cmd_sandbox(argv[2], argv[3], base, size);
+  }
+  if ((cmd == "dump-translated" || cmd == "--dump-translated") && argc == 3) {
+    return cmd_dump_translated(argv[2]);
   }
   if (cmd == "run" && argc >= 3 && argc <= 7) {
     std::uint32_t a[4] = {0, 0, 0, 0};
