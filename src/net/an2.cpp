@@ -10,7 +10,7 @@
 namespace ash::net {
 
 An2Device::An2Device(sim::Node& node, const An2Config& config)
-    : node_(node), config_(config), faults_(config.fault_seed) {}
+    : node_(node), config_(config), faults_(config.faults) {}
 
 void An2Device::connect(An2Device& peer) {
   if (peer_ != nullptr || peer.peer_ != nullptr || switch_ != nullptr ||
@@ -107,29 +107,34 @@ bool An2Device::send(int dst_vc, std::span<const std::uint8_t> bytes) {
   tx_free_at_ = start + tx_wire_cycles(static_cast<std::uint32_t>(bytes.size()));
   const sim::Cycles arrive = tx_free_at_ + config_.one_way_latency;
 
-  if (config_.drop_prob > 0 && faults_.uniform() < config_.drop_prob) {
-    return true;  // vanished on the wire
-  }
   std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
-  if (switch_ != nullptr) {
-    An2Switch* sw = switch_;
-    const int port = switch_port_;
-    node_.queue().schedule_at(arrive, [sw, port, dst_vc, copy]() mutable {
-      sw->forward(port, dst_vc, std::move(copy));
-    });
-    return true;
+  const FaultInjector::Decision fault = faults_.inject(copy);
+  if (fault.drop) return true;  // vanished on the wire
+
+  // One delivery closure serves the switched and point-to-point paths, so
+  // every fault class (including duplication) behaves identically on both.
+  const auto dispatch = [this, dst_vc](sim::Cycles at,
+                                       std::vector<std::uint8_t> frame) {
+    if (switch_ != nullptr) {
+      An2Switch* sw = switch_;
+      const int port = switch_port_;
+      node_.queue().schedule_at(at, [sw, port, dst_vc,
+                                     frame = std::move(frame)]() mutable {
+        sw->forward(port, dst_vc, std::move(frame));
+      });
+    } else {
+      An2Device* peer = peer_;
+      node_.queue().schedule_at(at, [peer, dst_vc,
+                                     frame = std::move(frame)]() mutable {
+        peer->deliver(dst_vc, std::move(frame));
+      });
+    }
+  };
+
+  if (fault.duplicate) {
+    dispatch(arrive + fault.extra_delay + faults_.config().dup_delay, copy);
   }
-  An2Device* peer = peer_;
-  node_.queue().schedule_at(arrive, [peer, dst_vc, copy]() mutable {
-    peer->deliver(dst_vc, std::move(copy));
-  });
-  if (config_.dup_prob > 0 && faults_.uniform() < config_.dup_prob) {
-    std::vector<std::uint8_t> dup(bytes.begin(), bytes.end());
-    node_.queue().schedule_at(arrive + sim::us(5.0),
-                              [peer, dst_vc, dup]() mutable {
-                                peer->deliver(dst_vc, std::move(dup));
-                              });
-  }
+  dispatch(arrive + fault.extra_delay, std::move(copy));
   return true;
 }
 
@@ -151,11 +156,15 @@ void An2Device::deliver(int vc_id, std::vector<std::uint8_t> bytes) {
   vc.free_bufs.pop_front();
 
   // DMA: payload lands in the owner's pinned memory; the cached copies of
-  // those lines are now stale.
-  std::uint8_t* dst = node_.mem(buf.addr, static_cast<std::uint32_t>(bytes.size()));
-  std::memcpy(dst, bytes.data(), bytes.size());
-  node_.dcache().invalidate_range(buf.addr,
-                                  static_cast<std::uint32_t>(bytes.size()));
+  // those lines are now stale. Zero-length messages are legal on the VC
+  // (an empty AAL5 payload) and must not touch memory at all.
+  if (!bytes.empty()) {
+    std::uint8_t* dst =
+        node_.mem(buf.addr, static_cast<std::uint32_t>(bytes.size()));
+    std::memcpy(dst, bytes.data(), bytes.size());
+    node_.dcache().invalidate_range(buf.addr,
+                                    static_cast<std::uint32_t>(bytes.size()));
+  }
   const RxDesc desc{buf.addr, static_cast<std::uint32_t>(bytes.size())};
 
   if (vc.hook) {

@@ -25,9 +25,9 @@
 #include <span>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "sim/node.hpp"
 #include "sim/process.hpp"
-#include "util/rng.hpp"
 
 namespace ash::net {
 
@@ -56,10 +56,10 @@ struct An2Config {
   sim::Cycles rx_cache_flush = sim::us(0.5);
   /// Kernel-side transmit work (descriptor + board register writes).
   sim::Cycles tx_kernel_work = sim::us(4.0);
-  /// Injected fault rates for protocol testing (0 = reliable link).
-  double drop_prob = 0.0;
-  double dup_prob = 0.0;
-  std::uint64_t fault_seed = 1;
+  /// Injected faults for protocol testing (defaults: a perfect link).
+  /// Applied on this device's transmit side, so each link direction has
+  /// its own deterministic fault schedule.
+  FaultConfig faults;
 };
 
 class An2Device {
@@ -116,6 +116,13 @@ class An2Device {
   std::size_t free_buffers(int vc) const;
   std::uint64_t drops(int vc) const;
 
+  /// Per-fault-class event counts for this device's transmit direction.
+  const FaultCounters& fault_counters() const noexcept {
+    return faults_.counters();
+  }
+  /// Swap the fault schedule mid-run (loss sweeps, link-heal tests).
+  void set_faults(const FaultConfig& faults) { faults_.set_config(faults); }
+
   // ---- transmit ----
 
   /// Send `len` bytes at `addr` in this node's memory to the peer's VC
@@ -154,7 +161,7 @@ class An2Device {
   int switch_port_ = -1;
   std::vector<Vc> vcs_;
   sim::Cycles tx_free_at_ = 0;  // link serialization pipeline
-  util::Rng faults_;
+  FaultInjector faults_;
 };
 
 }  // namespace ash::net

@@ -16,7 +16,7 @@ constexpr std::uint32_t kKernelBufBase = 0x8000;
 }  // namespace
 
 EthernetDevice::EthernetDevice(sim::Node& node, const EthernetConfig& config)
-    : node_(node), config_(config), faults_(config.fault_seed) {
+    : node_(node), config_(config), faults_(config.faults) {
   if (config_.compiled_dpf) {
     demux_ = std::make_unique<dpf::CompiledEngine>();
   } else {
@@ -115,14 +115,21 @@ bool EthernetDevice::send(std::span<const std::uint8_t> bytes) {
       start + tx_wire_cycles(static_cast<std::uint32_t>(bytes.size()));
   const sim::Cycles arrive = tx_free_at_ + config_.one_way_latency;
 
-  if (config_.drop_prob > 0 && faults_.uniform() < config_.drop_prob) {
-    return true;
-  }
   std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
+  const FaultInjector::Decision fault = faults_.inject(copy);
+  if (fault.drop) return true;  // vanished on the wire
+
   EthernetDevice* peer = peer_;
-  node_.queue().schedule_at(arrive, [peer, copy]() mutable {
-    peer->deliver(std::move(copy));
-  });
+  if (fault.duplicate) {
+    std::vector<std::uint8_t> dup = copy;
+    node_.queue().schedule_at(
+        arrive + fault.extra_delay + faults_.config().dup_delay,
+        [peer, dup = std::move(dup)]() mutable { peer->deliver(std::move(dup)); });
+  }
+  node_.queue().schedule_at(arrive + fault.extra_delay,
+                            [peer, copy = std::move(copy)]() mutable {
+                              peer->deliver(std::move(copy));
+                            });
   return true;
 }
 

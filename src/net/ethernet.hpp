@@ -23,9 +23,9 @@
 
 #include "dpf/dpf.hpp"
 #include "net/an2.hpp"  // RxDesc
+#include "net/fault.hpp"
 #include "sim/node.hpp"
 #include "sim/process.hpp"
-#include "util/rng.hpp"
 
 namespace ash::net {
 
@@ -45,8 +45,9 @@ struct EthernetConfig {
   sim::Cycles tx_kernel_work = sim::us(20.0);
   /// Use the compiled DPF engine (true) or the interpreted baseline.
   bool compiled_dpf = true;
-  double drop_prob = 0.0;
-  std::uint64_t fault_seed = 1;
+  /// Injected faults for protocol testing (defaults: a perfect link).
+  /// Same surface as An2Config::faults — one injector per link direction.
+  FaultConfig faults;
 };
 
 class EthernetDevice {
@@ -90,6 +91,22 @@ class EthernetDevice {
   std::uint64_t drops() const noexcept { return drops_; }
   std::uint64_t unmatched() const noexcept { return unmatched_; }
 
+  /// Per-fault-class event counts for this device's transmit direction.
+  const FaultCounters& fault_counters() const noexcept {
+    return faults_.counters();
+  }
+  /// Swap the fault schedule mid-run (loss sweeps, link-heal tests).
+  void set_faults(const FaultConfig& faults) { faults_.set_config(faults); }
+
+  /// Kernel receive buffers currently held by in-flight receive paths.
+  /// Zero once all deliveries have drained — the fuzz harness's
+  /// kernel-buffer leak check.
+  std::size_t kernel_bufs_in_use() const noexcept {
+    std::size_t n = 0;
+    for (const KernelBuf& kb : kernel_bufs_) n += kb.in_use ? 1 : 0;
+    return n;
+  }
+
   // ---- transmit ----
 
   bool send_from(std::uint32_t addr, std::uint32_t len);
@@ -124,7 +141,7 @@ class EthernetDevice {
   sim::Cycles tx_free_at_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t unmatched_ = 0;
-  util::Rng faults_;
+  FaultInjector faults_;
 };
 
 }  // namespace ash::net

@@ -1,0 +1,81 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace ash::net {
+
+namespace {
+/// Fixed draw-stream ids, one per fault class.
+enum : std::uint64_t {
+  kDrawDrop = 1,
+  kDrawDup,
+  kDrawReorder,
+  kDrawCorrupt,
+  kDrawTruncate,
+  kDrawJitter,
+};
+}  // namespace
+
+FaultInjector::Decision FaultInjector::inject(
+    std::vector<std::uint8_t>& frame) {
+  Decision d;
+  if (!cfg_.enabled()) return d;
+
+  // Every fault class gets its own RNG stream, derived from (seed, frame
+  // index, class id). Decisions for one class are therefore independent
+  // of which other classes are enabled and of how many draws they burn —
+  // raising corrupt_prob never changes *which* frames get dropped, which
+  // keeps loss-sweep runs comparable across fault mixes.
+  const std::uint64_t frame_index = counters_.frames++;
+  const auto draw = [&](std::uint64_t cls) {
+    return util::Rng(cfg_.seed ^ (frame_index * 0x9e3779b97f4a7c15ull) ^
+                     (cls << 56));
+  };
+
+  if (cfg_.drop_prob > 0 && draw(kDrawDrop).uniform() < cfg_.drop_prob) {
+    ++counters_.drops;
+    d.drop = true;
+    return d;
+  }
+  if (cfg_.truncate_prob > 0 && frame.size() > 1) {
+    util::Rng r = draw(kDrawTruncate);
+    if (r.uniform() < cfg_.truncate_prob) {
+      ++counters_.truncates;
+      frame.resize(1 + r.below(frame.size() - 1));
+    }
+  }
+  if (cfg_.corrupt_prob > 0 && !frame.empty()) {
+    util::Rng r = draw(kDrawCorrupt);
+    if (r.uniform() < cfg_.corrupt_prob) {
+      ++counters_.corrupts;
+      const std::uint64_t n =
+          1 + r.below(std::max<std::uint32_t>(1, cfg_.max_corrupt_bytes));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::size_t at = r.below(frame.size());
+        // XOR with a nonzero byte so the frame always actually changes.
+        frame[at] ^= static_cast<std::uint8_t>(1 + r.below(255));
+      }
+    }
+  }
+  if (cfg_.reorder_prob > 0 &&
+      draw(kDrawReorder).uniform() < cfg_.reorder_prob) {
+    ++counters_.reorders;
+    d.extra_delay += cfg_.reorder_delay;
+  }
+  if (cfg_.jitter_prob > 0 && cfg_.max_jitter > 0) {
+    util::Rng r = draw(kDrawJitter);
+    if (r.uniform() < cfg_.jitter_prob) {
+      ++counters_.jitters;
+      d.extra_delay += r.below(cfg_.max_jitter + 1);
+    }
+  }
+  if (cfg_.dup_prob > 0 && draw(kDrawDup).uniform() < cfg_.dup_prob) {
+    ++counters_.dups;
+    d.duplicate = true;
+  }
+  return d;
+}
+
+}  // namespace ash::net

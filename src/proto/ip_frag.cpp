@@ -47,11 +47,61 @@ sim::Sub<bool> ip_send_fragmented(Link& link, Ipv4Addr src, Ipv4Addr dst,
   co_return true;
 }
 
+namespace {
+/// Largest reassembled datagram payload (total_len is 16 bits, and offsets
+/// reach 0x1fff * 8; everything beyond can only be hostile).
+constexpr std::uint32_t kMaxDatagramBytes = 64 * 1024;
+}  // namespace
+
+void IpReassembler::erase_partial(std::uint64_t key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  buffered_ -= it->second.bytes.size();
+  pending_.erase(it);
+}
+
+bool IpReassembler::make_room(std::size_t need, std::uint64_t keep_key,
+                              bool admitting_new) {
+  if (limits_.max_buffered_bytes != 0 && need > limits_.max_buffered_bytes) {
+    return false;
+  }
+  const std::size_t count_cap =
+      limits_.max_datagrams == 0
+          ? 0
+          : limits_.max_datagrams - (admitting_new ? 1 : 0);
+  while ((limits_.max_buffered_bytes != 0 &&
+          buffered_ + need > limits_.max_buffered_bytes) ||
+         (limits_.max_datagrams != 0 && pending_.size() > count_cap)) {
+    // Evict the oldest partial (other than the one being grown).
+    const Partial* oldest = nullptr;
+    std::uint64_t oldest_key = 0;
+    for (const auto& [k, p] : pending_) {
+      if (k == keep_key) continue;
+      if (oldest == nullptr || p.born < oldest->born) {
+        oldest = &p;
+        oldest_key = k;
+      }
+    }
+    if (oldest == nullptr) return false;
+    ++stats_.evicted;
+    erase_partial(oldest_key);
+  }
+  return true;
+}
+
 std::optional<IpReassembler::Datagram> IpReassembler::feed(
     std::span<const std::uint8_t> datagram) {
   ++feeds_;
+  if (limits_.max_age_feeds != 0) {
+    // The reassembly timer, driven by traffic: partials left behind by
+    // lost fragments age out instead of accumulating forever.
+    expire(limits_.max_age_feeds);
+  }
   const auto h = decode_ip(datagram);
-  if (!h.has_value()) return std::nullopt;
+  if (!h.has_value()) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
   const std::uint32_t payload_len =
       h->total_len - static_cast<std::uint32_t>(kIpHeaderLen);
   const std::uint8_t* payload = datagram.data() + kIpHeaderLen;
@@ -66,34 +116,76 @@ std::optional<IpReassembler::Datagram> IpReassembler::feed(
   }
 
   // RFC 791: all fragments but the last carry 8-byte-multiple payloads.
-  if (h->more_fragments && (payload_len & 7u) != 0) return std::nullopt;
+  if (h->more_fragments && (payload_len & 7u) != 0) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const std::uint32_t byte_off = static_cast<std::uint32_t>(h->frag_offset) * 8;
+  const std::uint64_t end = static_cast<std::uint64_t>(byte_off) + payload_len;
+  if (payload_len == 0 || end > kMaxDatagramBytes) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
 
   const std::uint64_t key =
       (static_cast<std::uint64_t>(h->src.value) << 16) | h->ident;
-  Partial& part = pending_[key];
-  if (part.bytes.empty()) {
-    part.bytes.resize(64 * 1024);
-    part.have.assign(64 * 1024 / 8, false);
-    part.src = h->src;
-    part.dst = h->dst;
-    part.protocol = h->protocol;
-    part.born = feeds_;
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    if (!make_room(static_cast<std::size_t>(end), key,
+                   /*admitting_new=*/true)) {
+      ++stats_.evicted;  // no room for this datagram at all
+      return std::nullopt;
+    }
+    it = pending_.emplace(key, Partial{}).first;
+    Partial& fresh = it->second;
+    fresh.src = h->src;
+    fresh.dst = h->dst;
+    fresh.protocol = h->protocol;
+    fresh.born = feeds_;
   }
+  Partial& part = it->second;
 
-  const std::uint32_t byte_off = static_cast<std::uint32_t>(h->frag_offset) * 8;
-  if (static_cast<std::uint64_t>(byte_off) + payload_len > part.bytes.size()) {
-    pending_.erase(key);  // hostile or corrupt; drop the whole datagram
-    return std::nullopt;
-  }
-  std::memcpy(part.bytes.data() + byte_off, payload, payload_len);
-  for (std::uint32_t b = byte_off / 8;
-       b < (byte_off + payload_len + 7) / 8; ++b) {
-    if (!part.have[b]) {
-      part.have[b] = true;
-      part.received += 8;
+  // A final fragment pins the datagram length; later fragments claiming
+  // bytes beyond it (or a second, disagreeing final) are hostile.
+  if (part.total_len != 0) {
+    if (end > part.total_len ||
+        (!h->more_fragments && end != part.total_len)) {
+      ++stats_.malformed;
+      return std::nullopt;
     }
   }
-  if (!h->more_fragments) part.total_len = byte_off + payload_len;
+  if (!h->more_fragments) part.total_len = static_cast<std::uint32_t>(end);
+
+  // Grow storage on demand (8-byte-block granularity, bounded above).
+  if (end > part.bytes.size()) {
+    const std::size_t new_size = static_cast<std::size_t>((end + 7) & ~7ull);
+    if (!make_room(new_size - part.bytes.size(), key,
+                   /*admitting_new=*/false)) {
+      erase_partial(key);
+      ++stats_.evicted;
+      return std::nullopt;
+    }
+    buffered_ += new_size - part.bytes.size();
+    part.bytes.resize(new_size);
+    part.have.resize(new_size / 8, false);
+  }
+
+  // First copy wins, per 8-byte block: a duplicated or maliciously
+  // overlapping fragment can never rewrite accepted bytes.
+  bool overlapped = false;
+  for (std::uint32_t b = byte_off / 8;
+       b < (byte_off + payload_len + 7) / 8; ++b) {
+    if (part.have[b]) {
+      overlapped = true;
+      continue;
+    }
+    const std::uint32_t block_off = b * 8 - byte_off;
+    const std::uint32_t n =
+        std::min<std::uint32_t>(8, payload_len - block_off);
+    std::memcpy(part.bytes.data() + b * 8, payload + block_off, n);
+    part.have[b] = true;
+  }
+  if (overlapped) ++stats_.overlaps;
 
   if (part.total_len != 0) {
     bool complete = true;
@@ -107,7 +199,7 @@ std::optional<IpReassembler::Datagram> IpReassembler::feed(
       out.protocol = part.protocol;
       out.payload.assign(part.bytes.begin(),
                          part.bytes.begin() + part.total_len);
-      pending_.erase(key);
+      erase_partial(key);
       return out;
     }
   }
@@ -117,6 +209,8 @@ std::optional<IpReassembler::Datagram> IpReassembler::feed(
 void IpReassembler::expire(std::uint32_t max_age_feeds) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (feeds_ - it->second.born > max_age_feeds) {
+      buffered_ -= it->second.bytes.size();
+      ++stats_.expired;
       it = pending_.erase(it);
     } else {
       ++it;

@@ -27,14 +27,43 @@ sim::Sub<bool> ip_send_fragmented(Link& link, Ipv4Addr src, Ipv4Addr dst,
 
 /// Reassembles fragmented datagrams. Feed every received IP datagram
 /// (starting at its IP header); complete payloads pop out.
+///
+/// State is bounded against lossy and hostile fragment streams: partial
+/// datagrams age out automatically after `Limits::max_age_feeds` feed()
+/// calls (the library's stand-in for the reassembly timer — no separate
+/// timer call needed on the live receive path), at most
+/// `Limits::max_datagrams` partials are held, and their buffered bytes
+/// never exceed `Limits::max_buffered_bytes` (oldest-first eviction).
+/// Overlapping fragments cannot rewrite already-accepted bytes: the first
+/// copy of each 8-byte block wins.
 class IpReassembler {
  public:
+  struct Limits {
+    /// Concurrent partially reassembled datagrams (0 = unlimited).
+    std::size_t max_datagrams = 64;
+    /// Total bytes buffered across all partials (0 = unlimited).
+    std::size_t max_buffered_bytes = 512 * 1024;
+    /// Auto-expire partials older than this many feed() calls
+    /// (0 = never; expire() can still be called manually).
+    std::uint32_t max_age_feeds = 256;
+  };
+
+  struct Stats {
+    std::uint64_t expired = 0;    // partials aged out
+    std::uint64_t evicted = 0;    // partials pushed out by the bounds
+    std::uint64_t malformed = 0;  // fragments rejected outright
+    std::uint64_t overlaps = 0;   // fragments overlapping accepted blocks
+  };
+
   struct Datagram {
     Ipv4Addr src;
     Ipv4Addr dst;
     std::uint8_t protocol = 0;
     std::vector<std::uint8_t> payload;
   };
+
+  IpReassembler() = default;
+  explicit IpReassembler(const Limits& limits) : limits_(limits) {}
 
   /// Process one datagram. Unfragmented datagrams return immediately;
   /// fragments are buffered until their datagram completes. nullopt =
@@ -44,22 +73,37 @@ class IpReassembler {
   /// Number of partially reassembled datagrams currently buffered.
   std::size_t pending() const noexcept { return pending_.size(); }
 
-  /// Drop partial datagrams older than `max_age_feeds` feed() calls (the
-  /// library's stand-in for the reassembly timer).
+  /// Bytes currently buffered across all partial datagrams.
+  std::size_t buffered_bytes() const noexcept { return buffered_; }
+
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Drop partial datagrams older than `max_age_feeds` feed() calls.
+  /// feed() applies Limits::max_age_feeds automatically; this remains for
+  /// callers with their own timer discipline.
   void expire(std::uint32_t max_age_feeds);
 
  private:
   struct Partial {
-    std::vector<std::uint8_t> bytes;
-    std::vector<bool> have;        // per 8-byte block
-    std::uint32_t total_len = 0;   // 0 until the last fragment arrives
-    std::uint32_t received = 0;    // bytes received
+    std::vector<std::uint8_t> bytes;  // grows with the highest offset seen
+    std::vector<bool> have;           // per 8-byte block
+    std::uint32_t total_len = 0;      // 0 until the last fragment arrives
     std::uint8_t protocol = 0;
     Ipv4Addr src, dst;
     std::uint64_t born = 0;
   };
 
+  /// Evict oldest partials until `need` more buffered bytes fit the
+  /// limits (and, when `admitting_new`, a fresh partial may be added).
+  /// False if impossible.
+  bool make_room(std::size_t need, std::uint64_t keep_key,
+                 bool admitting_new);
+  void erase_partial(std::uint64_t key);
+
+  Limits limits_;
+  Stats stats_;
   std::uint64_t feeds_ = 0;
+  std::size_t buffered_ = 0;
   std::unordered_map<std::uint64_t, Partial> pending_;  // key: src^ident
 };
 

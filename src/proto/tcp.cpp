@@ -155,10 +155,25 @@ sim::Sub<bool> TcpConnection::send_ack() {
   co_return sent;
 }
 
+void TcpConnection::abort_connection() {
+  ++stats_.aborts;
+  retx_.clear();
+  // Readers must not block waiting for data that can no longer arrive.
+  peer_fin_seen_ = true;
+  listening_ = false;
+  set_state(TcpState::Closed);
+}
+
 sim::Sub<bool> TcpConnection::retransmit() {
   if (retx_.empty()) co_return true;
   RetxSegment& seg = retx_.front();
-  if (++seg.retries > cfg_.max_retries) co_return false;
+  if (++seg.retries > cfg_.max_retries) {
+    // Retry budget exhausted: the peer is unreachable. A bare `false`
+    // here used to strand a half-open TCB (state Established, segments
+    // still queued, shared TCB claiming liveness); tear it all down.
+    abort_connection();
+    co_return false;
+  }
   ++stats_.retransmits;
 
   // Rebuild the segment with its original sequence number.
@@ -572,9 +587,11 @@ sim::Sub<void> TcpConnection::close() {
     const bool got = co_await pump(cfg_.rto);
     if (!got) {
       ++rounds;
-      co_await retransmit();
+      const bool alive = co_await retransmit();
+      if (!alive) co_return;  // aborted — already fully torn down
     }
   }
+  retx_.clear();  // give up on anything the peer never acknowledged
   set_state(TcpState::Closed);
 }
 

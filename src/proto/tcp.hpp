@@ -107,8 +107,13 @@ class TcpConnection {
     std::uint64_t cksum_failures = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t ooo_dropped = 0;
+    std::uint64_t aborts = 0;  // torn down on retry exhaustion
   };
   const Stats& stats() const noexcept { return stats_; }
+
+  /// Segments awaiting acknowledgement (empty after teardown — a torn
+  /// down connection keeps nothing to retransmit).
+  std::size_t retx_depth() const noexcept { return retx_.size(); }
 
  private:
   struct RetxSegment {
@@ -145,8 +150,15 @@ class TcpConnection {
   /// false on rto expiry with nothing processed.
   sim::Sub<bool> pump(sim::Cycles timeout);
 
-  /// Retransmit the oldest unacked segment. False when retries exhausted.
+  /// Retransmit the oldest unacked segment. False when retries are
+  /// exhausted — the connection is then fully torn down (state Closed,
+  /// retransmit queue cleared, shared TCB in agreement); callers only
+  /// propagate the failure.
   sim::Sub<bool> retransmit();
+
+  /// Retry budget exhausted (or RST-equivalent local abort): tear the
+  /// connection down instead of leaving a half-open TCB.
+  void abort_connection();
 
   void stage_append(const std::uint8_t* data, std::uint32_t len,
                     sim::Cycles* cycles);

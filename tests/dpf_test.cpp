@@ -202,5 +202,101 @@ TEST_P(DpfEquivalence, EnginesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DpfEquivalence, ::testing::Range(0, 60));
 
+// ---- truncated and mis-lengthed frames ----
+//
+// The fault injector can cut a frame anywhere, and a hostile sender can
+// claim any length field it likes; the demux must treat an atom whose
+// read would run off the end as a non-match — never read past the frame.
+
+TYPED_TEST(DpfEngineTest, TruncatedFrameNeverMatchesOutOfBoundsAtoms) {
+  this->engine.insert(udp_port_filter(53), 7);
+  const auto full = make_packet(0x0800, 17, 53);
+  ASSERT_EQ(this->engine.match(full), 7);
+  // Every truncation point: packets cut before the last atom's read end
+  // (offset 34, width 2 -> needs 36 bytes) must not match; anything that
+  // still covers all atoms must keep matching.
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    const std::span<const std::uint8_t> pkt{full.data(), cut};
+    const int got = this->engine.match(pkt);
+    if (cut >= 36) {
+      EXPECT_EQ(got, 7) << "cut=" << cut;
+    } else {
+      EXPECT_EQ(got, -1) << "cut=" << cut;
+    }
+  }
+}
+
+TYPED_TEST(DpfEngineTest, EmptyAndHeaderSizedFramesAreSafe) {
+  this->engine.insert(udp_port_filter(53), 7);
+  EXPECT_EQ(this->engine.match(std::span<const std::uint8_t>{}), -1);
+  const std::vector<std::uint8_t> tiny(1, 0x08);
+  EXPECT_EQ(this->engine.match(tiny), -1);
+  const std::vector<std::uint8_t> header_only(14, 0);
+  EXPECT_EQ(this->engine.match(header_only), -1);
+}
+
+TYPED_TEST(DpfEngineTest, AtomAtBoundaryMatchesExactlyAtFrameEnd) {
+  // An atom whose read ends exactly at the frame's last byte must match;
+  // one byte shorter must not (off-by-one probe for the bounds check).
+  Filter f;
+  f.atoms = {atom_be16(62, 0xbeef)};
+  this->engine.insert(f, 3);
+  std::vector<std::uint8_t> pkt(64, 0);
+  pkt[62] = 0xbe;
+  pkt[63] = 0xef;
+  EXPECT_EQ(this->engine.match(pkt), 3);
+  EXPECT_EQ(this->engine.match({pkt.data(), 63}), -1);
+  EXPECT_EQ(this->engine.match({pkt.data(), 62}), -1);
+}
+
+TYPED_TEST(DpfEngineTest, MisLengthedLengthFieldCannotWidenTheFrame) {
+  // A frame whose embedded "length" byte claims more payload than exists:
+  // the demux keys off real frame bounds, not embedded claims, so a
+  // filter on bytes past the actual end stays unmatched even though the
+  // length field advertises them.
+  Filter on_claimed_tail;
+  on_claimed_tail.atoms = {atom_u8(40, 0x55)};
+  this->engine.insert(on_claimed_tail, 9);
+
+  std::vector<std::uint8_t> pkt(24, 0);
+  pkt[16] = 200;  // claims 200 bytes of payload; only 24 exist
+  EXPECT_EQ(this->engine.match(pkt), -1);
+
+  // And a length field *smaller* than the frame must not hide real bytes.
+  std::vector<std::uint8_t> big(48, 0);
+  big[16] = 2;
+  big[40] = 0x55;
+  EXPECT_EQ(this->engine.match(big), 9);
+}
+
+TEST(DpfTruncationDifferential, EnginesAgreeOnEveryTruncationPoint) {
+  InterpretedEngine interp;
+  CompiledEngine compiled;
+  util::Rng rng(77);
+  for (int i = 0; i < 32; ++i) {
+    Filter f;
+    const int n_atoms = 1 + static_cast<int>(rng.below(3));
+    for (int a = 0; a < n_atoms; ++a) {
+      Atom atom;
+      atom.offset = static_cast<std::uint16_t>(rng.below(60));
+      const std::uint8_t widths[] = {1, 2, 4};
+      atom.width = widths[rng.below(3)];
+      atom.mask = atom.width == 1 ? 0xffu : atom.width == 2 ? 0xffffu
+                                                            : 0xffffffffu;
+      atom.value = static_cast<std::uint32_t>(rng.next()) & atom.mask;
+      f.atoms.push_back(atom);
+    }
+    interp.insert(f, i);
+    compiled.insert(f, i);
+  }
+  std::vector<std::uint8_t> pkt(64);
+  for (auto& b : pkt) b = static_cast<std::uint8_t>(rng.below(4));
+  for (std::size_t cut = 0; cut <= pkt.size(); ++cut) {
+    EXPECT_EQ(interp.match({pkt.data(), cut}),
+              compiled.match({pkt.data(), cut}))
+        << "cut=" << cut;
+  }
+}
+
 }  // namespace
 }  // namespace ash::dpf

@@ -1,0 +1,281 @@
+// Minimized regression tests for the protocol bugs flushed out by the
+// fault-injection soaks and the packet fuzzer (tools/packetfuzz):
+//
+//  1. IpReassembler grew without bound: expire() was never called on any
+//     live receive path, and nothing capped buffered bytes — a fragment
+//     stream with missing tails pinned memory forever.
+//  2. IpReassembler let overlapping/duplicate fragments rewrite
+//     already-accepted bytes, and a fragment claiming bytes past the
+//     pinned total length was accepted.
+//  3. TcpConnection::retransmit() returning false (retry exhaustion)
+//     left a half-open TCB: state stayed Established/SynSent, the
+//     retransmit queue kept its segments, and the shared TCB still
+//     claimed the connection was alive.
+//
+// (Bug 4 — An2 duplication silently skipped on the switched path — is
+// regression-tested in net_fault_test.cpp next to the injector tests.)
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "proto/ip_frag.hpp"
+#include "proto/tcp.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+
+namespace ash::proto {
+namespace {
+
+using sim::Node;
+using sim::Process;
+using sim::Simulator;
+using sim::Task;
+using sim::us;
+
+const Ipv4Addr kSrc = Ipv4Addr::of(10, 0, 0, 1);
+const Ipv4Addr kDst = Ipv4Addr::of(10, 0, 0, 2);
+
+std::vector<std::uint8_t> frag(Ipv4Addr src, std::uint16_t ident,
+                               std::uint32_t byte_off, bool more,
+                               std::span<const std::uint8_t> pay) {
+  std::vector<std::uint8_t> d(kIpHeaderLen + pay.size());
+  IpHeader h;
+  h.protocol = 17;
+  h.src = src;
+  h.dst = kDst;
+  h.total_len = static_cast<std::uint16_t>(d.size());
+  h.ident = ident;
+  h.more_fragments = more;
+  h.frag_offset = static_cast<std::uint16_t>(byte_off / 8);
+  encode_ip({d.data(), kIpHeaderLen}, h);
+  if (!pay.empty()) {
+    std::memcpy(d.data() + kIpHeaderLen, pay.data(), pay.size());
+  }
+  return d;
+}
+
+// ---------------------------------------------- bug 1: unbounded growth
+
+TEST(ReassemblerRegression, StalePartialsAgeOutOnTheLiveFeedPath) {
+  // Pre-fix: every first-fragment-without-tail stayed in pending_
+  // forever unless the owner happened to call expire() — no caller did.
+  IpReassembler::Limits lim;
+  lim.max_datagrams = 0;      // isolate the age bound
+  lim.max_buffered_bytes = 0;
+  lim.max_age_feeds = 16;
+  IpReassembler r(lim);
+
+  const std::uint8_t pay[64] = {1};
+  for (std::uint16_t ident = 0; ident < 200; ++ident) {
+    (void)r.feed(frag(kSrc, ident, 0, /*more=*/true, pay));
+  }
+  // Auto-expiry keeps only the last max_age_feeds worth of partials.
+  EXPECT_LE(r.pending(), 17u);
+  EXPECT_GT(r.stats().expired, 0u);
+}
+
+TEST(ReassemblerRegression, BufferedBytesRespectTheCap) {
+  IpReassembler::Limits lim;
+  lim.max_datagrams = 0;
+  lim.max_buffered_bytes = 4096;
+  lim.max_age_feeds = 0;  // isolate the byte bound
+  IpReassembler r(lim);
+
+  std::vector<std::uint8_t> pay(1024, 0xee);
+  for (std::uint16_t ident = 0; ident < 64; ++ident) {
+    (void)r.feed(frag(kSrc, ident, 0, /*more=*/true, pay));
+    ASSERT_LE(r.buffered_bytes(), 4096u);
+  }
+  EXPECT_GT(r.stats().evicted, 0u);
+}
+
+TEST(ReassemblerRegression, DatagramCountRespectsTheCap) {
+  IpReassembler::Limits lim;
+  lim.max_datagrams = 4;
+  lim.max_buffered_bytes = 0;
+  lim.max_age_feeds = 0;
+  IpReassembler r(lim);
+
+  const std::uint8_t pay[16] = {7};
+  for (std::uint16_t ident = 0; ident < 40; ++ident) {
+    (void)r.feed(frag(kSrc, ident, 0, /*more=*/true, pay));
+    ASSERT_LE(r.pending(), 4u);
+  }
+  // Eviction is oldest-first: the survivors are the newest idents, so a
+  // tail arriving for the newest partial still completes it.
+  const std::uint8_t tail[8] = {9};
+  const auto out = r.feed(frag(kSrc, 39, 16, /*more=*/false, tail));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload.size(), 24u);
+}
+
+// ------------------------------------- bug 2: overlap rewrite / hostile
+
+TEST(ReassemblerRegression, OverlappingFragmentCannotRewriteAcceptedBytes) {
+  // Pre-fix: the second copy of a block simply memcpy'd over the first —
+  // a spoofed "duplicate" could rewrite payload after acceptance.
+  IpReassembler r;
+  std::vector<std::uint8_t> first(16, 0xaa);
+  std::vector<std::uint8_t> forged(16, 0xbb);
+  std::vector<std::uint8_t> tail(8, 0xcc);
+
+  EXPECT_FALSE(r.feed(frag(kSrc, 5, 0, true, first)).has_value());
+  EXPECT_FALSE(r.feed(frag(kSrc, 5, 0, true, forged)).has_value());  // dup
+  const auto out = r.feed(frag(kSrc, 5, 16, false, tail));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->payload.size(), 24u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(out->payload[i], 0xaa) << "byte " << i << " was rewritten";
+  }
+  EXPECT_GT(r.stats().overlaps, 0u);
+}
+
+TEST(ReassemblerRegression, FragmentBeyondPinnedLengthIsRejected) {
+  IpReassembler r;
+  const std::uint8_t head[8] = {1};
+  const std::uint8_t tail[8] = {2};
+  const std::uint8_t beyond[8] = {3};
+
+  EXPECT_FALSE(r.feed(frag(kSrc, 6, 0, true, head)).has_value());
+  // Final fragment pins total length at 32 (bytes 8..24 still missing).
+  EXPECT_FALSE(r.feed(frag(kSrc, 6, 24, false, tail)).has_value());
+  // A fragment claiming bytes at offset 64 is hostile — must not grow
+  // the datagram past its pinned length.
+  const std::uint64_t malformed_before = r.stats().malformed;
+  EXPECT_FALSE(r.feed(frag(kSrc, 6, 64, true, beyond)).has_value());
+  EXPECT_EQ(r.stats().malformed, malformed_before + 1);
+  // A second, disagreeing final fragment is equally hostile.
+  EXPECT_FALSE(r.feed(frag(kSrc, 6, 40, false, beyond)).has_value());
+  EXPECT_EQ(r.stats().malformed, malformed_before + 2);
+}
+
+TEST(ReassemblerRegression, ZeroLengthFragmentIsMalformedNotBuffered) {
+  IpReassembler r;
+  const auto d = frag(kSrc, 8, 8, true, {});
+  EXPECT_FALSE(r.feed(d).has_value());
+  EXPECT_EQ(r.pending(), 0u);
+  EXPECT_GT(r.stats().malformed, 0u);
+}
+
+// ------------------------------------------- bug 3: half-open TCP abort
+
+TEST(TcpRegression, ConnectAgainstDeadPeerTearsDownCompletely) {
+  // Pre-fix: connect() returned false after max_retries but left
+  // state_ == SynSent with the SYN still queued for retransmission and
+  // the shared TCB advertising the stale state.
+  Simulator sim;
+  Node& na = sim.add_node("a");
+  Node& nb = sim.add_node("b");
+  net::An2Config dead;
+  dead.faults.drop_prob = 1.0;  // peer exists, wire eats everything
+  net::An2Device dev_a(na, dead);
+  net::An2Device dev_b(nb);
+  dev_a.connect(dev_b);
+
+  bool connected = true;
+  TcpState final_state = TcpState::SynSent;
+  std::uint32_t shm_state = 999;
+  std::size_t retx_left = 999;
+  std::uint64_t aborts = 0;
+
+  na.kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, dev_a, {});
+    TcpConfig c;
+    c.local_ip = kSrc;
+    c.remote_ip = kDst;
+    c.local_port = 4000;
+    c.remote_port = 5000;
+    c.rto = us(1000.0);
+    c.max_retries = 3;
+    TcpConnection conn(link, c);
+    connected = co_await conn.connect();
+    final_state = conn.state();
+    shm_state = conn.shm().get(tcb::kState);
+    retx_left = conn.retx_depth();
+    aborts = conn.stats().aborts;
+  });
+  sim.run(us(1e6));
+
+  EXPECT_FALSE(connected);
+  EXPECT_EQ(final_state, TcpState::Closed);
+  EXPECT_EQ(shm_state, static_cast<std::uint32_t>(TcpState::Closed));
+  EXPECT_EQ(retx_left, 0u);  // nothing left half-queued
+  EXPECT_EQ(aborts, 1u);
+}
+
+TEST(TcpRegression, EstablishedConnectionAbortsCleanlyWhenLinkDies) {
+  // Establish over a clean link, then kill it mid-write: the writer must
+  // exhaust its retries and come back with a fully torn down TCB, and a
+  // subsequent read must return 0 instead of blocking forever.
+  Simulator sim;
+  Node& na = sim.add_node("a");
+  Node& nb = sim.add_node("b");
+  net::An2Device dev_a(na);
+  net::An2Device dev_b(nb);
+  dev_a.connect(dev_b);
+
+  bool wrote = true;
+  std::uint32_t post_abort_read = 999;
+  TcpState final_state = TcpState::SynSent;
+  std::size_t retx_left = 999;
+  std::uint64_t aborts = 0;
+
+  nb.kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, dev_b, {});
+    TcpConfig c;
+    c.local_ip = kDst;
+    c.remote_ip = kSrc;
+    c.local_port = 5000;
+    c.remote_port = 4000;
+    c.iss = 900;
+    c.rto = us(1000.0);
+    c.max_retries = 3;
+    TcpConnection conn(link, c);
+    co_await conn.accept();
+    // Server reads a little, then goes silent (no more ACKs will flow
+    // because the link dies underneath both sides).
+    co_await conn.read_into(self.segment().base, 1024);
+  });
+  na.kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, dev_a, {});
+    TcpConfig c;
+    c.local_ip = kSrc;
+    c.remote_ip = kDst;
+    c.local_port = 4000;
+    c.remote_port = 5000;
+    c.iss = 100;
+    c.rto = us(1000.0);
+    c.max_retries = 3;
+    TcpConnection conn(link, c);
+    co_await self.sleep_for(us(500.0));
+    co_await conn.connect();
+
+    // First write goes through...
+    const std::uint32_t buf = self.segment().base;
+    std::memset(na.mem(buf, 1024), 0x42, 1024);
+    co_await conn.write_from(buf, 1024);
+
+    // ...then both directions die.
+    net::FaultConfig dead;
+    dead.drop_prob = 1.0;
+    dev_a.set_faults(dead);
+    dev_b.set_faults(dead);
+
+    wrote = co_await conn.write_from(buf, 1024);
+    final_state = conn.state();
+    retx_left = conn.retx_depth();
+    aborts = conn.stats().aborts;
+    post_abort_read = co_await conn.read_into(buf, 64);
+  });
+  sim.run(us(1e6));
+
+  EXPECT_FALSE(wrote);
+  EXPECT_EQ(final_state, TcpState::Closed);
+  EXPECT_EQ(retx_left, 0u);
+  EXPECT_EQ(aborts, 1u);
+  EXPECT_EQ(post_abort_read, 0u);  // aborted connection reads as EOF
+}
+
+}  // namespace
+}  // namespace ash::proto

@@ -211,8 +211,8 @@ TEST(An2, DecliningHookFallsBackToNotification) {
 
 TEST(An2, FaultInjectionDropsSomePackets) {
   An2Config cfg;
-  cfg.drop_prob = 0.5;
-  cfg.fault_seed = 99;
+  cfg.faults.drop_prob = 0.5;
+  cfg.faults.seed = 99;
   TwoNodes t(cfg);
   int received = 0;
   t.b->kernel().spawn("rx", [&](Process& self) -> Task {

@@ -238,15 +238,15 @@ class TcpChaos : public ::testing::TestWithParam<int> {};
 
 TEST_P(TcpChaos, ExactlyOnceInOrder) {
   util::Rng rng(GetParam() + 31337);
-  net::An2Config faults;
-  faults.drop_prob = 0.02 + 0.08 * rng.uniform();
-  faults.dup_prob = 0.02 + 0.15 * rng.uniform();
-  faults.fault_seed = rng.next();
+  net::An2Config lossy;
+  lossy.faults.drop_prob = 0.02 + 0.08 * rng.uniform();
+  lossy.faults.dup_prob = 0.02 + 0.15 * rng.uniform();
+  lossy.faults.seed = rng.next();
 
   sim::Simulator s;
   sim::Node& a = s.add_node("a");
   sim::Node& b = s.add_node("b");
-  net::An2Device da(a, faults), db(b, faults);
+  net::An2Device da(a, lossy), db(b, lossy);
   da.connect(db);
 
   const std::uint32_t total =
@@ -308,8 +308,8 @@ TEST_P(TcpChaos, ExactlyOnceInOrder) {
     }
   });
   s.run(us(5e6));
-  EXPECT_TRUE(ok) << "drop " << faults.drop_prob << " dup "
-                  << faults.dup_prob << " total " << total;
+  EXPECT_TRUE(ok) << "drop " << lossy.faults.drop_prob << " dup "
+                  << lossy.faults.dup_prob << " total " << total;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TcpChaos, ::testing::Range(0, 12));

@@ -211,8 +211,8 @@ TEST(Tcp, HeaderPredictionDominatesBulkTransfer) {
 
 TEST(Tcp, RecoversFromPacketLoss) {
   net::An2Config lossy;
-  lossy.drop_prob = 0.08;
-  lossy.fault_seed = 1234;
+  lossy.faults.drop_prob = 0.08;
+  lossy.faults.seed = 1234;
   TcpWorld w(lossy);
   constexpr std::uint32_t kLen = 40 * 1024;
   bool data_ok = false;
@@ -257,8 +257,8 @@ TEST(Tcp, RecoversFromPacketLoss) {
 
 TEST(Tcp, SurvivesDuplicatedPackets) {
   net::An2Config dupy;
-  dupy.dup_prob = 0.2;
-  dupy.fault_seed = 77;
+  dupy.faults.dup_prob = 0.2;
+  dupy.faults.seed = 77;
   TcpWorld w(dupy);
   constexpr std::uint32_t kLen = 32 * 1024;
   bool data_ok = false;
