@@ -1,6 +1,7 @@
 #include "core/ash.hpp"
 
 #include <array>
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/ash_env.hpp"
@@ -19,6 +20,13 @@ AshSystem::Installed& AshSystem::at(int ash_id) {
 
 const AshSystem::Installed& AshSystem::at(int ash_id) const {
   return const_cast<AshSystem*>(this)->at(ash_id);
+}
+
+AshSystem::Installed* AshSystem::find(int ash_id) noexcept {
+  if (ash_id < 0 || static_cast<std::size_t>(ash_id) >= installed_.size()) {
+    return nullptr;
+  }
+  return installed_[static_cast<std::size_t>(ash_id)].get();
 }
 
 int AshSystem::download(sim::Process& owner, const vcode::Program& prog,
@@ -75,6 +83,92 @@ void AshSystem::set_livelock_quota(std::uint32_t quota, sim::Cycles window) {
   livelock_window_ = window;
 }
 
+void AshSystem::set_supervisor(const SupervisorConfig& cfg) {
+  supervisor_.set_config(cfg);
+}
+
+Health AshSystem::health(int ash_id) const {
+  return at(ash_id).health.health;
+}
+
+const Supervisor::HandlerState& AshSystem::supervisor_state(
+    int ash_id) const {
+  return at(ash_id).health;
+}
+
+void AshSystem::clear_attachments(Installed& ash) {
+  for (const Attachment& att : ash.attachments) {
+    if (att.an2 != nullptr) att.an2->set_kernel_hook(att.channel, nullptr);
+    if (att.eth != nullptr) att.eth->set_kernel_hook(att.channel, nullptr);
+  }
+  ash.attachments.clear();
+}
+
+void AshSystem::revoke_installed(int ash_id, Installed& ash) {
+  Supervisor::force_revoke(ash.health);
+  if (ash.attachments.empty()) return;
+  // Revocation can fire from inside the handler's own device hook (a
+  // fault crossing the policy threshold mid-invocation). Clearing the
+  // hook there would destroy the closure currently executing, so defer
+  // it one event: the queue runs the clear after the driver path unwinds.
+  node_.queue().schedule_at(node_.now(), [this, ash_id] {
+    if (Installed* ash_p = find(ash_id)) clear_attachments(*ash_p);
+  });
+}
+
+void AshSystem::revoke(int ash_id) { revoke_installed(ash_id, at(ash_id)); }
+
+std::size_t AshSystem::revoke_owner(const sim::Process& owner) {
+  std::size_t revoked = 0;
+  for (std::size_t i = 0; i < installed_.size(); ++i) {
+    Installed& ash = *installed_[i];
+    if (ash.owner->pid() != owner.pid()) continue;
+    if (ash.health.health == Health::Revoked) continue;
+    revoke_installed(static_cast<int>(i), ash);
+    ++revoked;
+  }
+  return revoked;
+}
+
+std::uint64_t AshSystem::owner_faults(const sim::Process& owner) const {
+  const auto it = faults_by_owner_.find(owner.pid());
+  return it == faults_by_owner_.end() ? 0 : it->second;
+}
+
+bool AshSystem::detach_an2(net::An2Device& dev, int vc) {
+  bool found = false;
+  for (const auto& entry : installed_) {
+    auto& atts = entry->attachments;
+    for (std::size_t i = 0; i < atts.size();) {
+      if (atts[i].an2 == &dev && atts[i].channel == vc) {
+        atts.erase(atts.begin() + static_cast<std::ptrdiff_t>(i));
+        found = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (found) dev.set_kernel_hook(vc, nullptr);
+  return found;
+}
+
+bool AshSystem::detach_eth(net::EthernetDevice& dev, int endpoint) {
+  bool found = false;
+  for (const auto& entry : installed_) {
+    auto& atts = entry->attachments;
+    for (std::size_t i = 0; i < atts.size();) {
+      if (atts[i].eth == &dev && atts[i].channel == endpoint) {
+        atts.erase(atts.begin() + static_cast<std::ptrdiff_t>(i));
+        found = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (found) dev.set_kernel_hook(endpoint, nullptr);
+  return found;
+}
+
 const AshStats& AshSystem::stats(int ash_id) const { return at(ash_id).stats; }
 
 const vcode::Program& AshSystem::program(int ash_id) const {
@@ -91,21 +185,52 @@ const vcode::CodeCache* AshSystem::code_cache(int ash_id) const {
 
 bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
                        sim::Cycles tx_cost) {
-  Installed& ash = at(ash_id);
+  // A stale or invalid id (reachable from a kernel hook once handlers can
+  // be detached/revoked, or from a buggy custom demux point) must not
+  // unwind through the device driver: count it and fall back.
+  Installed* ash_p = find(ash_id);
+  if (ash_p == nullptr) {
+    ++bad_id_fallbacks_;
+    return false;
+  }
+  Installed& ash = *ash_p;
   AshStats& stats = ash.stats;
 
-  // Receive-livelock guard (Section VI-4).
+  // Revocation is a mechanism, not policy: an explicitly revoked handler
+  // is denied even when the supervisor policy is disabled. (Normally its
+  // device hooks are already cleared; this covers direct invoke callers
+  // and the window before the deferred hook-clear runs.)
+  if (ash.health.health == Health::Revoked) {
+    ++stats.revoked_skips;
+    return false;
+  }
+
+  // Supervisor admission: a quarantined handler's messages take the
+  // normal delivery path at near-zero kernel cost — no timer setup, no
+  // context install, no handler run. The check itself is a handful of
+  // host instructions in the demux path.
+  if (supervisor_.enabled() &&
+      supervisor_.admit(ash.health, node_.now()) ==
+          Supervisor::Admission::Denied) {
+    ++stats.quarantine_skips;
+    return false;
+  }
+
+  // Receive-livelock guard (Section VI-4). The window belongs to the
+  // OWNING PROCESS: quota is "per process per window", so N handlers on
+  // one owner share one window rather than multiplying the share N-fold.
   if (livelock_quota_ != 0) {
     const sim::Cycles now = node_.now();
-    if (now - ash.window_start >= livelock_window_) {
-      ash.window_start = now;
-      ash.window_count = 0;
+    LivelockWindow& win = livelock_by_owner_[ash.owner->pid()];
+    if (now - win.start >= livelock_window_) {
+      win.start = now;
+      win.count = 0;
     }
-    if (ash.window_count >= livelock_quota_) {
+    if (win.count >= livelock_quota_) {
       ++stats.livelock_deferrals;
       return false;  // over quota: normal delivery path
     }
-    ++ash.window_count;
+    ++win.count;
   }
 
   ++stats.invocations;
@@ -154,7 +279,9 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
       (ash.opts.prebound_translation ? 0 : cost.ash_context_install);
   const sim::Cycles total = dispatch + exec.cycles + cost.ash_timer_clear;
 
+  stats.by_outcome[static_cast<std::size_t>(exec.outcome)] += 1;
   bool consumed = false;
+  bool fault = false;
   switch (exec.outcome) {
     case vcode::Outcome::Halted:
       ++stats.commits;
@@ -165,7 +292,26 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
       break;
     default:
       ++stats.involuntary_aborts;
+      fault = true;
+      stats.last_fault = AshFaultRecord{true,       exec.outcome,
+                                        exec.fault_pc, exec.insns,
+                                        exec.cycles,   node_.now()};
+      ++faults_by_owner_[ash.owner->pid()];
       break;
+  }
+
+  if (supervisor_.enabled()) {
+    const auto action =
+        supervisor_.note_result(ash.health, fault, node_.now());
+    if (action == Supervisor::Action::Revoke) {
+      revoke_installed(ash_id, ash);
+    }
+    const std::uint64_t owner_limit =
+        supervisor_.config().owner_fault_limit;
+    if (fault && owner_limit != 0 &&
+        faults_by_owner_[ash.owner->pid()] >= owner_limit) {
+      revoke_owner(*ash.owner);
+    }
   }
 
   // Occupy the CPU for the handler's runtime; release collected sends when
@@ -189,7 +335,7 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
 
 void AshSystem::attach_an2(net::An2Device& dev, int vc, int ash_id,
                            std::uint32_t user_arg) {
-  at(ash_id);  // validate
+  at(ash_id).attachments.push_back({&dev, nullptr, vc});
   net::An2Device* device = &dev;
   dev.set_kernel_hook(vc, [this, device, ash_id, user_arg](
                               const net::An2Device::RxEvent& ev) {
@@ -209,7 +355,7 @@ void AshSystem::attach_an2(net::An2Device& dev, int vc, int ash_id,
 
 void AshSystem::attach_eth(net::EthernetDevice& dev, int endpoint, int ash_id,
                            std::uint32_t user_arg) {
-  at(ash_id);  // validate
+  at(ash_id).attachments.push_back({nullptr, &dev, endpoint});
   net::EthernetDevice* device = &dev;
   dev.set_kernel_hook(endpoint, [this, device, ash_id, user_arg](
                                     const net::EthernetDevice::RxEvent& ev) {
@@ -225,6 +371,69 @@ void AshSystem::attach_eth(net::EthernetDevice& dev, int endpoint, int ash_id,
                   },
                   device->config().tx_kernel_work);
   });
+}
+
+std::string AshSystem::format_status() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%3s  %-12s %-11s %8s %8s %7s %7s %7s\n",
+                "ash", "owner", "state", "inv", "commit", "vabort", "iabort",
+                "skips");
+  out += line;
+  for (std::size_t i = 0; i < installed_.size(); ++i) {
+    const Installed& ash = *installed_[i];
+    const AshStats& s = ash.stats;
+    std::snprintf(line, sizeof line,
+                  "%3zu  %-12s %-11s %8llu %8llu %7llu %7llu %7llu\n", i,
+                  ash.owner->name().c_str(), to_string(ash.health.health),
+                  static_cast<unsigned long long>(s.invocations),
+                  static_cast<unsigned long long>(s.commits),
+                  static_cast<unsigned long long>(s.voluntary_aborts),
+                  static_cast<unsigned long long>(s.involuntary_aborts),
+                  static_cast<unsigned long long>(s.quarantine_skips +
+                                                  s.revoked_skips));
+    out += line;
+    // Abort taxonomy: only outcomes actually seen, to keep the table tight.
+    bool any = false;
+    for (std::size_t o = 0; o < vcode::kOutcomeCount; ++o) {
+      const auto outcome = static_cast<vcode::Outcome>(o);
+      if (outcome == vcode::Outcome::Halted ||
+          outcome == vcode::Outcome::VoluntaryAbort || s.by_outcome[o] == 0) {
+        continue;
+      }
+      std::snprintf(line, sizeof line, "%s%s=%llu", any ? " " : "       faults: ",
+                    vcode::to_string(outcome),
+                    static_cast<unsigned long long>(s.by_outcome[o]));
+      out += line;
+      any = true;
+    }
+    if (any) out += "\n";
+    if (s.last_fault.valid) {
+      std::snprintf(line, sizeof line,
+                    "       last fault: %s at pc=%u after %llu insns / "
+                    "%llu cycles, t=%llu cyc\n",
+                    vcode::to_string(s.last_fault.outcome), s.last_fault.pc,
+                    static_cast<unsigned long long>(s.last_fault.insns),
+                    static_cast<unsigned long long>(s.last_fault.cycles),
+                    static_cast<unsigned long long>(s.last_fault.at));
+      out += line;
+    }
+    if (ash.health.quarantine_trips > 0) {
+      std::snprintf(
+          line, sizeof line,
+          "       quarantine: %u trip(s), backoff %llu cyc, until t=%llu\n",
+          ash.health.quarantine_trips,
+          static_cast<unsigned long long>(ash.health.quarantine_len),
+          static_cast<unsigned long long>(ash.health.quarantine_until));
+      out += line;
+    }
+  }
+  if (bad_id_fallbacks_ != 0) {
+    std::snprintf(line, sizeof line, "bad-id fallbacks: %llu\n",
+                  static_cast<unsigned long long>(bad_id_fallbacks_));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace ash::core

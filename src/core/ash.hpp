@@ -21,15 +21,23 @@
 // exhaustion is an involuntary abort: the kernel kills the handler and
 // falls back, and the owning application may be left inconsistent (its
 // problem, not the kernel's — exactly the paper's contract).
+//
+// The supervisor (supervisor.hpp) extends that contract from one
+// invocation to the handler's lifetime: repeated involuntary aborts
+// quarantine and eventually revoke a handler, so a persistently faulting
+// download cannot monopolize kernel time message after message.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/supervisor.hpp"
 #include "dilp/engine.hpp"
 #include "net/an2.hpp"
 #include "net/ethernet.hpp"
@@ -71,6 +79,17 @@ struct AshOptions {
   bool use_code_cache = true;
 };
 
+/// Forensic record of a handler's most recent involuntary abort — what an
+/// operator needs to answer "why is this handler quarantined?".
+struct AshFaultRecord {
+  bool valid = false;
+  vcode::Outcome outcome = vcode::Outcome::Halted;
+  std::uint32_t pc = 0;        // faulting instruction index
+  std::uint64_t insns = 0;     // dynamic instructions before the fault
+  std::uint64_t cycles = 0;    // cycles burned by the faulting run
+  sim::Cycles at = 0;          // simulated time of the fault
+};
+
 struct AshStats {
   std::uint64_t invocations = 0;
   std::uint64_t commits = 0;
@@ -79,6 +98,14 @@ struct AshStats {
   std::uint64_t livelock_deferrals = 0;
   std::uint64_t cycles = 0;  // handler execution cycles (excl. dispatch)
   std::uint64_t insns = 0;   // dynamic instruction count
+  /// Abort taxonomy: every run's vcode::Outcome, counted individually
+  /// (index = static_cast<size_t>(outcome)). involuntary_aborts above is
+  /// the sum of the involuntary entries; this breaks it down.
+  std::array<std::uint64_t, vcode::kOutcomeCount> by_outcome{};
+  /// Messages bypassed to the normal delivery path by the supervisor.
+  std::uint64_t quarantine_skips = 0;  // while Quarantined
+  std::uint64_t revoked_skips = 0;     // offered to a Revoked handler
+  AshFaultRecord last_fault;
 };
 
 /// Everything the kernel knows about one message being offered to an ASH.
@@ -122,8 +149,58 @@ class AshSystem {
   /// Receive-livelock guard (Section VI-4): at most `quota` handler runs
   /// per owning process per `window` cycles; beyond that, messages fall
   /// back to the normal path ("refuse to execute any more for processes
-  /// receiving more than their share"). quota = 0 disables the guard.
+  /// receiving more than their share"). The window is accounted per
+  /// OWNING PROCESS, so a process cannot multiply its share by installing
+  /// more handlers. quota = 0 disables the guard.
   void set_livelock_quota(std::uint32_t quota, sim::Cycles window);
+
+  // ---- supervisor: fault containment, quarantine, revocation ----
+
+  /// Install the containment policy. Disabled by default; with
+  /// `cfg.enabled` false the invocation path is untouched.
+  void set_supervisor(const SupervisorConfig& cfg);
+  const SupervisorConfig& supervisor_config() const noexcept {
+    return supervisor_.config();
+  }
+
+  /// Containment state of a handler (Healthy unless the supervisor or an
+  /// explicit revoke moved it).
+  Health health(int ash_id) const;
+  const Supervisor::HandlerState& supervisor_state(int ash_id) const;
+
+  /// Detach whatever handler is hooked to this demux point: the device
+  /// hook is cleared and the attachment forgotten. Returns false when no
+  /// ASH of this system was attached there. Must not be called from
+  /// inside the handler's own invocation (revocation, which can fire
+  /// there, defers its hook-clearing instead).
+  bool detach_an2(net::An2Device& dev, int vc);
+  bool detach_eth(net::EthernetDevice& dev, int endpoint);
+
+  /// Permanently revoke a handler: marks it Revoked and clears its device
+  /// hooks (deferred through the event queue, so revocation is safe from
+  /// inside the handler's own invocation). The id stays valid for stats.
+  void revoke(int ash_id);
+
+  /// Revoke every handler owned by `owner`; returns how many were newly
+  /// revoked. Fired automatically when the owner's aggregate fault count
+  /// crosses SupervisorConfig::owner_fault_limit.
+  std::size_t revoke_owner(const sim::Process& owner);
+
+  /// Aggregate involuntary aborts across all handlers this process owns
+  /// (counted whether or not the supervisor is enabled).
+  std::uint64_t owner_faults(const sim::Process& owner) const;
+
+  /// Messages offered with a stale/invalid ash id: counted and fed back
+  /// to the normal delivery path instead of unwinding through the driver.
+  std::uint64_t bad_id_fallbacks() const noexcept {
+    return bad_id_fallbacks_;
+  }
+
+  std::size_t handler_count() const noexcept { return installed_.size(); }
+
+  /// Human-readable status table (per-handler health, abort taxonomy,
+  /// last-fault forensics) — what `ashtool status` prints.
+  std::string format_status() const;
 
   const AshStats& stats(int ash_id) const;
   const vcode::Program& program(int ash_id) const;
@@ -143,6 +220,14 @@ class AshSystem {
               sim::Cycles tx_cost);
 
  private:
+  /// One device hook this handler is attached through (for detach and
+  /// revocation-time hook clearing). Exactly one device pointer is set.
+  struct Attachment {
+    net::An2Device* an2 = nullptr;
+    net::EthernetDevice* eth = nullptr;
+    int channel = 0;  // VC or endpoint id
+  };
+
   struct Installed {
     sim::Process* owner;
     vcode::Program prog;
@@ -151,19 +236,36 @@ class AshSystem {
     // Pre-decoded threaded form, built once at install (the translate
     // stage); invocation never re-decodes. Null when ablated off.
     std::unique_ptr<vcode::CodeCache> cache;
-    // livelock window state
-    sim::Cycles window_start = 0;
-    std::uint32_t window_count = 0;
+    Supervisor::HandlerState health;
+    std::vector<Attachment> attachments;
+  };
+
+  /// Livelock window, accounted per owning process (keyed by pid).
+  struct LivelockWindow {
+    sim::Cycles start = 0;
+    std::uint32_t count = 0;
   };
 
   Installed& at(int ash_id);
   const Installed& at(int ash_id) const;
+  /// Non-throwing lookup: nullptr for an invalid id (the receive path
+  /// must never unwind through the driver).
+  Installed* find(int ash_id) noexcept;
+  /// Clear all device hooks now (caller must not be inside one of them).
+  void clear_attachments(Installed& ash);
+  /// Mark revoked and schedule the hook-clearing after the current event
+  /// (safe from inside the handler's own invocation).
+  void revoke_installed(int ash_id, Installed& ash);
 
   sim::Node& node_;
   dilp::Engine dilp_;
   std::vector<std::unique_ptr<Installed>> installed_;
   std::uint32_t livelock_quota_ = 0;  // 0 = disabled
   sim::Cycles livelock_window_ = 0;
+  std::unordered_map<std::uint32_t, LivelockWindow> livelock_by_owner_;
+  Supervisor supervisor_;
+  std::unordered_map<std::uint32_t, std::uint64_t> faults_by_owner_;
+  std::uint64_t bad_id_fallbacks_ = 0;
 };
 
 }  // namespace ash::core

@@ -1,0 +1,85 @@
+#include "core/supervisor.hpp"
+
+namespace ash::core {
+
+const char* to_string(Health h) noexcept {
+  switch (h) {
+    case Health::Healthy: return "Healthy";
+    case Health::Probation: return "Probation";
+    case Health::Quarantined: return "Quarantined";
+    case Health::Revoked: return "Revoked";
+  }
+  return "?";
+}
+
+Supervisor::Admission Supervisor::admit(HandlerState& h,
+                                        sim::Cycles now) const {
+  switch (h.health) {
+    case Health::Revoked:
+      return Admission::Denied;
+    case Health::Quarantined:
+      if (now < h.quarantine_until) return Admission::Denied;
+      // Backoff elapsed: readmit on probation. This message is the first
+      // probe; note_result decides whether the handler stays out.
+      h.health = Health::Probation;
+      h.probation_streak = 0;
+      return Admission::Run;
+    case Health::Healthy:
+    case Health::Probation:
+      return Admission::Run;
+  }
+  return Admission::Run;
+}
+
+Supervisor::Action Supervisor::enter_quarantine(HandlerState& h,
+                                                sim::Cycles now) const {
+  ++h.quarantine_trips;
+  if (cfg_.max_quarantines != 0 &&
+      h.quarantine_trips >= cfg_.max_quarantines) {
+    h.health = Health::Revoked;
+    return Action::Revoke;
+  }
+  if (h.quarantine_len == 0) {
+    h.quarantine_len = cfg_.quarantine_base;
+  } else {
+    h.quarantine_len = h.quarantine_len * 2 < cfg_.quarantine_cap
+                           ? h.quarantine_len * 2
+                           : cfg_.quarantine_cap;
+  }
+  h.health = Health::Quarantined;
+  h.quarantine_until = now + h.quarantine_len;
+  h.faults_in_window = 0;
+  return Action::Quarantine;
+}
+
+Supervisor::Action Supervisor::note_result(HandlerState& h, bool fault,
+                                           sim::Cycles now) const {
+  if (h.health == Health::Revoked) return Action::None;
+
+  if (!fault) {
+    if (h.health == Health::Probation &&
+        ++h.probation_streak >= cfg_.probation_successes) {
+      // Full recovery: backoff resets, the fault window starts clean.
+      h.health = Health::Healthy;
+      h.quarantine_len = 0;
+      h.faults_in_window = 0;
+      h.probation_streak = 0;
+    }
+    return Action::None;
+  }
+
+  // A probe that faults goes straight back with a doubled backoff.
+  if (h.health == Health::Probation) return enter_quarantine(h, now);
+
+  // Sliding fault window (same shape as the livelock guard's window).
+  if (now - h.window_start >= cfg_.fault_window) {
+    h.window_start = now;
+    h.faults_in_window = 0;
+  }
+  if (++h.faults_in_window >= cfg_.fault_threshold) {
+    return enter_quarantine(h, now);
+  }
+  return Action::None;
+}
+
+}  // namespace ash::core

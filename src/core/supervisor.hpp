@@ -1,0 +1,120 @@
+// The ASH supervisor — kernel-side fault containment for downloaded
+// handlers.
+//
+// The paper's safety contract stops at the single invocation: an
+// involuntary abort kills the handler and the owning application may be
+// left inconsistent ("its problem, not the kernel's"). That protects the
+// kernel's *correctness*, not its *time*: a handler that faults on every
+// message burns the full ash_max_runtime budget in interrupt context,
+// per message, forever. The supervisor closes that hole with a
+// per-handler health state machine:
+//
+//   Healthy ──(fault_threshold involuntary aborts within fault_window)──►
+//   Quarantined ──(backoff elapses; next message is a probe)──►
+//   Probation ──(probation_successes clean runs)──► Healthy
+//        └──(any fault)──► Quarantined (backoff doubled, capped)
+//   ...and after max_quarantines round trips ──► Revoked (permanent).
+//
+// While Quarantined or Revoked, the handler's messages take the normal
+// delivery path at near-zero kernel cost: admission is a state check in
+// the demux path, no timer setup, no context install, no handler run.
+// Revocation additionally clears the handler's device hooks, so not even
+// the admission check remains on the hot path.
+//
+// The Supervisor itself is a pure policy engine over a HandlerState it
+// does not own — AshSystem keeps one HandlerState per installed handler
+// and consults the policy around each invocation. Keeping the policy free
+// of kernel dependencies makes the state machine unit-testable with a
+// bare cycle counter.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace ash::core {
+
+/// Containment state of one installed handler.
+enum class Health : std::uint8_t {
+  Healthy,      // full service
+  Probation,    // readmitted from quarantine; being watched
+  Quarantined,  // messages bypass the handler until backoff elapses
+  Revoked,      // permanently detached (kernel or policy decision)
+};
+
+/// Short human-readable name ("Healthy", "Quarantined", ...).
+const char* to_string(Health h) noexcept;
+
+struct SupervisorConfig {
+  /// Master switch. Disabled (the default), the supervisor never touches
+  /// the invocation path and all existing behaviour is bit-identical.
+  bool enabled = false;
+  /// Involuntary aborts within `fault_window` cycles before the handler
+  /// is quarantined.
+  std::uint32_t fault_threshold = 3;
+  sim::Cycles fault_window = sim::us(100000.0);
+  /// First quarantine length; doubles on every failed re-admission, up
+  /// to `quarantine_cap` (exponential backoff).
+  sim::Cycles quarantine_base = sim::us(50000.0);
+  sim::Cycles quarantine_cap = sim::us(1600000.0);
+  /// Clean runs (commit or voluntary abort) on probation before the
+  /// handler is Healthy again and its backoff resets.
+  std::uint32_t probation_successes = 3;
+  /// Quarantine round trips before permanent revocation; 0 = never.
+  std::uint32_t max_quarantines = 4;
+  /// Total involuntary aborts across all of one process's handlers
+  /// before every handler it owns is revoked; 0 = disabled.
+  std::uint64_t owner_fault_limit = 0;
+};
+
+class Supervisor {
+ public:
+  /// Per-handler containment state. Owned by the caller (AshSystem keeps
+  /// one per installed handler); the policy only reads and writes it.
+  struct HandlerState {
+    Health health = Health::Healthy;
+    std::uint32_t faults_in_window = 0;
+    sim::Cycles window_start = 0;
+    sim::Cycles quarantine_until = 0;
+    sim::Cycles quarantine_len = 0;  // current backoff length (0 = unset)
+    std::uint32_t quarantine_trips = 0;
+    std::uint32_t probation_streak = 0;
+  };
+
+  void set_config(const SupervisorConfig& cfg) { cfg_ = cfg; }
+  const SupervisorConfig& config() const noexcept { return cfg_; }
+  bool enabled() const noexcept { return cfg_.enabled; }
+
+  enum class Admission : std::uint8_t {
+    Run,       // deliver to the handler as usual
+    Denied,    // quarantined/revoked: take the normal delivery path
+  };
+
+  /// Decide whether a message arriving at `now` may run handler `h`.
+  /// A quarantined handler whose backoff has elapsed is readmitted on
+  /// probation (the message that triggered the check is the first probe).
+  Admission admit(HandlerState& h, sim::Cycles now) const;
+
+  enum class Action : std::uint8_t {
+    None,        // no transition
+    Quarantine,  // handler just entered quarantine
+    Revoke,      // handler exhausted its round trips: revoke permanently
+  };
+
+  /// Report a completed run; `fault` means involuntary abort. Returns the
+  /// transition the caller must enact (revocation clears device hooks,
+  /// which only AshSystem can do).
+  Action note_result(HandlerState& h, bool fault, sim::Cycles now) const;
+
+  /// Force a handler into the Revoked state (kernel/operator decision).
+  static void force_revoke(HandlerState& h) noexcept {
+    h.health = Health::Revoked;
+  }
+
+ private:
+  Action enter_quarantine(HandlerState& h, sim::Cycles now) const;
+
+  SupervisorConfig cfg_;
+};
+
+}  // namespace ash::core

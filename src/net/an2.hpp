@@ -107,8 +107,13 @@ class An2Device {
   /// Off (default): pure polling, no kernel involvement per packet.
   void set_interrupt_mode(int vc, bool on);
 
-  /// Install/remove the kernel receive hook for a VC.
+  /// Install/remove the kernel receive hook for a VC. Passing a null
+  /// hook clears it (detach/revocation); arrivals then take the normal
+  /// notification path with no kernel involvement.
   void set_kernel_hook(int vc, KernelHook hook);
+  bool has_kernel_hook(int vc) const {
+    return static_cast<bool>(vc_at(vc).hook);
+  }
 
   /// Return a consumed buffer to the free ring (its full original length).
   void return_buffer(int vc, std::uint32_t addr, std::uint32_t len);

@@ -56,6 +56,10 @@ EthernetDevice::Endpoint& EthernetDevice::ep_at(int id) {
   return endpoints_[static_cast<std::size_t>(id)];
 }
 
+const EthernetDevice::Endpoint& EthernetDevice::ep_at(int id) const {
+  return const_cast<EthernetDevice*>(this)->ep_at(id);
+}
+
 void EthernetDevice::supply_buffer(int endpoint, std::uint32_t addr,
                                    std::uint32_t len) {
   if (node_.mem(addr, len) == nullptr) {

@@ -85,7 +85,12 @@ class EthernetDevice {
   std::optional<RxDesc> poll(int endpoint);
   sim::WaitChannel& arrival_channel(int endpoint);
   void set_interrupt_mode(int endpoint, bool on);
+  /// Install/remove the kernel receive hook. Passing a null hook clears
+  /// it (detach/revocation); frames then take the default copy-out path.
   void set_kernel_hook(int endpoint, KernelHook hook);
+  bool has_kernel_hook(int endpoint) const {
+    return static_cast<bool>(ep_at(endpoint).hook);
+  }
   void return_buffer(int endpoint, std::uint32_t addr, std::uint32_t len);
 
   std::uint64_t drops() const noexcept { return drops_; }
@@ -129,6 +134,7 @@ class EthernetDevice {
   };
 
   Endpoint& ep_at(int id);
+  const Endpoint& ep_at(int id) const;
   void deliver(std::vector<std::uint8_t> bytes);
   void release_kernel_buf(std::uint32_t addr);
 

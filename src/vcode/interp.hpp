@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -39,6 +40,10 @@ enum class Outcome : std::uint8_t {
 
 /// Convert an outcome to a short human-readable name.
 const char* to_string(Outcome o) noexcept;
+
+/// Number of distinct Outcome values (for per-outcome counter arrays).
+inline constexpr std::size_t kOutcomeCount =
+    static_cast<std::size_t>(Outcome::TrustedDenied) + 1;
 
 struct ExecLimits {
   /// Maximum dynamic instructions (backstop; always enforced).

@@ -349,6 +349,67 @@ TEST(AshSystem, LivelockQuotaDefersExcessMessages) {
   w.sim.run();
 }
 
+TEST(AshSystem, LivelockQuotaIsSharedAcrossOneOwnersHandlers) {
+  // The quota is "per process per window" (Section VI-4): a process with
+  // two handlers gets ONE share, not two. Six messages split across two
+  // VCs of the same owner must yield exactly `quota` handler runs total.
+  AshWorld w;
+  w.ash_b->set_livelock_quota(2, us(100000.0));
+  w.b->kernel().spawn("owner", [&](Process& self) -> Task {
+    const int vc0 = w.dev_b->bind_vc(self);
+    const int vc1 = w.dev_b->bind_vc(self);
+    for (int i = 0; i < 8; ++i) {
+      w.dev_b->supply_buffer(
+          vc0, self.segment().base + 64u * static_cast<std::uint32_t>(i), 64);
+      w.dev_b->supply_buffer(
+          vc1,
+          self.segment().base + 0x1000 + 64u * static_cast<std::uint32_t>(i),
+          64);
+    }
+    Builder bld;
+    bld.movi(kRegArg0, 1);
+    bld.halt();
+    std::string error;
+    const int id0 = w.ash_b->download(self, bld.take(), {}, &error);
+    Builder bld2;
+    bld2.movi(kRegArg0, 1);
+    bld2.halt();
+    const int id1 = w.ash_b->download(self, bld2.take(), {}, &error);
+    w.ash_b->attach_an2(*w.dev_b, vc0, id0);
+    w.ash_b->attach_an2(*w.dev_b, vc1, id1);
+    co_await self.sleep_for(us(50000.0));
+
+    const auto& s0 = w.ash_b->stats(id0);
+    const auto& s1 = w.ash_b->stats(id1);
+    EXPECT_EQ(s0.commits + s1.commits, 2u);
+    EXPECT_EQ(s0.livelock_deferrals + s1.livelock_deferrals, 4u);
+  });
+  w.sim.queue().schedule_at(us(200.0), [&] {
+    const std::uint8_t m[] = {1, 2, 3, 4};
+    for (int i = 0; i < 3; ++i) {
+      w.dev_a->send(0, m);
+      w.dev_a->send(1, m);
+    }
+  });
+  w.sim.run();
+}
+
+TEST(AshSystem, InvalidIdFallsBackInsteadOfThrowing) {
+  // A stale id reaching invoke (possible once handlers can be revoked or
+  // a custom demux point misbehaves) must not unwind through the device
+  // driver: it counts a fallback and declines the message.
+  AshWorld w;
+  MsgContext m;
+  m.addr = 0x100;
+  m.len = 4;
+  const auto drop = [](int, std::span<const std::uint8_t>) { return true; };
+  EXPECT_FALSE(w.ash_b->invoke(999, m, drop, 0));
+  EXPECT_EQ(w.ash_b->bad_id_fallbacks(), 1u);
+  EXPECT_FALSE(w.ash_b->invoke(-1, m, drop, 0));
+  EXPECT_EQ(w.ash_b->bad_id_fallbacks(), 2u);
+  EXPECT_EQ(w.ash_b->handler_count(), 0u);
+}
+
 TEST(Upcall, HandlerRunsAndRepliesWithoutScheduling) {
   AshWorld w;
   UpcallManager upcalls(*w.b);

@@ -12,6 +12,13 @@
 //                                         form built by the download-time
 //                                         translate stage (blocks, hoisted
 //                                         budget checks, fused pairs)
+//   ashtool status <file> [msgs]          download into a supervised
+//                                         one-node kernel, offer `msgs`
+//                                         messages (default 10), and print
+//                                         the supervisor status table:
+//                                         health state, abort taxonomy,
+//                                         last-fault forensics, quarantine
+//                                         backoff
 //
 // The serialized format is exactly what AshSystem::download consumes —
 // these files are "what the kernel sees".
@@ -19,11 +26,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "ashlib/handlers.hpp"
+#include "core/ash.hpp"
 #include "sandbox/sfi.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
 #include "vcode/codecache.hpp"
 #include "vcode/env_util.hpp"
 #include "vcode/interp.hpp"
@@ -39,7 +50,8 @@ int usage() {
                "       ashtool dis <file>\n"
                "       ashtool sandbox <file> <out> [base size]\n"
                "       ashtool run <file> [a0 a1 a2 a3]\n"
-               "       ashtool dump-translated <file>\n");
+               "       ashtool dump-translated <file>\n"
+               "       ashtool status <file> [msgs]\n");
   return 2;
 }
 
@@ -154,6 +166,66 @@ int cmd_run(const std::string& file, std::uint32_t a0, std::uint32_t a1,
   return r.outcome == ash::vcode::Outcome::Halted ? 0 : 1;
 }
 
+int cmd_status(const std::string& file, int msgs) {
+  const auto bytes = read_file(file);
+  const auto prog = Program::deserialize(bytes);
+  if (!prog.has_value()) {
+    std::fprintf(stderr, "%s: not a valid .ashv image\n", file.c_str());
+    return 1;
+  }
+  // A one-node supervised kernel: download the image, offer it `msgs`
+  // messages a millisecond apart under the default containment policy,
+  // then print what the supervisor knows. A handler that faults on every
+  // message walks visibly through Probation/Quarantined/Revoked.
+  ash::sim::Simulator sim;
+  ash::sim::Node& node = sim.add_node("n");
+  ash::core::AshSystem ashsys(node);
+  ash::core::SupervisorConfig sup;
+  sup.enabled = true;
+  sup.quarantine_base = ash::sim::us(2000.0);  // visible at ms pacing
+  ashsys.set_supervisor(sup);
+
+  int id = -1;
+  std::string error;
+  std::uint64_t sends = 0;
+  node.kernel().spawn(
+      "owner", [&](ash::sim::Process& self) -> ash::sim::Task {
+        id = ashsys.download(self, *prog, {}, &error);
+        if (id < 0) co_return;
+        // Standard calling convention: 64 message bytes, and the
+        // attach-time user argument pointing at owner scratch space.
+        const std::uint32_t msg_addr = self.segment().base + 0x8000;
+        const std::uint32_t scratch = self.segment().base + 0x100;
+        for (std::uint32_t k = 0; k < 64; ++k) {
+          *node.mem(msg_addr + k, 1) = static_cast<std::uint8_t>(k);
+        }
+        for (int i = 0; i < msgs; ++i) {
+          ash::core::MsgContext m;
+          m.addr = msg_addr;
+          m.len = 64;
+          m.channel = 0;
+          m.user_arg = scratch;
+          ashsys.invoke(
+              id, m,
+              [&sends](int, std::span<const std::uint8_t>) {
+                ++sends;
+                return true;
+              },
+              0);
+          co_await self.sleep_for(ash::sim::us(1000.0));
+        }
+      });
+  sim.run();
+  if (id < 0) {
+    std::fprintf(stderr, "download rejected: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: %d message(s) offered, %llu reply send(s) released\n\n",
+              file.c_str(), msgs, static_cast<unsigned long long>(sends));
+  std::fputs(ashsys.format_status().c_str(), stdout);
+  return 0;
+}
+
 int cmd_dump_translated(const std::string& file) {
   const auto bytes = read_file(file);
   const auto prog = Program::deserialize(bytes);
@@ -183,6 +255,12 @@ int main(int argc, char** argv) {
   }
   if ((cmd == "dump-translated" || cmd == "--dump-translated") && argc == 3) {
     return cmd_dump_translated(argv[2]);
+  }
+  if (cmd == "status" && (argc == 3 || argc == 4)) {
+    int msgs = 10;
+    if (argc == 4) msgs = std::atoi(argv[3]);
+    if (msgs <= 0) return usage();
+    return cmd_status(argv[2], msgs);
   }
   if (cmd == "run" && argc >= 3 && argc <= 7) {
     std::uint32_t a[4] = {0, 0, 0, 0};
