@@ -10,7 +10,11 @@
 //  * the host execution engine (--code-cache={on,off}): pre-decoded
 //    threaded form vs plain interpreter. Simulated cycles are bit-identical
 //    on both paths; the axis only changes host wall-clock, reported in
-//    Ablation C.
+//    Ablation C;
+//  * the ashtrace tracer (--trace): a pure observer that never charges
+//    simulated cycles, so enabling it must leave every simulated result
+//    bit-identical (checked here) and only costs host wall-clock, reported
+//    in Ablation D.
 #include "bench_util.hpp"
 
 #include <array>
@@ -22,6 +26,7 @@
 #include "core/ash_env.hpp"
 #include "dilp/engine.hpp"
 #include "dilp/stdpipes.hpp"
+#include "trace/trace.hpp"
 #include "util/byteorder.hpp"
 #include "vcode/codecache.hpp"
 #include "vcode/interp.hpp"
@@ -174,13 +179,17 @@ int main(int argc, char** argv) {
   using namespace ash::bench;
   using ash::core::AshOptions;
 
+  bool with_trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--code-cache=on") == 0) {
       g_use_code_cache = true;
     } else if (std::strcmp(argv[i], "--code-cache=off") == 0) {
       g_use_code_cache = false;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      with_trace = true;
     } else {
-      std::fprintf(stderr, "usage: bench_ablations [--code-cache={on,off}]\n");
+      std::fprintf(stderr,
+                   "usage: bench_ablations [--code-cache={on,off}] [--trace]\n");
       return 2;
     }
   }
@@ -251,5 +260,46 @@ int main(int argc, char** argv) {
                        "host ns/invocation"});
   print_table("Ablation C", "host execution engine (simulated results "
                             "bit-identical)", host_rows);
+
+  if (with_trace) {
+    // Invariance first: the tracer must not perturb a single simulated
+    // cycle. Same invocation, tracer off vs on, compared exactly.
+    AshOptions o;
+    const double cycles_off = invocation_cycles(o);
+    double cycles_on;
+    {
+      ash::trace::Session session;
+      cycles_on = invocation_cycles(o);
+    }
+    if (cycles_off != cycles_on) {
+      std::fprintf(stderr,
+                   "FAIL: tracer perturbed simulated cycles (%f != %f)\n",
+                   cycles_off, cycles_on);
+      return 1;
+    }
+    std::printf("tracer invariance: simulated cycles identical on/off "
+                "(%.0f)\n", cycles_off);
+
+    // Overhead is host wall-clock only: the same measurement loop as
+    // Ablation C, with the tracer recording every invocation.
+    std::vector<Row> trace_rows;
+    for (const bool use_cache : {false, true}) {
+      const char* eng = use_cache ? "code cache" : "interpreter";
+      const double off_ns = host_ns_per_invocation(use_cache);
+      double on_ns;
+      {
+        ash::trace::Session session;
+        on_ns = host_ns_per_invocation(use_cache);
+      }
+      char label[96];
+      std::snprintf(label, sizeof label, "%s, tracer off", eng);
+      trace_rows.push_back({label, off_ns, -1, "host ns/invocation"});
+      std::snprintf(label, sizeof label, "%s, tracer on (+%.1f%%)", eng,
+                    off_ns > 0 ? (on_ns - off_ns) / off_ns * 100.0 : 0.0);
+      trace_rows.push_back({label, on_ns, -1, "host ns/invocation"});
+    }
+    print_table("Ablation D", "ashtrace overhead (host wall-clock; "
+                              "simulated results bit-identical)", trace_rows);
+  }
   return 0;
 }

@@ -2,12 +2,25 @@
 
 #include <array>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 #include "core/ash_env.hpp"
+#include "trace/trace.hpp"
 #include "vcode/verifier.hpp"
 
 namespace ash::core {
+
+namespace {
+
+/// Denial events share one shape; the guards below differ only in reason.
+void trace_denied(sim::Node& node, int ash_id, trace::DenyReason reason) {
+  trace::global().emit(trace::make_event(
+      trace::EventType::AshDenied, node.cpu_id(), node.now(), ash_id,
+      static_cast<std::uint32_t>(reason)));
+}
+
+}  // namespace
 
 AshSystem::AshSystem(sim::Node& node) : node_(node) {}
 
@@ -191,6 +204,9 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
   Installed* ash_p = find(ash_id);
   if (ash_p == nullptr) {
     ++bad_id_fallbacks_;
+    if (trace::enabled()) {
+      trace_denied(node_, ash_id, trace::DenyReason::BadId);
+    }
     return false;
   }
   Installed& ash = *ash_p;
@@ -202,6 +218,9 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
   // and the window before the deferred hook-clear runs.)
   if (ash.health.health == Health::Revoked) {
     ++stats.revoked_skips;
+    if (trace::enabled()) {
+      trace_denied(node_, ash_id, trace::DenyReason::Revoked);
+    }
     return false;
   }
 
@@ -213,6 +232,9 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
       supervisor_.admit(ash.health, node_.now()) ==
           Supervisor::Admission::Denied) {
     ++stats.quarantine_skips;
+    if (trace::enabled()) {
+      trace_denied(node_, ash_id, trace::DenyReason::Quarantined);
+    }
     return false;
   }
 
@@ -228,12 +250,27 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
     }
     if (win.count >= livelock_quota_) {
       ++stats.livelock_deferrals;
+      if (trace::enabled()) {
+        trace_denied(node_, ash_id, trace::DenyReason::LivelockQuota);
+      }
       return false;  // over quota: normal delivery path
     }
     ++win.count;
   }
 
   ++stats.invocations;
+
+  // Tracing is a pure observer: it never charges simulated cycles, so all
+  // bench outputs stay byte-identical with it on. The thread-local context
+  // attributes engine-internal events (VcodeExec, TSend, DILP) to this
+  // cpu / time / handler; restored when the invocation unwinds.
+  std::optional<trace::ScopedContext> tctx;
+  if (trace::enabled()) {
+    tctx.emplace(node_.cpu_id(), node_.now(), ash_id);
+    trace::global().emit(trace::make_event(
+        trace::EventType::AshDispatch, node_.cpu_id(), node_.now(), ash_id,
+        msg.len, static_cast<std::uint32_t>(msg.channel)));
+  }
 
   AshEnv::Config env_cfg;
   env_cfg.node = &node_;
@@ -300,9 +337,24 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
       break;
   }
 
+  if (trace::enabled()) {
+    trace::global().emit(trace::make_event(
+        trace::EventType::AshOutcome, node_.cpu_id(), node_.now(), ash_id,
+        static_cast<std::uint32_t>(exec.outcome), consumed ? 1 : 0, total,
+        exec.insns));
+  }
+
   if (supervisor_.enabled()) {
     const auto action =
         supervisor_.note_result(ash.health, fault, node_.now());
+    if (trace::enabled() && action != Supervisor::Action::None) {
+      trace::global().emit(trace::make_event(
+          trace::EventType::SupervisorAction, node_.cpu_id(), node_.now(),
+          ash_id,
+          static_cast<std::uint32_t>(action == Supervisor::Action::Revoke
+                                         ? trace::SupAction::Revoke
+                                         : trace::SupAction::Quarantine)));
+    }
     if (action == Supervisor::Action::Revoke) {
       revoke_installed(ash_id, ash);
     }

@@ -90,6 +90,15 @@ struct AshFaultRecord {
   sim::Cycles at = 0;          // simulated time of the fault
 };
 
+/// Per-handler kernel counters.
+///
+/// Thread model: plain (non-atomic) fields with a single writer — the
+/// thread driving this node's simulator, which is the only thread that
+/// runs AshSystem::invoke. Readers are either that same thread (ashtool,
+/// tests) or run after the simulation has stopped, so no read can tear.
+/// Concurrent cross-thread polling belongs on trace::Tracer's atomic
+/// emitted/dropped counters instead (see src/trace/trace.hpp; the CI tsan
+/// job enforces the split).
 struct AshStats {
   std::uint64_t invocations = 0;
   std::uint64_t commits = 0;

@@ -5,6 +5,7 @@
 
 #include "core/ash.hpp"
 #include "sim/memops.hpp"
+#include "trace/trace.hpp"
 
 namespace ash::core {
 
@@ -115,6 +116,10 @@ bool AshEnv::t_send(std::uint32_t chan, std::uint32_t addr, std::uint32_t len,
   // wire transmission is released at handler completion.
   sends_.push_back(SendReq{static_cast<int>(chan),
                            std::vector<std::uint8_t>(p, p + len)});
+  if (trace::enabled()) {
+    trace::global().emit_ctx(trace::EventType::TSendInitiated,
+                             trace::Engine::None, len, chan, *cycles, 0);
+  }
   *status = 0;
   return true;
 }
@@ -169,6 +174,10 @@ bool AshEnv::t_dilp(std::uint32_t id, std::uint32_t src, std::uint32_t dst,
     }
   }
   *cycles += run.exec.cycles;
+  if (trace::enabled()) {
+    trace::global().emit_ctx(trace::EventType::DilpRun, trace::Engine::None,
+                             len, id, run.exec.cycles, run.exec.insns);
+  }
   *status = 0;
   return true;
 }
@@ -200,6 +209,10 @@ bool AshEnv::t_usercopy(std::uint32_t dst, std::uint32_t src,
       *cycles += node.dcache().access(msg_phys(logical), len * 2, false);
       *cycles += node.dcache().access(dst, len, true);
     }
+    if (trace::enabled()) {
+      trace::global().emit_ctx(trace::EventType::TUserCopy,
+                               trace::Engine::None, len, 0, *cycles, 0);
+    }
     *status = 0;
     return true;
   }
@@ -208,6 +221,10 @@ bool AshEnv::t_usercopy(std::uint32_t dst, std::uint32_t src,
     return true;
   }
   *cycles += sim::memops::copy(*cfg_.node, dst, src, len);
+  if (trace::enabled()) {
+    trace::global().emit_ctx(trace::EventType::TUserCopy,
+                             trace::Engine::None, len, 0, *cycles, 0);
+  }
   *status = 0;
   return true;
 }

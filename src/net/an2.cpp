@@ -6,6 +6,7 @@
 #include "net/an2_switch.hpp"
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace ash::net {
 
@@ -142,6 +143,19 @@ void An2Device::deliver(int vc_id, std::vector<std::uint8_t> bytes) {
   if (vc_id < 0 || static_cast<std::size_t>(vc_id) >= vcs_.size()) return;
   Vc& vc = vcs_[static_cast<std::size_t>(vc_id)];
 
+  if (trace::enabled()) {
+    trace::global().emit(trace::make_event(
+        trace::EventType::FrameArrival, node_.cpu_id(), node_.now(), vc_id,
+        static_cast<std::uint32_t>(bytes.size()),
+        static_cast<std::uint32_t>(trace::NicKind::An2)));
+    // On the AN2, the VC identifier IS the demux decision (hardware
+    // steering, no classifier walk): zero nodes visited, fixed cost.
+    trace::global().emit(trace::make_event(
+        trace::EventType::DemuxDecision, node_.cpu_id(), node_.now(), vc_id,
+        0, static_cast<std::uint32_t>(trace::NicKind::An2),
+        node_.cost().demux_an2));
+  }
+
   if (vc.free_bufs.empty()) {
     ++vc.drops;
     return;
@@ -183,6 +197,13 @@ void An2Device::deliver(int vc_id, std::vector<std::uint8_t> bytes) {
       if (v.hook && v.hook(ev)) {
         v.free_bufs.push_back(buf);  // consumed: recycle
         return;
+      }
+      // ASH-attached VC falling back to the normal delivery path (handler
+      // denied, aborted without consuming, or detached mid-flight).
+      if (trace::enabled()) {
+        trace::global().emit(trace::make_event(
+            trace::EventType::UpcallFallback, node_.cpu_id(), node_.now(),
+            vc_id, static_cast<std::uint32_t>(trace::NicKind::An2)));
       }
       v.notify_ring.push_back(desc);
       v.arrival.notify(/*boost=*/true);

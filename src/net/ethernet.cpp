@@ -6,6 +6,7 @@
 #include "sim/kernel.hpp"
 #include "sim/memops.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace ash::net {
 
@@ -176,10 +177,23 @@ void EthernetDevice::deliver(std::vector<std::uint8_t> bytes) {
   const int ep_id = demux_->match(bytes, &stats);
 
   sim::Cycles demux_cost;
+  std::uint32_t visited;
   if (config_.compiled_dpf) {
+    visited = stats.nodes_visited;
     demux_cost = stats.nodes_visited * node_.cost().dpf_node_cost;
   } else {
+    visited = stats.atoms_evaluated;
     demux_cost = stats.atoms_evaluated * node_.cost().dpf_interp_atom_cost;
+  }
+
+  if (trace::enabled()) {
+    trace::global().emit(trace::make_event(
+        trace::EventType::FrameArrival, node_.cpu_id(), node_.now(), ep_id,
+        len, static_cast<std::uint32_t>(trace::NicKind::Ethernet)));
+    trace::global().emit(trace::make_event(
+        trace::EventType::DemuxDecision, node_.cpu_id(), node_.now(), ep_id,
+        visited, static_cast<std::uint32_t>(trace::NicKind::Ethernet),
+        demux_cost));
   }
   const sim::Cycles driver =
       node_.cost().interrupt_entry + config_.rx_driver_work + demux_cost;
@@ -202,6 +216,12 @@ void EthernetDevice::deliver(std::vector<std::uint8_t> bytes) {
       if (ep.hook(ev)) {
         release_kernel_buf(buf_addr);
         return;
+      }
+      // Declined by the handler: this frame takes the default copy-out.
+      if (trace::enabled()) {
+        trace::global().emit(trace::make_event(
+            trace::EventType::UpcallFallback, node_.cpu_id(), node_.now(),
+            ep_id, static_cast<std::uint32_t>(trace::NicKind::Ethernet)));
       }
     }
 

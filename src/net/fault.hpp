@@ -49,6 +49,12 @@ struct FaultConfig {
 };
 
 /// Per-fault-class event counts, for tests and loss-sweep reports.
+///
+/// Thread model: plain fields, single writer — FaultInjector::decide runs
+/// only on the simulation thread, and readers inspect the counters between
+/// runs or after the simulator stops (same discipline as core::AshStats
+/// and the trace aggregates; only trace::Tracer's emitted/dropped counters
+/// are atomic and safe to poll concurrently).
 struct FaultCounters {
   std::uint64_t frames = 0;     // frames offered to the injector
   std::uint64_t drops = 0;

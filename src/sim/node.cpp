@@ -8,6 +8,7 @@ namespace ash::sim {
 Node::Node(Simulator& sim, std::string name, const NodeConfig& config)
     : sim_(sim),
       name_(std::move(name)),
+      cpu_id_(static_cast<std::uint16_t>(sim.nodes().size())),
       cost_(config.cost),
       dcache_(config.cache),
       memory_(config.memory_bytes, 0),

@@ -33,6 +33,9 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   const std::string& name() const noexcept { return name_; }
+  /// Dense per-simulator CPU index (creation order) — the tracer's
+  /// per-CPU ring id.
+  std::uint16_t cpu_id() const noexcept { return cpu_id_; }
   Simulator& simulator() noexcept { return sim_; }
   EventQueue& queue() noexcept;
   Cycles now() const noexcept;
@@ -75,6 +78,7 @@ class Node {
  private:
   Simulator& sim_;
   std::string name_;
+  std::uint16_t cpu_id_ = 0;
   CostModel cost_;
   Cache dcache_;
   std::vector<std::uint8_t> memory_;

@@ -1,0 +1,48 @@
+// Render a Tracer's rings and aggregates for humans and tools:
+//
+//   format_trace     — per-event text lines ("ashtool trace")
+//   format_metrics   — per-handler / per-channel / per-engine tables
+//                      ("ashtool metrics")
+//   metrics_json     — the same aggregates as one JSON object
+//   trace_json       — the retained events as a JSON array
+//   chrome_trace_json— Chrome trace_event format (chrome://tracing /
+//                      Perfetto): AshOutcome / VcodeExec / DilpRun become
+//                      duration ("X") slices on a per-CPU track, the rest
+//                      instants — flamegraph-style receive-path inspection.
+//
+// Cycle and simulated-time values are always rendered with a `cyc`
+// suffix (text) or a `*_cyc` key (JSON), so golden tests can normalize
+// exactly the cycle-dependent fields and pin everything else.
+//
+// The trace library sits below vcode in the link order, so outcome codes
+// are numbers here; callers that know vcode (ashtool, benches, tests)
+// install a namer to print "MemFault" instead of "outcome=2".
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace ash::trace {
+
+/// Optional pretty-printer for vcode outcome codes in formatted output.
+/// Non-capturing function pointer; nullptr reverts to numeric codes.
+using OutcomeNamer = const char* (*)(std::uint32_t);
+void set_outcome_namer(OutcomeNamer fn) noexcept;
+OutcomeNamer outcome_namer() noexcept;
+
+struct FormatOptions {
+  /// Print at most this many events (0 = all retained).
+  std::size_t max_events = 0;
+  /// 40 MHz CPU: cycles / 40 = microseconds, used by the Chrome export.
+  double cpu_mhz = 40.0;
+};
+
+std::string format_trace(const Tracer& t, const FormatOptions& opts = {});
+std::string format_metrics(const Tracer& t);
+std::string metrics_json(const Tracer& t);
+std::string trace_json(const Tracer& t, const FormatOptions& opts = {});
+std::string chrome_trace_json(const Tracer& t,
+                              const FormatOptions& opts = {});
+
+}  // namespace ash::trace

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "util/byteorder.hpp"
 #include "util/checksum.hpp"
 #include "vcode/opcodes.hpp"
@@ -982,14 +983,23 @@ ExecResult CodeCache::run(Env& env, std::array<std::uint32_t, kNumRegs>& regs,
   const TInsn* ti = head_of_[0];
   while (ti != nullptr) ti = ti->fn(ti, c);
 
+  ExecResult res;
   if (c.delegate) {
     c.rs.pc = c.exit_pc;
-    return detail::run_core(prog_, env, regs.data(), limits, jt_, c.rs, c.res);
+    res = detail::run_core(prog_, env, regs.data(), limits, jt_, c.rs, c.res);
+  } else {
+    res = c.res;
+    res.outcome = c.exit_outcome;
+    res.fault_pc = c.exit_pc;
+    res.result = regs[kRegArg0];
   }
-  c.res.outcome = c.exit_outcome;
-  c.res.fault_pc = c.exit_pc;
-  c.res.result = regs[kRegArg0];
-  return c.res;
+  if (trace::enabled()) {
+    trace::global().emit_ctx(trace::EventType::VcodeExec,
+                             trace::Engine::CodeCache,
+                             static_cast<std::uint32_t>(res.outcome), 0,
+                             res.cycles, res.insns);
+  }
+  return res;
 }
 
 std::string CodeCache::dump() const {

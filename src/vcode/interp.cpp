@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "util/byteorder.hpp"
 #include "util/checksum.hpp"
 
@@ -439,8 +440,15 @@ ExecResult Interpreter::run(const ExecLimits& limits) {
   env_->bind_regs(regs_.data());
   detail::ResumeState rs;
   rs.budget = limits.software_budget;
-  return detail::run_core(*prog_, *env_, regs_.data(), limits, jt_, rs,
-                          ExecResult{});
+  ExecResult res = detail::run_core(*prog_, *env_, regs_.data(), limits,
+                                    jt_, rs, ExecResult{});
+  if (trace::enabled()) {
+    trace::global().emit_ctx(trace::EventType::VcodeExec,
+                             trace::Engine::Interp,
+                             static_cast<std::uint32_t>(res.outcome), 0,
+                             res.cycles, res.insns);
+  }
+  return res;
 }
 
 ExecResult execute(const Program& prog, Env& env, const ExecLimits& limits,

@@ -1,0 +1,142 @@
+// Thread-model tests for the tracer, written to run under TSan (the CI
+// tsan job builds trace_test with -fsanitize=thread).
+//
+// The documented contract (trace.hpp): the tracer has ONE writer thread —
+// the thread driving the simulator — which may emit into any per-CPU
+// ring. Other threads may concurrently read only the atomic surface: the
+// enabled() gate and the emitted / dropped / clamped_cpus counters. Ring
+// contents and metric aggregates are read only after the writer is
+// quiescent. These tests drive both sides of that contract hard so TSan
+// would flag any regression that widens a non-atomic access into the
+// concurrent window.
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ash::trace {
+namespace {
+
+constexpr std::uint16_t kCpus = 4;
+
+TEST(TraceConcurrency, AtomicCountersReadableWhileWriterRuns) {
+  TracerConfig cfg;
+  cfg.ring_capacity = 256;  // small: force wraps, so dropped moves too
+  cfg.max_cpus = kCpus;
+  Session session(cfg);
+  Tracer& t = global();
+
+  constexpr std::uint64_t kRounds = 20000;
+  std::atomic<bool> writer_done{false};
+
+  std::thread writer([&t, &writer_done] {
+    for (std::uint64_t i = 0; i < kRounds; ++i) {
+      for (std::uint16_t cpu = 0; cpu < kCpus; ++cpu) {
+        t.emit(make_event(EventType::AshDispatch, cpu, i,
+                          static_cast<std::int32_t>(cpu), 64, cpu));
+      }
+      if ((i & 1023) == 0) {
+        // Exercise the thread-local context path and cpu clamping from
+        // the same (single) writer thread.
+        ScopedContext ctx(2, i, 7);
+        global().emit_ctx(EventType::TSendInitiated, Engine::None, 16, 0,
+                          40, 0);
+        t.emit(make_event(EventType::UpcallFallback, kCpus + 3, i, 1));
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  // Concurrent observers poll only the documented any-time-readable
+  // surface. Each atomic is individually monotonic (single writer), so
+  // per-counter non-decrease is the strongest claim a racing reader can
+  // check; cross-counter invariants wait for the join below.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&t, &writer_done] {
+      std::array<std::uint64_t, kCpus> last_emitted{};
+      std::array<std::uint64_t, kCpus> last_dropped{};
+      std::uint64_t last_clamped = 0;
+      while (!writer_done.load(std::memory_order_acquire)) {
+        EXPECT_TRUE(enabled());
+        for (std::uint16_t cpu = 0; cpu < kCpus; ++cpu) {
+          const std::uint64_t e = t.emitted(cpu);
+          const std::uint64_t d = t.dropped(cpu);
+          EXPECT_GE(e, last_emitted[cpu]);
+          EXPECT_GE(d, last_dropped[cpu]);
+          last_emitted[cpu] = e;
+          last_dropped[cpu] = d;
+        }
+        const std::uint64_t c = t.clamped_cpus();
+        EXPECT_GE(c, last_clamped);
+        last_clamped = c;
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& r : readers) r.join();
+
+  // Writer quiescent: the full invariants must hold exactly.
+  constexpr std::uint64_t kExtras = (kRounds + 1023) / 1024;  // i % 1024 == 0
+  EXPECT_EQ(t.emitted(0), kRounds);
+  EXPECT_EQ(t.emitted(1), kRounds);
+  // cpu 2 also took the context-path sends; cpu 3 (last ring) absorbed
+  // the clamped out-of-range emissions.
+  EXPECT_EQ(t.emitted(2), kRounds + kExtras);
+  EXPECT_EQ(t.emitted(3), kRounds + kExtras);
+  EXPECT_EQ(t.clamped_cpus(), kExtras);
+  for (std::uint16_t cpu = 0; cpu < kCpus; ++cpu) {
+    EXPECT_EQ(t.emitted(cpu), t.events(cpu).size() + t.dropped(cpu));
+  }
+  EXPECT_EQ(t.type_count(EventType::AshDispatch), kRounds * kCpus);
+  EXPECT_EQ(t.type_count(EventType::TSendInitiated), kExtras);
+  EXPECT_EQ(t.type_count(EventType::UpcallFallback), kExtras);
+  EXPECT_EQ(t.ash_metrics(7).sends, kExtras);
+}
+
+TEST(TraceConcurrency, DisableGateObservedByRunningWriter) {
+  TracerConfig cfg;
+  cfg.ring_capacity = 1u << 12;
+  cfg.max_cpus = 1;
+  Session session(cfg);
+  Tracer& t = global();
+
+  // The writer mimics a real instrumentation site: check enabled() before
+  // every emit, stop when the gate closes.
+  std::atomic<std::uint64_t> writer_saw{0};
+  std::thread writer([&t, &writer_saw] {
+    std::uint64_t i = 0;
+    while (enabled()) {
+      t.emit(make_event(EventType::AshDispatch, 0, i, 0));
+      ++i;
+    }
+    writer_saw.store(i, std::memory_order_release);
+  });
+
+  // Let the writer make progress, then slam the gate from this thread.
+  while (t.emitted(0) < 1000) {
+    std::this_thread::yield();
+  }
+  global().disable();
+  writer.join();
+
+  EXPECT_FALSE(enabled());
+  const std::uint64_t n = writer_saw.load(std::memory_order_acquire);
+  EXPECT_GE(n, 1000u);
+  // Every emit that passed the gate was recorded; nothing after it.
+  EXPECT_EQ(t.emitted(0), n);
+  EXPECT_EQ(t.emitted(0), t.events(0).size() + t.dropped(0));
+  // Rings stay readable after disable() until the next enable().
+  const auto ev = t.events(0);
+  ASSERT_FALSE(ev.empty());
+  EXPECT_EQ(ev.back().seq, n - 1);
+}
+
+}  // namespace
+}  // namespace ash::trace

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sandbox/sfi.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "vcode/codecache.hpp"
 #include "vcode/interp.hpp"
@@ -134,19 +135,25 @@ void expect_identical(const Program& prog,
                       const std::array<std::uint32_t, kNumRegs>& seeds,
                       const ExecLimits& limits, std::uint64_t env_seed,
                       const std::string& tag) {
+  if (ash::trace::enabled()) ash::trace::global().clear();
   DiffEnv env_a(env_seed);
   Interpreter interp(prog, env_a);
   for (std::uint32_t r = 1; r < kNumRegs; ++r) {
     interp.set_reg(static_cast<Reg>(r), seeds[r]);
   }
   const ExecResult a = interp.run(limits);
+  std::vector<ash::trace::Event> ev_a;
+  if (ash::trace::enabled()) ev_a = ash::trace::global().all_events();
 
+  if (ash::trace::enabled()) ash::trace::global().clear();
   DiffEnv env_b(env_seed);
   env_b.set_offer_fast_mem(env_seed % 2 == 0);
   CodeCache cache(prog);
   std::array<std::uint32_t, kNumRegs> regs = seeds;
   regs[kRegZero] = 0;
   const ExecResult b = cache.run(env_b, regs, limits);
+  std::vector<ash::trace::Event> ev_b;
+  if (ash::trace::enabled()) ev_b = ash::trace::global().all_events();
 
   ASSERT_EQ(static_cast<int>(a.outcome), static_cast<int>(b.outcome))
       << tag << " interp=" << to_string(a.outcome)
@@ -161,6 +168,32 @@ void expect_identical(const Program& prog,
         << tag << " register r" << r;
   }
   ASSERT_EQ(env_a.memory(), env_b.memory()) << tag;
+
+  // With the tracer on, the two engine-tagged event streams must be
+  // semantically equivalent: exactly one engine-exec record per run
+  // (the code cache's mid-run delegation to the interpreter core must
+  // NOT surface as a second event), equal observables, and the only
+  // difference the engine tag itself.
+  if (ash::trace::enabled()) {
+    ASSERT_EQ(ev_a.size(), 1u) << tag;
+    ASSERT_EQ(ev_b.size(), 1u) << tag;
+    const ash::trace::Event& ea = ev_a[0];
+    const ash::trace::Event& eb = ev_b[0];
+    ASSERT_EQ(static_cast<int>(ea.type),
+              static_cast<int>(ash::trace::EventType::VcodeExec)) << tag;
+    ASSERT_EQ(static_cast<int>(eb.type),
+              static_cast<int>(ash::trace::EventType::VcodeExec)) << tag;
+    ASSERT_EQ(static_cast<int>(ea.engine),
+              static_cast<int>(ash::trace::Engine::Interp)) << tag;
+    ASSERT_EQ(static_cast<int>(eb.engine),
+              static_cast<int>(ash::trace::Engine::CodeCache)) << tag;
+    ASSERT_EQ(ea.arg0, static_cast<std::uint32_t>(a.outcome)) << tag;
+    ASSERT_EQ(eb.arg0, static_cast<std::uint32_t>(b.outcome)) << tag;
+    ASSERT_EQ(ea.insns, eb.insns) << tag;
+    ASSERT_EQ(ea.cycles, eb.cycles) << tag;
+    ASSERT_EQ(ea.insns, a.insns) << tag;
+    ASSERT_EQ(ea.cycles, a.cycles) << tag;
+  }
 }
 
 /// Random verified program over registers r0..r20 (sandbox-compatible).
@@ -272,6 +305,11 @@ Program random_program(util::Rng& rng) {
 }
 
 TEST(CodeCacheDifferential, RandomProgramsMatchInterpreter) {
+  // The whole 1200-program sweep runs with the tracer recording: every
+  // expect_identical also checks bit-identical results are reported
+  // through semantically equivalent engine-tagged event streams.
+  ash::trace::Session tracing;
+
   VerifyPolicy policy;
   policy.allow_trusted = true;
   policy.allow_indirect = true;

@@ -19,6 +19,17 @@
 //                                         health state, abort taxonomy,
 //                                         last-fault forensics, quarantine
 //                                         backoff
+//   ashtool trace <file> [msgs] [--json|--chrome]
+//                                         same supervised scenario with the
+//                                         ashtrace tracer on; print the
+//                                         kernel-path event stream as text,
+//                                         JSON, or Chrome trace_event JSON
+//                                         (load the latter in Perfetto /
+//                                         chrome://tracing)
+//   ashtool metrics <file> [msgs] [--json]
+//                                         same scenario; print the per-
+//                                         handler / per-channel / per-
+//                                         engine aggregates
 //
 // The serialized format is exactly what AshSystem::download consumes —
 // these files are "what the kernel sees".
@@ -35,6 +46,8 @@
 #include "sandbox/sfi.hpp"
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
+#include "trace/format.hpp"
+#include "trace/trace.hpp"
 #include "vcode/codecache.hpp"
 #include "vcode/env_util.hpp"
 #include "vcode/interp.hpp"
@@ -51,8 +64,17 @@ int usage() {
                "       ashtool sandbox <file> <out> [base size]\n"
                "       ashtool run <file> [a0 a1 a2 a3]\n"
                "       ashtool dump-translated <file>\n"
-               "       ashtool status <file> [msgs]\n");
+               "       ashtool status <file> [msgs]\n"
+               "       ashtool trace <file> [msgs] [--json|--chrome]\n"
+               "       ashtool metrics <file> [msgs] [--json]\n");
   return 2;
+}
+
+/// ashtrace renders outcome codes as numbers (it links below vcode); give
+/// it the real names.
+const char* name_outcome(std::uint32_t code) {
+  if (code >= ash::vcode::kOutcomeCount) return "OutOfRange";
+  return ash::vcode::to_string(static_cast<ash::vcode::Outcome>(code));
 }
 
 bool write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
@@ -166,17 +188,26 @@ int cmd_run(const std::string& file, std::uint32_t a0, std::uint32_t a1,
   return r.outcome == ash::vcode::Outcome::Halted ? 0 : 1;
 }
 
-int cmd_status(const std::string& file, int msgs) {
+struct ScenarioOut {
+  int id = -1;
+  std::string error;
+  std::uint64_t sends = 0;
+  std::string status_table;
+};
+
+// The shared inspection scenario behind `status`, `trace`, and `metrics`:
+// a one-node supervised kernel downloads the image and offers it `msgs`
+// messages a millisecond apart under the default containment policy. A
+// handler that faults on every message walks visibly through
+// Probation/Quarantined/Revoked.
+int run_supervised_scenario(const std::string& file, int msgs,
+                            ScenarioOut* out) {
   const auto bytes = read_file(file);
   const auto prog = Program::deserialize(bytes);
   if (!prog.has_value()) {
     std::fprintf(stderr, "%s: not a valid .ashv image\n", file.c_str());
     return 1;
   }
-  // A one-node supervised kernel: download the image, offer it `msgs`
-  // messages a millisecond apart under the default containment policy,
-  // then print what the supervisor knows. A handler that faults on every
-  // message walks visibly through Probation/Quarantined/Revoked.
   ash::sim::Simulator sim;
   ash::sim::Node& node = sim.add_node("n");
   ash::core::AshSystem ashsys(node);
@@ -185,13 +216,10 @@ int cmd_status(const std::string& file, int msgs) {
   sup.quarantine_base = ash::sim::us(2000.0);  // visible at ms pacing
   ashsys.set_supervisor(sup);
 
-  int id = -1;
-  std::string error;
-  std::uint64_t sends = 0;
   node.kernel().spawn(
       "owner", [&](ash::sim::Process& self) -> ash::sim::Task {
-        id = ashsys.download(self, *prog, {}, &error);
-        if (id < 0) co_return;
+        out->id = ashsys.download(self, *prog, {}, &out->error);
+        if (out->id < 0) co_return;
         // Standard calling convention: 64 message bytes, and the
         // attach-time user argument pointing at owner scratch space.
         const std::uint32_t msg_addr = self.segment().base + 0x8000;
@@ -206,9 +234,9 @@ int cmd_status(const std::string& file, int msgs) {
           m.channel = 0;
           m.user_arg = scratch;
           ashsys.invoke(
-              id, m,
-              [&sends](int, std::span<const std::uint8_t>) {
-                ++sends;
+              out->id, m,
+              [out](int, std::span<const std::uint8_t>) {
+                ++out->sends;
                 return true;
               },
               0);
@@ -216,13 +244,55 @@ int cmd_status(const std::string& file, int msgs) {
         }
       });
   sim.run();
-  if (id < 0) {
-    std::fprintf(stderr, "download rejected: %s\n", error.c_str());
+  if (out->id < 0) {
+    std::fprintf(stderr, "download rejected: %s\n", out->error.c_str());
     return 1;
   }
+  out->status_table = ashsys.format_status();
+  return 0;
+}
+
+int cmd_status(const std::string& file, int msgs) {
+  ScenarioOut out;
+  const int rc = run_supervised_scenario(file, msgs, &out);
+  if (rc != 0) return rc;
   std::printf("%s: %d message(s) offered, %llu reply send(s) released\n\n",
-              file.c_str(), msgs, static_cast<unsigned long long>(sends));
-  std::fputs(ashsys.format_status().c_str(), stdout);
+              file.c_str(), msgs, static_cast<unsigned long long>(out.sends));
+  std::fputs(out.status_table.c_str(), stdout);
+  return 0;
+}
+
+int cmd_trace(const std::string& file, int msgs, const std::string& mode) {
+  ash::trace::set_outcome_namer(&name_outcome);
+  ash::trace::Session session;
+  ScenarioOut out;
+  const int rc = run_supervised_scenario(file, msgs, &out);
+  if (rc != 0) return rc;
+  if (mode == "--json") {
+    std::printf("%s\n", ash::trace::trace_json(ash::trace::global()).c_str());
+  } else if (mode == "--chrome") {
+    std::printf("%s\n",
+                ash::trace::chrome_trace_json(ash::trace::global()).c_str());
+  } else {
+    std::fputs(ash::trace::format_trace(ash::trace::global()).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int cmd_metrics(const std::string& file, int msgs, const std::string& mode) {
+  ash::trace::set_outcome_namer(&name_outcome);
+  ash::trace::Session session;
+  ScenarioOut out;
+  const int rc = run_supervised_scenario(file, msgs, &out);
+  if (rc != 0) return rc;
+  if (mode == "--json") {
+    std::printf("%s\n",
+                ash::trace::metrics_json(ash::trace::global()).c_str());
+  } else {
+    std::fputs(ash::trace::format_metrics(ash::trace::global()).c_str(),
+               stdout);
+  }
   return 0;
 }
 
@@ -261,6 +331,24 @@ int main(int argc, char** argv) {
     if (argc == 4) msgs = std::atoi(argv[3]);
     if (msgs <= 0) return usage();
     return cmd_status(argv[2], msgs);
+  }
+  if ((cmd == "trace" || cmd == "metrics") && argc >= 3 && argc <= 5) {
+    int msgs = 10;
+    std::string mode;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        mode = arg;
+      } else {
+        msgs = std::atoi(argv[i]);
+      }
+    }
+    if (msgs <= 0) return usage();
+    const bool mode_ok =
+        mode.empty() || mode == "--json" || (cmd == "trace" && mode == "--chrome");
+    if (!mode_ok) return usage();
+    return cmd == "trace" ? cmd_trace(argv[2], msgs, mode)
+                          : cmd_metrics(argv[2], msgs, mode);
   }
   if (cmd == "run" && argc >= 3 && argc <= 7) {
     std::uint32_t a[4] = {0, 0, 0, 0};
