@@ -13,10 +13,13 @@ namespace ash::core {
 
 namespace {
 
-/// Denial events share one shape; the guards below differ only in reason.
-void trace_denied(sim::Node& node, int ash_id, trace::DenyReason reason) {
+/// Denial events share one shape; the admission guards differ only in
+/// reason. `cpu_id` is the denying CPU — the node's main CPU on the
+/// inline path, the receive queue's CPU on the batched path.
+void trace_denied(sim::Node& node, std::uint16_t cpu_id, int ash_id,
+                  trace::DenyReason reason) {
   trace::global().emit(trace::make_event(
-      trace::EventType::AshDenied, node.cpu_id(), node.now(), ash_id,
+      trace::EventType::AshDenied, cpu_id, node.now(), ash_id,
       static_cast<std::uint32_t>(reason)));
 }
 
@@ -111,8 +114,14 @@ const Supervisor::HandlerState& AshSystem::supervisor_state(
 
 void AshSystem::clear_attachments(Installed& ash) {
   for (const Attachment& att : ash.attachments) {
-    if (att.an2 != nullptr) att.an2->set_kernel_hook(att.channel, nullptr);
-    if (att.eth != nullptr) att.eth->set_kernel_hook(att.channel, nullptr);
+    if (att.an2 != nullptr) {
+      att.an2->set_kernel_hook(att.channel, nullptr);
+      att.an2->set_kernel_batch_hook(att.channel, nullptr);
+    }
+    if (att.eth != nullptr) {
+      att.eth->set_kernel_hook(att.channel, nullptr);
+      att.eth->set_kernel_batch_hook(att.channel, nullptr);
+    }
   }
   ash.attachments.clear();
 }
@@ -161,7 +170,10 @@ bool AshSystem::detach_an2(net::An2Device& dev, int vc) {
       }
     }
   }
-  if (found) dev.set_kernel_hook(vc, nullptr);
+  if (found) {
+    dev.set_kernel_hook(vc, nullptr);
+    dev.set_kernel_batch_hook(vc, nullptr);
+  }
   return found;
 }
 
@@ -178,7 +190,10 @@ bool AshSystem::detach_eth(net::EthernetDevice& dev, int endpoint) {
       }
     }
   }
-  if (found) dev.set_kernel_hook(endpoint, nullptr);
+  if (found) {
+    dev.set_kernel_hook(endpoint, nullptr);
+    dev.set_kernel_batch_hook(endpoint, nullptr);
+  }
   return found;
 }
 
@@ -196,8 +211,7 @@ const vcode::CodeCache* AshSystem::code_cache(int ash_id) const {
   return at(ash_id).cache.get();
 }
 
-bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
-                       sim::Cycles tx_cost) {
+AshSystem::Installed* AshSystem::admit(int ash_id, std::uint16_t cpu_id) {
   // A stale or invalid id (reachable from a kernel hook once handlers can
   // be detached/revoked, or from a buggy custom demux point) must not
   // unwind through the device driver: count it and fall back.
@@ -205,9 +219,9 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
   if (ash_p == nullptr) {
     ++bad_id_fallbacks_;
     if (trace::enabled()) {
-      trace_denied(node_, ash_id, trace::DenyReason::BadId);
+      trace_denied(node_, cpu_id, ash_id, trace::DenyReason::BadId);
     }
-    return false;
+    return nullptr;
   }
   Installed& ash = *ash_p;
   AshStats& stats = ash.stats;
@@ -219,9 +233,9 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
   if (ash.health.health == Health::Revoked) {
     ++stats.revoked_skips;
     if (trace::enabled()) {
-      trace_denied(node_, ash_id, trace::DenyReason::Revoked);
+      trace_denied(node_, cpu_id, ash_id, trace::DenyReason::Revoked);
     }
-    return false;
+    return nullptr;
   }
 
   // Supervisor admission: a quarantined handler's messages take the
@@ -233,9 +247,9 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
           Supervisor::Admission::Denied) {
     ++stats.quarantine_skips;
     if (trace::enabled()) {
-      trace_denied(node_, ash_id, trace::DenyReason::Quarantined);
+      trace_denied(node_, cpu_id, ash_id, trace::DenyReason::Quarantined);
     }
-    return false;
+    return nullptr;
   }
 
   // Receive-livelock guard (Section VI-4). The window belongs to the
@@ -251,13 +265,22 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
     if (win.count >= livelock_quota_) {
       ++stats.livelock_deferrals;
       if (trace::enabled()) {
-        trace_denied(node_, ash_id, trace::DenyReason::LivelockQuota);
+        trace_denied(node_, cpu_id, ash_id, trace::DenyReason::LivelockQuota);
       }
-      return false;  // over quota: normal delivery path
+      return nullptr;  // over quota: normal delivery path
     }
     ++win.count;
   }
 
+  return ash_p;
+}
+
+AshSystem::RunResult AshSystem::run_one(int ash_id, Installed& ash,
+                                        const MsgContext& msg, AshEnv& env,
+                                        std::uint16_t cpu_id,
+                                        sim::Cycles dispatch,
+                                        sim::Cycles clear) {
+  AshStats& stats = ash.stats;
   ++stats.invocations;
 
   // Tracing is a pure observer: it never charges simulated cycles, so all
@@ -266,21 +289,11 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
   // cpu / time / handler; restored when the invocation unwinds.
   std::optional<trace::ScopedContext> tctx;
   if (trace::enabled()) {
-    tctx.emplace(node_.cpu_id(), node_.now(), ash_id);
+    tctx.emplace(cpu_id, node_.now(), ash_id);
     trace::global().emit(trace::make_event(
-        trace::EventType::AshDispatch, node_.cpu_id(), node_.now(), ash_id,
+        trace::EventType::AshDispatch, cpu_id, node_.now(), ash_id,
         msg.len, static_cast<std::uint32_t>(msg.channel)));
   }
-
-  AshEnv::Config env_cfg;
-  env_cfg.node = &node_;
-  env_cfg.owner_seg = ash.owner->segment();
-  env_cfg.msg_addr = msg.addr;
-  env_cfg.msg_len = msg.len;
-  env_cfg.stripe_chunk = msg.stripe_chunk;
-  env_cfg.engine = &dilp_;
-  env_cfg.tx_cost = tx_cost;
-  AshEnv env(env_cfg);
 
   vcode::ExecLimits limits;
   limits.max_insns = 1u << 20;
@@ -310,19 +323,17 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
   stats.cycles += exec.cycles;
   stats.insns += exec.insns;
 
-  const sim::CostModel& cost = node_.cost();
-  const sim::Cycles dispatch =
-      cost.ash_timer_setup +
-      (ash.opts.prebound_translation ? 0 : cost.ash_context_install);
-  const sim::Cycles total = dispatch + exec.cycles + cost.ash_timer_clear;
+  RunResult result;
+  result.outcome = exec.outcome;
+  result.total = dispatch + exec.cycles + clear;
+  result.insns = exec.insns;
 
   stats.by_outcome[static_cast<std::size_t>(exec.outcome)] += 1;
-  bool consumed = false;
   bool fault = false;
   switch (exec.outcome) {
     case vcode::Outcome::Halted:
       ++stats.commits;
-      consumed = true;
+      result.consumed = true;
       break;
     case vcode::Outcome::VoluntaryAbort:
       ++stats.voluntary_aborts;
@@ -339,9 +350,9 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
 
   if (trace::enabled()) {
     trace::global().emit(trace::make_event(
-        trace::EventType::AshOutcome, node_.cpu_id(), node_.now(), ash_id,
-        static_cast<std::uint32_t>(exec.outcome), consumed ? 1 : 0, total,
-        exec.insns));
+        trace::EventType::AshOutcome, cpu_id, node_.now(), ash_id,
+        static_cast<std::uint32_t>(exec.outcome), result.consumed ? 1 : 0,
+        result.total, exec.insns));
   }
 
   if (supervisor_.enabled()) {
@@ -349,7 +360,7 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
         supervisor_.note_result(ash.health, fault, node_.now());
     if (trace::enabled() && action != Supervisor::Action::None) {
       trace::global().emit(trace::make_event(
-          trace::EventType::SupervisorAction, node_.cpu_id(), node_.now(),
+          trace::EventType::SupervisorAction, cpu_id, node_.now(),
           ash_id,
           static_cast<std::uint32_t>(action == Supervisor::Action::Revoke
                                          ? trace::SupAction::Revoke
@@ -366,23 +377,122 @@ bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
     }
   }
 
+  return result;
+}
+
+bool AshSystem::invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
+                       sim::Cycles tx_cost) {
+  Installed* ash_p = admit(ash_id, node_.cpu_id());
+  if (ash_p == nullptr) return false;
+  Installed& ash = *ash_p;
+
+  AshEnv::Config env_cfg;
+  env_cfg.node = &node_;
+  env_cfg.owner_seg = ash.owner->segment();
+  env_cfg.msg_addr = msg.addr;
+  env_cfg.msg_len = msg.len;
+  env_cfg.stripe_chunk = msg.stripe_chunk;
+  env_cfg.engine = &dilp_;
+  env_cfg.tx_cost = tx_cost;
+  AshEnv env(env_cfg);
+
+  const sim::CostModel& cost = node_.cost();
+  const sim::Cycles dispatch =
+      cost.ash_timer_setup +
+      (ash.opts.prebound_translation ? 0 : cost.ash_context_install);
+  const RunResult run = run_one(ash_id, ash, msg, env, node_.cpu_id(),
+                                dispatch, cost.ash_timer_clear);
+
   // Occupy the CPU for the handler's runtime; release collected sends when
   // it "finishes" so replies cannot precede the work that produced them.
   // Sends were snapshotted at TSend time, so later handler stores to the
   // same buffer cannot corrupt an in-flight reply.
-  if (exec.outcome == vcode::Outcome::Halted && !env.sends().empty()) {
+  if (run.outcome == vcode::Outcome::Halted && !env.sends().empty()) {
     auto sends = env.sends();
-    node_.kernel_work(total,
+    node_.kernel_work(run.total,
                       [send_fn = std::move(send_fn), sends = std::move(sends)] {
                         for (const auto& req : sends) {
                           send_fn(req.channel, req.bytes);
                         }
                       });
   } else {
-    node_.kernel_work(total);
+    node_.kernel_work(run.total);
   }
 
-  return consumed;
+  return run.consumed;
+}
+
+void AshSystem::invoke_batch(int ash_id, std::span<const MsgContext> msgs,
+                             SendFn send_fn, sim::Cycles tx_cost,
+                             const sim::KernelCpu& cpu, bool* consumed) {
+  const std::uint16_t cpu_id = cpu.cpu_id();
+  const sim::CostModel& cost = node_.cost();
+
+  sim::Cycles batch_total = 0;
+  std::uint64_t batch_insns = 0;
+  std::uint32_t executed = 0;
+  std::vector<AshEnv::SendReq> sends;
+
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    // Per-message admission: a fault on message k can quarantine or
+    // revoke the handler mid-batch, and the messages after it must see
+    // that decision — the batch amortizes entry cost, not policy.
+    Installed* ash_p = admit(ash_id, cpu_id);
+    if (ash_p == nullptr) continue;
+    Installed& ash = *ash_p;
+
+    AshEnv::Config env_cfg;
+    env_cfg.node = &node_;
+    env_cfg.owner_seg = ash.owner->segment();
+    env_cfg.msg_addr = msgs[i].addr;
+    env_cfg.msg_len = msgs[i].len;
+    env_cfg.stripe_chunk = msgs[i].stripe_chunk;
+    env_cfg.engine = &dilp_;
+    env_cfg.tx_cost = tx_cost;
+    AshEnv env(env_cfg);
+
+    // First executed message pays the full entry; the rest only re-arm
+    // the budget timer. The single timer clear is added after the loop.
+    const sim::Cycles dispatch =
+        executed == 0
+            ? cost.ash_timer_setup +
+                  (ash.opts.prebound_translation ? 0
+                                                 : cost.ash_context_install)
+            : cost.ash_batch_rearm;
+    const RunResult run =
+        run_one(ash_id, ash, msgs[i], env, cpu_id, dispatch, 0);
+    ++executed;
+    batch_total += run.total;
+    batch_insns += run.insns;
+
+    if (run.consumed) {
+      if (consumed != nullptr) consumed[i] = true;
+      sends.insert(sends.end(), env.sends().begin(), env.sends().end());
+    }
+  }
+
+  if (executed > 0) batch_total += cost.ash_timer_clear;
+
+  if (trace::enabled()) {
+    trace::global().emit(trace::make_event(
+        trace::EventType::BatchDispatch, cpu_id, node_.now(), ash_id,
+        static_cast<std::uint32_t>(msgs.size()), executed, batch_total,
+        batch_insns));
+  }
+
+  // One CPU charge for the whole batch; all collected sends release when
+  // the batch's runtime has elapsed, preserving the reply-ordering
+  // contract of the single-message path.
+  if (!sends.empty()) {
+    cpu.kernel_work(batch_total,
+                    [send_fn = std::move(send_fn), sends = std::move(sends)] {
+                      for (const auto& req : sends) {
+                        send_fn(req.channel, req.bytes);
+                      }
+                    });
+  } else if (batch_total != 0) {
+    cpu.kernel_work(batch_total);
+  }
 }
 
 void AshSystem::attach_an2(net::An2Device& dev, int vc, int ash_id,
@@ -403,6 +513,26 @@ void AshSystem::attach_an2(net::An2Device& dev, int vc, int ash_id,
                   },
                   device->config().tx_kernel_work);
   });
+  // Batched form for the multi-queue receive path; same message shape,
+  // entry cost amortized across the batch by invoke_batch.
+  dev.set_kernel_batch_hook(
+      vc, [this, device, ash_id, user_arg](
+              std::span<const net::An2Device::RxEvent> evs,
+              const sim::KernelCpu& cpu, bool* consumed) {
+        std::vector<MsgContext> msgs(evs.size());
+        for (std::size_t i = 0; i < evs.size(); ++i) {
+          msgs[i].addr = evs[i].desc.addr;
+          msgs[i].len = evs[i].desc.len;
+          msgs[i].stripe_chunk = 0;
+          msgs[i].channel = evs[i].vc;
+          msgs[i].user_arg = user_arg;
+        }
+        invoke_batch(ash_id, msgs,
+                     [device](int chan, std::span<const std::uint8_t> bytes) {
+                       return device->send(chan, bytes);
+                     },
+                     device->config().tx_kernel_work, cpu, consumed);
+      });
 }
 
 void AshSystem::attach_eth(net::EthernetDevice& dev, int endpoint, int ash_id,
@@ -423,6 +553,24 @@ void AshSystem::attach_eth(net::EthernetDevice& dev, int endpoint, int ash_id,
                   },
                   device->config().tx_kernel_work);
   });
+  dev.set_kernel_batch_hook(
+      endpoint, [this, device, ash_id, user_arg](
+                    std::span<const net::EthernetDevice::RxEvent> evs,
+                    const sim::KernelCpu& cpu, bool* consumed) {
+        std::vector<MsgContext> msgs(evs.size());
+        for (std::size_t i = 0; i < evs.size(); ++i) {
+          msgs[i].addr = evs[i].striped.addr;
+          msgs[i].len = evs[i].striped.len;
+          msgs[i].stripe_chunk = 16;
+          msgs[i].channel = evs[i].endpoint;
+          msgs[i].user_arg = user_arg;
+        }
+        invoke_batch(ash_id, msgs,
+                     [device](int, std::span<const std::uint8_t> bytes) {
+                       return device->send(bytes);
+                     },
+                     device->config().tx_kernel_work, cpu, consumed);
+      });
 }
 
 std::string AshSystem::format_status() const {

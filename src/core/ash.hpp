@@ -42,6 +42,7 @@
 #include "net/an2.hpp"
 #include "net/ethernet.hpp"
 #include "sandbox/sfi.hpp"
+#include "sim/cpu.hpp"
 #include "sim/node.hpp"
 #include "sim/process.hpp"
 #include "vcode/codecache.hpp"
@@ -125,6 +126,8 @@ struct MsgContext {
   int channel = 0;               // reply channel (VC / endpoint id)
   std::uint32_t user_arg = 0;    // application argument bound at attach
 };
+
+class AshEnv;
 
 class AshSystem {
  public:
@@ -228,6 +231,27 @@ class AshSystem {
   bool invoke(int ash_id, const MsgContext& msg, SendFn send_fn,
               sim::Cycles tx_cost);
 
+  /// Batched invocation for the multi-queue receive path: all messages
+  /// share one handler and one demux point. The first dispatched message
+  /// pays the full sandbox-entry cost (budget-timer setup + context
+  /// install); messages 2..N pay only CostModel::ash_batch_rearm — the
+  /// owner's context is already installed and the budget timer is merely
+  /// re-armed — and the timer is cleared once per batch.
+  ///
+  /// Containment is per message: admission (revocation, quarantine,
+  /// livelock quota) runs for every message, and a fault on message k
+  /// aborts only that run — the supervisor is notified and the remaining
+  /// messages still execute (or are denied by the policy it just
+  /// triggered). `consumed[i]`, when non-null, is set true for each
+  /// committed message; unset messages fall back to the normal path.
+  ///
+  /// Cycles are charged on `cpu` (the receive queue's CPU), and collected
+  /// TSends from all committed messages are released together when the
+  /// batch's charged runtime has elapsed.
+  void invoke_batch(int ash_id, std::span<const MsgContext> msgs,
+                    SendFn send_fn, sim::Cycles tx_cost,
+                    const sim::KernelCpu& cpu, bool* consumed);
+
  private:
   /// One device hook this handler is attached through (for detach and
   /// revocation-time hook clearing). Exactly one device pointer is set.
@@ -260,6 +284,28 @@ class AshSystem {
   /// Non-throwing lookup: nullptr for an invalid id (the receive path
   /// must never unwind through the driver).
   Installed* find(int ash_id) noexcept;
+
+  /// Admission shared by invoke and invoke_batch: bad id, revocation,
+  /// quarantine, and the livelock quota. nullptr means the message falls
+  /// back to the normal delivery path (already counted and traced, with
+  /// `cpu_id` as the denying CPU).
+  Installed* admit(int ash_id, std::uint16_t cpu_id);
+
+  /// One handler run, shared by invoke and invoke_batch. `dispatch` and
+  /// `clear` are the caller's entry/exit charges for THIS message (the
+  /// batch path passes the marginal re-arm cost for messages 2..N and
+  /// folds the single timer clear in at the end), so `total` is the
+  /// marginal share this message adds to the CPU charge. Updates stats,
+  /// the fault record, and the supervisor; emits AshDispatch/AshOutcome.
+  struct RunResult {
+    vcode::Outcome outcome = vcode::Outcome::Halted;
+    bool consumed = false;
+    sim::Cycles total = 0;      // dispatch + exec cycles + clear
+    std::uint64_t insns = 0;
+  };
+  RunResult run_one(int ash_id, Installed& ash, const MsgContext& msg,
+                    AshEnv& env, std::uint16_t cpu_id, sim::Cycles dispatch,
+                    sim::Cycles clear);
   /// Clear all device hooks now (caller must not be inside one of them).
   void clear_attachments(Installed& ash);
   /// Mark revoked and schedule the hook-clearing after the current event

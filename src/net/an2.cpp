@@ -1,6 +1,7 @@
 #include "net/an2.hpp"
 
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 
 #include "net/an2_switch.hpp"
@@ -74,6 +75,10 @@ void An2Device::set_interrupt_mode(int vc, bool on) {
 
 void An2Device::set_kernel_hook(int vc, KernelHook hook) {
   vc_at(vc).hook = std::move(hook);
+}
+
+void An2Device::set_kernel_batch_hook(int vc, KernelBatchHook hook) {
+  vc_at(vc).batch_hook = std::move(hook);
 }
 
 void An2Device::return_buffer(int vc, std::uint32_t addr, std::uint32_t len) {
@@ -181,6 +186,25 @@ void An2Device::deliver(int vc_id, std::vector<std::uint8_t> bytes) {
   }
   const RxDesc desc{buf.addr, static_cast<std::uint32_t>(bytes.size())};
 
+  if (rxq_ != nullptr) {
+    // Multi-queue path: the board's VC demux result steers the frame to a
+    // receive queue (free, hardware steering); all kernel work — the
+    // per-frame driver/demux/flush pass and hook or notification delivery
+    // — happens when the queue's batch fires, on the queue's CPU.
+    RxFrame f;
+    f.sink = this;
+    f.channel = vc_id;
+    f.addr = desc.addr;
+    f.len = desc.len;
+    f.buf_addr = buf.addr;
+    f.buf_len = buf.len;
+    f.owner = vc.owner;
+    f.driver_cycles = config_.rx_driver_work + node_.cost().demux_an2 +
+                      config_.rx_cache_flush;
+    rxq_->steer(vc_id, vc.owner).enqueue(f);
+    return;
+  }
+
   if (vc.hook) {
     // Kernel receive hook (the ASH path): interrupt entry + driver work +
     // cache flush, then the hook runs in kernel context. The hook itself
@@ -227,6 +251,75 @@ void An2Device::deliver(int vc_id, std::vector<std::uint8_t> bytes) {
     // that mix poll-and-wait do not race.
     vc.arrival.notify(/*boost=*/false);
   }
+}
+
+void An2Device::rx_batch(std::span<const RxFrame> frames,
+                         const sim::KernelCpu& cpu) {
+  if (frames.empty()) return;
+  // The queue groups by (sink, channel): all frames share one VC. Hooks
+  // are re-checked here, at delivery time, because the supervisor may
+  // have revoked them while the batch sat in the queue.
+  const int vc_id = frames.front().channel;
+  Vc& v = vcs_[static_cast<std::size_t>(vc_id)];
+
+  if (v.batch_hook) {
+    std::vector<RxEvent> evs;
+    evs.reserve(frames.size());
+    for (const RxFrame& f : frames) {
+      evs.push_back(RxEvent{vc_id, RxDesc{f.addr, f.len}, f.owner});
+    }
+    std::unique_ptr<bool[]> consumed(new bool[frames.size()]());
+    v.batch_hook(evs, cpu, consumed.get());
+    bool any_fallback = false;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const RxFrame& f = frames[i];
+      if (consumed[i]) {
+        v.free_bufs.push_back(RxDesc{f.buf_addr, f.buf_len});
+        continue;
+      }
+      if (trace::enabled()) {
+        trace::global().emit(trace::make_event(
+            trace::EventType::UpcallFallback, cpu.cpu_id(), node_.now(),
+            vc_id, static_cast<std::uint32_t>(trace::NicKind::An2)));
+      }
+      v.notify_ring.push_back(RxDesc{f.addr, f.len});
+      any_fallback = true;
+    }
+    if (any_fallback) v.arrival.notify(/*boost=*/true);
+    return;
+  }
+
+  for (const RxFrame& f : frames) {
+    const RxDesc desc{f.addr, f.len};
+    if (v.hook) {
+      // Per-frame hook with no batch form installed: run it per message.
+      const RxEvent ev{vc_id, desc, f.owner};
+      if (v.hook(ev)) {
+        v.free_bufs.push_back(RxDesc{f.buf_addr, f.buf_len});
+        continue;
+      }
+      if (trace::enabled()) {
+        trace::global().emit(trace::make_event(
+            trace::EventType::UpcallFallback, cpu.cpu_id(), node_.now(),
+            vc_id, static_cast<std::uint32_t>(trace::NicKind::An2)));
+      }
+    }
+    v.notify_ring.push_back(desc);
+  }
+  if (v.interrupt_mode) {
+    // One coalesced wakeup per batch (vs one per frame inline).
+    cpu.kernel_work(node_.cost().wakeup, [this, vc_id] {
+      vcs_[static_cast<std::size_t>(vc_id)].arrival.notify(/*boost=*/true);
+    });
+  } else {
+    v.arrival.notify(/*boost=*/false);
+  }
+}
+
+void An2Device::rx_drop(const RxFrame& frame) {
+  Vc& v = vcs_[static_cast<std::size_t>(frame.channel)];
+  v.free_bufs.push_back(RxDesc{frame.buf_addr, frame.buf_len});
+  ++v.drops;
 }
 
 }  // namespace ash::net

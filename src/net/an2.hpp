@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/fault.hpp"
+#include "net/rx_queue.hpp"
 #include "sim/node.hpp"
 #include "sim/process.hpp"
 
@@ -62,7 +63,7 @@ struct An2Config {
   FaultConfig faults;
 };
 
-class An2Device {
+class An2Device : public RxSink {
  public:
   An2Device(sim::Node& node, const An2Config& config = {});
 
@@ -90,6 +91,13 @@ class An2Device {
   /// notification path.
   using KernelHook = std::function<bool(const RxEvent&)>;
 
+  /// Batched form, used by the multi-queue receive path: all events share
+  /// one VC; the hook sets consumed[i] per message (unset entries fall
+  /// back to the notification path). Runs on the queue's CPU and charges
+  /// its own execution there.
+  using KernelBatchHook = std::function<void(
+      std::span<const RxEvent>, const sim::KernelCpu&, bool* consumed)>;
+
   /// Bind a VC owned by `owner`. Returns the VC id.
   int bind_vc(sim::Process& owner);
 
@@ -97,7 +105,13 @@ class An2Device {
   void supply_buffer(int vc, std::uint32_t addr, std::uint32_t len);
 
   /// Poll the notification ring: pop the next arrival, if any. Free — the
-  /// caller charges poll-iteration cycles itself.
+  /// caller charges poll-iteration cycles itself, and the contract is
+  /// check-then-charge: charge poll_iteration only AFTER an empty poll,
+  /// and charge the receive-processing overhead (an2_user_recv_overhead)
+  /// INSTEAD of — never in addition to — a poll_iteration on the
+  /// iteration that finds a frame. A frame arriving mid-iteration is
+  /// discovered by the next check at no extra poll charge; the cycle-
+  /// exact expectation is pinned by tests/net_poll_charge_test.cpp.
   std::optional<RxDesc> poll(int vc);
 
   /// Channel notified on arrivals in interrupt mode (token semantics).
@@ -114,6 +128,22 @@ class An2Device {
   bool has_kernel_hook(int vc) const {
     return static_cast<bool>(vc_at(vc).hook);
   }
+
+  /// Install/remove the batched kernel hook (multi-queue path). When a
+  /// queue set is attached and a batch hook is present it takes priority
+  /// over the per-frame hook for steered batches; null clears it.
+  void set_kernel_batch_hook(int vc, KernelBatchHook hook);
+
+  /// Steer arrivals through a multi-queue receive set instead of the
+  /// inline per-frame path; nullptr (default) restores the inline path.
+  /// The set must outlive the device's traffic.
+  void set_rx_queues(RxQueueSet* queues) noexcept { rxq_ = queues; }
+  RxQueueSet* rx_queues() const noexcept { return rxq_; }
+
+  // RxSink: batch delivery from an RxQueue (kernel context, queue CPU).
+  void rx_batch(std::span<const RxFrame> frames,
+                const sim::KernelCpu& cpu) override;
+  void rx_drop(const RxFrame& frame) override;
 
   /// Return a consumed buffer to the free ring (its full original length).
   void return_buffer(int vc, std::uint32_t addr, std::uint32_t len);
@@ -149,6 +179,7 @@ class An2Device {
     std::deque<RxDesc> notify_ring;
     sim::WaitChannel arrival;
     KernelHook hook;
+    KernelBatchHook batch_hook;
     bool interrupt_mode = false;
     std::uint64_t drops = 0;
   };
@@ -165,6 +196,7 @@ class An2Device {
   An2Switch* switch_ = nullptr;
   int switch_port_ = -1;
   std::vector<Vc> vcs_;
+  RxQueueSet* rxq_ = nullptr;
   sim::Cycles tx_free_at_ = 0;  // link serialization pipeline
   FaultInjector faults_;
 };

@@ -89,6 +89,11 @@ void EthernetDevice::set_kernel_hook(int endpoint, KernelHook hook) {
   ep_at(endpoint).hook = std::move(hook);
 }
 
+void EthernetDevice::set_kernel_batch_hook(int endpoint,
+                                           KernelBatchHook hook) {
+  ep_at(endpoint).batch_hook = std::move(hook);
+}
+
 void EthernetDevice::return_buffer(int endpoint, std::uint32_t addr,
                                    std::uint32_t len) {
   supply_buffer(endpoint, addr, len);
@@ -195,6 +200,25 @@ void EthernetDevice::deliver(std::vector<std::uint8_t> bytes) {
         visited, static_cast<std::uint32_t>(trace::NicKind::Ethernet),
         demux_cost));
   }
+  if (rxq_ != nullptr && ep_id >= 0) {
+    // Multi-queue path: the DPF match result steers the frame; the
+    // driver/demux work and the endpoint's receive path are charged when
+    // the queue's batch fires, on the queue's CPU. Unmatched frames stay
+    // inline below (no endpoint to steer by).
+    Endpoint& ep = endpoints_[static_cast<std::size_t>(ep_id)];
+    RxFrame f;
+    f.sink = this;
+    f.channel = ep_id;
+    f.addr = kb->addr;  // striped kernel buffer
+    f.len = len;
+    f.buf_addr = kb->addr;
+    f.buf_len = len;
+    f.owner = ep.owner;
+    f.driver_cycles = config_.rx_driver_work + demux_cost;
+    rxq_->steer(ep_id, ep.owner).enqueue(f);
+    return;
+  }
+
   const sim::Cycles driver =
       node_.cost().interrupt_entry + config_.rx_driver_work + demux_cost;
 
@@ -248,6 +272,87 @@ void EthernetDevice::deliver(std::vector<std::uint8_t> bytes) {
       ep.arrival.notify(false);
     }
   });
+}
+
+void EthernetDevice::rx_batch(std::span<const RxFrame> frames,
+                              const sim::KernelCpu& cpu) {
+  if (frames.empty()) return;
+  const int ep_id = frames.front().channel;
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(ep_id)];
+
+  // Default copy-out for one frame the hooks did not consume: the kernel
+  // copies the striped buffer into the endpoint's supplied app buffer,
+  // charging the copy on the queue's CPU, then recycles the kernel buffer.
+  const auto default_copy_out = [this, &ep, &cpu](const RxFrame& f) {
+    if (ep.free_bufs.empty() || ep.free_bufs.front().len < f.len) {
+      drops_ += 1;
+      release_kernel_buf(f.buf_addr);
+      return false;
+    }
+    const RxDesc dst = ep.free_bufs.front();
+    ep.free_bufs.pop_front();
+    const sim::Cycles copy_cycles =
+        sim::memops::copy_destripe(node_, dst.addr, f.buf_addr, f.len);
+    cpu.kernel_work(copy_cycles);
+    release_kernel_buf(f.buf_addr);
+    ep.notify_ring.push_back({dst.addr, f.len});
+    return true;
+  };
+
+  std::size_t delivered = 0;
+  if (ep.batch_hook) {
+    std::vector<RxEvent> evs;
+    evs.reserve(frames.size());
+    for (const RxFrame& f : frames) {
+      evs.push_back(RxEvent{ep_id, RxDesc{f.addr, f.len}, f.owner});
+    }
+    std::unique_ptr<bool[]> consumed(new bool[frames.size()]());
+    ep.batch_hook(evs, cpu, consumed.get());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const RxFrame& f = frames[i];
+      if (consumed[i]) {
+        release_kernel_buf(f.buf_addr);
+        continue;
+      }
+      if (trace::enabled()) {
+        trace::global().emit(trace::make_event(
+            trace::EventType::UpcallFallback, cpu.cpu_id(), node_.now(),
+            ep_id, static_cast<std::uint32_t>(trace::NicKind::Ethernet)));
+      }
+      if (default_copy_out(f)) ++delivered;
+    }
+  } else {
+    for (const RxFrame& f : frames) {
+      if (ep.hook) {
+        const RxEvent ev{ep_id, RxDesc{f.addr, f.len}, f.owner};
+        if (ep.hook(ev)) {
+          release_kernel_buf(f.buf_addr);
+          continue;
+        }
+        if (trace::enabled()) {
+          trace::global().emit(trace::make_event(
+              trace::EventType::UpcallFallback, cpu.cpu_id(), node_.now(),
+              ep_id, static_cast<std::uint32_t>(trace::NicKind::Ethernet)));
+        }
+      }
+      if (default_copy_out(f)) ++delivered;
+    }
+  }
+
+  if (delivered == 0) return;
+  if (ep.interrupt_mode) {
+    // One coalesced wakeup per batch (vs one per frame inline).
+    cpu.kernel_work(node_.cost().wakeup, [this, ep_id] {
+      endpoints_[static_cast<std::size_t>(ep_id)].arrival.notify(true);
+    });
+  } else {
+    ep.arrival.notify(/*boost=*/false);
+  }
+}
+
+void EthernetDevice::rx_drop(const RxFrame& frame) {
+  release_kernel_buf(frame.buf_addr);
+  ++drops_;
 }
 
 }  // namespace ash::net

@@ -50,7 +50,7 @@ struct EthernetConfig {
   FaultConfig faults;
 };
 
-class EthernetDevice {
+class EthernetDevice : public RxSink {
  public:
   /// Kernel receive buffers live in the node's kernel area (segment 0).
   /// Each holds one striped frame (2 x max_frame_bytes).
@@ -74,6 +74,13 @@ class EthernetDevice {
   };
   using KernelHook = std::function<bool(const RxEvent&)>;
 
+  /// Batched form for the multi-queue receive path: all events share one
+  /// endpoint; consumed[i] set per frame means the hook copied it out and
+  /// the kernel buffer can be recycled (unset frames take the default
+  /// copy-out path). Runs on the queue's CPU and charges there.
+  using KernelBatchHook = std::function<void(
+      std::span<const RxEvent>, const sim::KernelCpu&, bool* consumed)>;
+
   /// Attach an endpoint: frames matching `filter` (DPF) belong to `owner`.
   /// Returns the endpoint id.
   int attach(sim::Process& owner, dpf::Filter filter);
@@ -82,6 +89,12 @@ class EthernetDevice {
   /// into (destriped).
   void supply_buffer(int endpoint, std::uint32_t addr, std::uint32_t len);
 
+  /// Poll the notification ring: pop the next copied-out arrival, if any.
+  /// Free — the caller charges poll-iteration cycles itself, with the
+  /// same check-then-charge contract as An2Device::poll: poll_iteration
+  /// only after an empty poll, receive-processing overhead instead of
+  /// (never in addition to) a poll charge on the iteration that finds a
+  /// frame. Pinned cycle-exactly by tests/net_poll_charge_test.cpp.
   std::optional<RxDesc> poll(int endpoint);
   sim::WaitChannel& arrival_channel(int endpoint);
   void set_interrupt_mode(int endpoint, bool on);
@@ -91,6 +104,21 @@ class EthernetDevice {
   bool has_kernel_hook(int endpoint) const {
     return static_cast<bool>(ep_at(endpoint).hook);
   }
+
+  /// Install/remove the batched kernel hook (multi-queue path); takes
+  /// priority over the per-frame hook for steered batches.
+  void set_kernel_batch_hook(int endpoint, KernelBatchHook hook);
+
+  /// Steer matched frames through a multi-queue receive set; nullptr
+  /// (default) restores the inline path. Unmatched frames are always
+  /// counted and dropped inline (there is no endpoint to steer by).
+  void set_rx_queues(RxQueueSet* queues) noexcept { rxq_ = queues; }
+  RxQueueSet* rx_queues() const noexcept { return rxq_; }
+
+  // RxSink: batch delivery from an RxQueue (kernel context, queue CPU).
+  void rx_batch(std::span<const RxFrame> frames,
+                const sim::KernelCpu& cpu) override;
+  void rx_drop(const RxFrame& frame) override;
   void return_buffer(int endpoint, std::uint32_t addr, std::uint32_t len);
 
   std::uint64_t drops() const noexcept { return drops_; }
@@ -125,6 +153,7 @@ class EthernetDevice {
     std::deque<RxDesc> notify_ring;
     sim::WaitChannel arrival;
     KernelHook hook;
+    KernelBatchHook batch_hook;
     bool interrupt_mode = false;
   };
 
@@ -143,6 +172,7 @@ class EthernetDevice {
   EthernetDevice* peer_ = nullptr;
   std::vector<Endpoint> endpoints_;
   std::vector<KernelBuf> kernel_bufs_;
+  RxQueueSet* rxq_ = nullptr;
   std::unique_ptr<dpf::Engine> demux_;
   sim::Cycles tx_free_at_ = 0;
   std::uint64_t drops_ = 0;

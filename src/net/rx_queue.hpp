@@ -1,0 +1,181 @@
+// Multi-queue receive scaling: per-CPU RX queues, steering, coalescing.
+//
+// The paper runs every ASH synchronously from the driver — one interrupt
+// crossing per message, all on the one CPU. That is the serial bottleneck
+// the receive-scaling subsystem removes, following the modern recipe:
+//
+//  * steering — the NIC already demultiplexes (AN2 VC index, Ethernet
+//    DPF match), so the demux *result* picks a receive queue via a
+//    pluggable SteeringPolicy (RSS-style channel hash, owner-affinity,
+//    or explicit pins). Steering happens on the board, so it charges no
+//    CPU cycles — exactly like the AN2's hardware VC demux.
+//
+//  * per-CPU queues — each RxQueue runs its kernel work (driver pass +
+//    batched ASH dispatch) on its own sim::KernelCpu. Queue 0 uses the
+//    node's main CPU, so a 1-queue configuration keeps the paper's
+//    single-CPU contention semantics; queues 1..N-1 use auxiliary rx
+//    CPUs (Node::add_rx_cpu).
+//
+//  * coalescing — with CoalesceConfig::enabled, arrivals accumulate and
+//    the queue charges ONE interrupt entry per fired batch instead of
+//    one per frame. A batch fires when max_frames are pending or when
+//    the oldest frame has waited max_delay (a timer armed per first
+//    pending frame); with `adaptive` set the queue switches NAPI-style
+//    into polling mode under load, where a batch pickup costs
+//    CostModel::rxq_poll_pass instead of a full interrupt entry.
+//
+// With coalescing off, every enqueue fires immediately as a batch of
+// one charging interrupt_entry + the frame's driver work — cycle-for-
+// cycle the inline path's charge, which is what the single-queue
+// equivalence tests pin.
+//
+// Invariants (tests/net_rxqueue_test.cpp):
+//   enqueued == dispatched + pending + dropped, always;
+//   no batch exceeds max_frames;
+//   every frame's batch fires within max_delay of its enqueue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/node.hpp"
+#include "sim/process.hpp"
+
+namespace ash::net {
+
+class RxSink;
+
+/// One steered frame parked in an RxQueue. The device fills everything at
+/// steer time; `driver_cycles` is the per-frame driver/demux work the
+/// batch fire charges (excluding the per-batch interrupt entry).
+struct RxFrame {
+  RxSink* sink = nullptr;
+  int channel = -1;              // AN2 VC or Ethernet endpoint id
+  std::uint32_t addr = 0;        // delivered message location
+  std::uint32_t len = 0;
+  std::uint32_t buf_addr = 0;    // original rx buffer (recycled on drop)
+  std::uint32_t buf_len = 0;
+  sim::Process* owner = nullptr;
+  sim::Cycles driver_cycles = 0;
+  sim::Cycles enqueued_at = 0;
+};
+
+/// Device-side consumer of a fired batch. Both NIC models implement this;
+/// the queue groups consecutive same-(sink, channel) frames before
+/// calling rx_batch so handlers see maximal same-channel runs.
+class RxSink {
+ public:
+  virtual ~RxSink() = default;
+  /// Deliver a run of frames (same sink and channel) in kernel context on
+  /// `cpu`. Called from the batch's kernel_work completion; any further
+  /// work (handler execution, copies, wakeups) is charged on `cpu` by the
+  /// sink itself.
+  virtual void rx_batch(std::span<const RxFrame> frames,
+                        const sim::KernelCpu& cpu) = 0;
+  /// Reclaim a frame the queue dropped before dispatch (overflow).
+  virtual void rx_drop(const RxFrame& frame) = 0;
+};
+
+enum class SteerMode : std::uint8_t {
+  ChannelHash,    // RSS-style: demux id picks the queue (default)
+  OwnerAffinity,  // owning process pid picks the queue
+  Pinned,         // explicit channel->queue pins; unpinned go to queue 0
+};
+
+struct SteeringPolicy {
+  SteerMode mode = SteerMode::ChannelHash;
+  /// Explicit channel->queue pins, consulted first in every mode.
+  std::unordered_map<int, std::size_t> pins;
+
+  std::size_t pick(int channel, const sim::Process* owner,
+                   std::size_t queues) const;
+};
+
+struct CoalesceConfig {
+  /// Off (default): one fire — one interrupt charge — per frame, the
+  /// paper's per-message path.
+  bool enabled = false;
+  std::uint32_t max_frames = 8;
+  sim::Cycles max_delay = sim::us(50.0);
+  /// NAPI-style: after a full batch the queue stays in polling mode
+  /// (cheap rxq_poll_pass per batch) until a timer-drained batch shows
+  /// the load has dropped.
+  bool adaptive = false;
+};
+
+/// Why a batch fired (CoalesceFire arg1; keep in sync with the namer in
+/// trace/format.cpp).
+enum class FireReason : std::uint8_t { Immediate, Full, Timer, Poll };
+inline constexpr std::size_t kFireReasonCount = 4;
+const char* to_string(FireReason r) noexcept;
+
+class RxQueue {
+ public:
+  RxQueue(sim::KernelCpu cpu, std::size_t index, const CoalesceConfig& co,
+          std::size_t capacity);
+
+  void enqueue(RxFrame frame);
+
+  std::size_t index() const noexcept { return index_; }
+  const sim::KernelCpu& cpu() const noexcept { return cpu_; }
+  bool polling() const noexcept { return poll_mode_; }
+  std::size_t depth() const noexcept { return pending_.size(); }
+
+  // Conservation counters: enqueued == dispatched + depth + dropped.
+  std::uint64_t enqueued() const noexcept { return enqueued_; }
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t batches() const noexcept { return batches_; }
+
+ private:
+  void fire(FireReason reason);
+  void arm_timer(sim::Cycles deadline);
+  void deliver_batch(std::vector<RxFrame> batch);
+
+  sim::KernelCpu cpu_;
+  std::size_t index_;
+  CoalesceConfig co_;
+  std::size_t capacity_;
+  std::deque<RxFrame> pending_;
+  bool timer_armed_ = false;
+  std::uint64_t timer_gen_ = 0;
+  bool poll_mode_ = false;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+/// The set of receive queues a device steers into. Queue 0 runs on the
+/// node's main CPU; queues 1..N-1 each get an auxiliary rx CPU.
+class RxQueueSet {
+ public:
+  struct Config {
+    std::size_t queues = 1;
+    SteeringPolicy steering;
+    CoalesceConfig coalesce;
+    /// Per-queue pending-frame cap; overflow frames are dropped back to
+    /// the device (counted in RxQueue::dropped).
+    std::size_t capacity = 256;
+  };
+
+  RxQueueSet(sim::Node& node, const Config& cfg);
+
+  std::size_t size() const noexcept { return queues_.size(); }
+  RxQueue& queue(std::size_t i) noexcept { return *queues_[i]; }
+  const Config& config() const noexcept { return cfg_; }
+
+  /// The queue the policy steers (channel, owner) to.
+  RxQueue& steer(int channel, const sim::Process* owner);
+
+ private:
+  Config cfg_;
+  std::vector<std::unique_ptr<RxQueue>> queues_;
+};
+
+}  // namespace ash::net

@@ -463,9 +463,16 @@ sim::Sub<bool> TcpConnection::write_from(std::uint32_t app_addr,
         if (node.now() >= deadline) break;
         co_await link_.self().compute(node.cost().poll_iteration);
       }
-      if (snd_una() == before && !link_.try_recv().has_value()) {
-        const bool alive = co_await retransmit();
-        if (!alive) co_return false;
+      if (snd_una() == before) {
+        // A segment may have landed between the last poll and the
+        // deadline check; process it instead of discarding the dequeued
+        // descriptor (which would lose the segment and leak its buffer).
+        if (auto d = link_.try_recv()) {
+          co_await process_packet(*d);
+        } else {
+          const bool alive = co_await retransmit();
+          if (!alive) co_return false;
+        }
       }
     } else {
       const bool got = co_await pump(cfg_.rto);

@@ -97,6 +97,18 @@ struct CostModel {
   /// buffers, and unbatch, limiting what the handler can save).
   Cycles tcp_handler_read_overhead = us(20.0);
 
+  // --- multi-queue receive path (receive scaling, DESIGN §"Receive
+  /// scaling model") ---
+  /// One pickup pass of an rx queue already in polling mode (NAPI-style):
+  /// the coalescer stays on the CPU, so a batch costs a ring check + batch
+  /// pop instead of a full interrupt entry.
+  Cycles rxq_poll_pass = us(0.5);
+  /// Re-arming the runtime budget timer for the next message of an
+  /// already-entered ASH batch (the sandbox context and timer machinery
+  /// are hot; only the deadline is rewritten). Replaces the per-message
+  /// ash_timer_setup + ash_context_install for messages 2..N of a batch.
+  Cycles ash_batch_rearm = us(0.25);
+
   // --- demultiplexing ---
   /// AN2: virtual-circuit index lookup in the driver.
   Cycles demux_an2 = us(1.0);

@@ -1,0 +1,31 @@
+#include "sim/cpu.hpp"
+
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace ash::sim {
+
+Cycles Cpu::kernel_work(Cycles cycles, EventFn done) {
+  const Cycles t = node_.now();
+  const Cycles start = t > busy_until_ ? t : busy_until_;
+  busy_until_ = start + cycles;
+  kernel_cycles_ += cycles;
+  if (done) node_.queue().schedule_at(busy_until_, std::move(done));
+  return busy_until_;
+}
+
+std::uint16_t KernelCpu::cpu_id() const {
+  return aux_ != nullptr ? aux_->cpu_id() : node_->cpu_id();
+}
+
+Cycles KernelCpu::kernel_work(Cycles cycles, EventFn done) const {
+  return aux_ != nullptr ? aux_->kernel_work(cycles, std::move(done))
+                         : node_->kernel_work(cycles, std::move(done));
+}
+
+Cycles KernelCpu::kernel_cycles_total() const {
+  return aux_ != nullptr ? aux_->kernel_cycles_total()
+                         : node_->kernel_cycles_total();
+}
+
+}  // namespace ash::sim

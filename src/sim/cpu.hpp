@@ -1,0 +1,73 @@
+// Auxiliary kernel-context CPUs for the multi-queue receive path.
+//
+// A Node models one serialized CPU (the paper's machine). Receive-side
+// scaling adds extra CPUs that run *kernel* work only — demux upcalls and
+// batched ASH dispatch steered off the interrupt path — while sharing the
+// node's memory, D-cache model, cost model, and event queue. They do not
+// run user processes, so they carry their own busy_until accounting but no
+// scheduler chunk accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace ash::sim {
+
+class Node;
+
+/// One auxiliary kernel CPU belonging to a Node. Created via
+/// Node::add_rx_cpu(); identified by a simulator-wide dense cpu id (the
+/// tracer's per-CPU ring index).
+class Cpu {
+ public:
+  Cpu(Node& node, std::uint16_t cpu_id) : node_(node), cpu_id_(cpu_id) {}
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  Node& node() noexcept { return node_; }
+  std::uint16_t cpu_id() const noexcept { return cpu_id_; }
+
+  Cycles busy_until() const noexcept { return busy_until_; }
+
+  /// Occupy this CPU with kernel-context work for `cycles`, starting no
+  /// earlier than now; `done` (optional) runs at completion. Returns the
+  /// completion time. Mirrors Node::kernel_work but serializes only
+  /// against this CPU's own backlog.
+  Cycles kernel_work(Cycles cycles, EventFn done = {});
+
+  /// Total cycles of kernel-context work performed (statistics).
+  Cycles kernel_cycles_total() const noexcept { return kernel_cycles_; }
+
+ private:
+  Node& node_;
+  std::uint16_t cpu_id_;
+  Cycles busy_until_ = 0;
+  Cycles kernel_cycles_ = 0;
+};
+
+/// Copyable handle to "the CPU a receive queue runs on": either the
+/// node's main CPU (aux == nullptr — full main-CPU semantics, including
+/// contention with the running process's compute chunks) or an auxiliary
+/// rx Cpu. Queue 0 of an RxQueueSet uses the main CPU so the single-queue
+/// configuration charges exactly like the paper's inline path.
+class KernelCpu {
+ public:
+  KernelCpu() = default;  // invalid until assigned
+  explicit KernelCpu(Node& node, Cpu* aux = nullptr)
+      : node_(&node), aux_(aux) {}
+
+  bool valid() const noexcept { return node_ != nullptr; }
+  bool main() const noexcept { return aux_ == nullptr; }
+  Node& node() const noexcept { return *node_; }
+
+  std::uint16_t cpu_id() const;
+  Cycles kernel_work(Cycles cycles, EventFn done = {}) const;
+  Cycles kernel_cycles_total() const;
+
+ private:
+  Node* node_ = nullptr;
+  Cpu* aux_ = nullptr;
+};
+
+}  // namespace ash::sim

@@ -1,5 +1,6 @@
 #include "sim/node.hpp"
 
+#include "sim/cpu.hpp"
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
 
@@ -8,7 +9,7 @@ namespace ash::sim {
 Node::Node(Simulator& sim, std::string name, const NodeConfig& config)
     : sim_(sim),
       name_(std::move(name)),
-      cpu_id_(static_cast<std::uint16_t>(sim.nodes().size())),
+      cpu_id_(sim.alloc_cpu_id()),
       cost_(config.cost),
       dcache_(config.cache),
       memory_(config.memory_bytes, 0),
@@ -28,6 +29,11 @@ const std::uint8_t* Node::mem(std::uint32_t addr,
                               std::uint32_t len) const noexcept {
   if (static_cast<std::uint64_t>(addr) + len > memory_.size()) return nullptr;
   return memory_.data() + addr;
+}
+
+Cpu& Node::add_rx_cpu() {
+  rx_cpus_.push_back(std::make_unique<Cpu>(*this, sim_.alloc_cpu_id()));
+  return *rx_cpus_.back();
 }
 
 Cycles Node::kernel_work(Cycles cycles, EventFn done) {

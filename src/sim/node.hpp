@@ -15,6 +15,7 @@
 
 namespace ash::sim {
 
+class Cpu;
 class Kernel;
 class Simulator;
 
@@ -33,8 +34,8 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   const std::string& name() const noexcept { return name_; }
-  /// Dense per-simulator CPU index (creation order) — the tracer's
-  /// per-CPU ring id.
+  /// Dense per-simulator CPU index (allocation order across nodes and
+  /// auxiliary rx CPUs) — the tracer's per-CPU ring id.
   std::uint16_t cpu_id() const noexcept { return cpu_id_; }
   Simulator& simulator() noexcept { return sim_; }
   EventQueue& queue() noexcept;
@@ -75,6 +76,18 @@ class Node {
   /// Total cycles of kernel-context work performed (statistics).
   Cycles kernel_cycles_total() const noexcept { return kernel_cycles_; }
 
+  // ---- auxiliary receive CPUs ----
+  //
+  // Extra kernel-only CPUs for the multi-queue receive path (sim/cpu.hpp).
+  // They share this node's memory/cost model/event queue but carry their
+  // own busy_until accounting. Created on demand by net::RxQueueSet.
+
+  /// Add one auxiliary rx CPU; its cpu id is allocated from the same
+  /// simulator-wide counter as node ids.
+  Cpu& add_rx_cpu();
+  std::size_t rx_cpu_count() const noexcept { return rx_cpus_.size(); }
+  Cpu& rx_cpu(std::size_t i) noexcept { return *rx_cpus_[i]; }
+
  private:
   Simulator& sim_;
   std::string name_;
@@ -83,6 +96,7 @@ class Node {
   Cache dcache_;
   std::vector<std::uint8_t> memory_;
   std::unique_ptr<Kernel> kernel_;
+  std::vector<std::unique_ptr<Cpu>> rx_cpus_;
   Cycles busy_until_ = 0;
   Cycles chunk_end_ = 0;
   Cycles kernel_cycles_ = 0;

@@ -24,6 +24,14 @@ class Simulator {
     return nodes_;
   }
 
+  /// Allocate the next dense simulator-wide CPU id. Node constructors and
+  /// auxiliary rx CPUs (Node::add_rx_cpu) draw from the same counter, so
+  /// every CPU gets a distinct tracer ring id; nodes created before any
+  /// rx CPU keep ids equal to their creation index.
+  std::uint16_t alloc_cpu_id() noexcept { return next_cpu_id_++; }
+  /// Total CPUs allocated so far (nodes + auxiliary rx CPUs).
+  std::uint16_t cpu_count() const noexcept { return next_cpu_id_; }
+
   /// Run until the event queue drains or the clock passes `limit`.
   /// Rethrows the first exception that escaped any process coroutine.
   /// Returns the number of events executed.
@@ -34,6 +42,7 @@ class Simulator {
 
   EventQueue queue_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::uint16_t next_cpu_id_ = 0;
 };
 
 }  // namespace ash::sim

@@ -30,6 +30,12 @@ std::string outcome_name(std::uint32_t code) {
   return buf;
 }
 
+/// Mirrors net::FireReason (trace sits below net in the link order).
+const char* fire_reason_name(std::uint32_t r) {
+  static const char* kNames[] = {"immediate", "full", "timer", "poll"};
+  return r < 4 ? kNames[r] : "?";
+}
+
 void append_event_body(std::string& out, const Event& ev) {
   switch (ev.type) {
     case EventType::FrameArrival:
@@ -76,7 +82,30 @@ void append_event_body(std::string& out, const Event& ev) {
       appendf(out, "ash=%d action=%s", ev.id,
               to_string(static_cast<SupAction>(ev.arg0)));
       break;
+    case EventType::RxEnqueue:
+      appendf(out, "queue=%d ch=%u depth=%u", ev.id, ev.arg0, ev.arg1);
+      break;
+    case EventType::CoalesceFire:
+      appendf(out, "queue=%d frames=%u reason=%s charge=%" PRIu64 " cyc",
+              ev.id, ev.arg0, fire_reason_name(ev.arg1), ev.cycles);
+      break;
+    case EventType::BatchDispatch:
+      appendf(out, "ash=%d offered=%u executed=%u insns=%" PRIu64
+              " total=%" PRIu64 " cyc", ev.id, ev.arg0, ev.arg1, ev.insns,
+              ev.cycles);
+      break;
   }
+}
+
+/// A histogram of counts (batch sizes, queue depths) — no cyc suffix, the
+/// values are frame counts and stay pinned in golden output.
+void append_count_histogram(std::string& out, const char* label,
+                            const Histogram& h) {
+  appendf(out,
+          "    %s: n=%" PRIu64 " mean=%.1f p50<=%" PRIu64 " p99<=%" PRIu64
+          " max=%" PRIu64 "\n",
+          label, h.count(), h.mean(), h.percentile(50.0),
+          h.percentile(99.0), h.max());
 }
 
 void append_histogram(std::string& out, const char* label,
@@ -107,6 +136,10 @@ bool ash_slot_active(const AshMetrics& m) {
 
 bool chan_slot_active(const ChannelMetrics& c) {
   return c.frames || c.demux_decisions || c.fallbacks;
+}
+
+bool queue_slot_active(const QueueMetrics& q) {
+  return q.frames || q.batches;
 }
 
 }  // namespace
@@ -272,6 +305,84 @@ std::string metrics_json(const Tracer& t) {
             ",\"fallbacks\":%" PRIu64 "}",
             first ? "" : ",", id, c.frames, c.bytes, c.demux_decisions,
             c.demux_cycles, c.fallbacks);
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string format_queues(const Tracer& t) {
+  std::string out;
+  out += "== rx queues ==\n";
+  for (std::int32_t id = 0; id <= t.max_queue_slot(); ++id) {
+    const QueueMetrics& q = t.queue_metrics(id);
+    if (!queue_slot_active(q)) continue;
+    const bool overflow =
+        static_cast<std::uint32_t>(id) >= t.config().max_queues;
+    appendf(out,
+            "queue %d%s: frames=%" PRIu64 " batches=%" PRIu64
+            " charged=%" PRIu64 " cyc\n",
+            id, overflow ? " (overflow slot)" : "", q.frames, q.batches,
+            q.charged_cycles);
+    appendf(out,
+            "    reasons: immediate=%" PRIu64 " full=%" PRIu64
+            " timer=%" PRIu64 " poll=%" PRIu64 "\n",
+            q.by_reason[0], q.by_reason[1], q.by_reason[2],
+            q.by_reason[3]);
+    if (q.batch_frames.count() != 0) {
+      append_count_histogram(out, "batch", q.batch_frames);
+    }
+    if (q.depth.count() != 0) {
+      append_count_histogram(out, "depth", q.depth);
+    }
+  }
+  // Batched dispatch per handler rides alongside the queue tables: how
+  // well the coalescer fed AshSystem::invoke_batch.
+  out += "== batched handlers ==\n";
+  for (std::int32_t id = 0; id <= t.max_ash_slot(); ++id) {
+    const AshMetrics& m = t.ash_metrics(id);
+    if (m.batches == 0) continue;
+    appendf(out, "ash %d: batches=%" PRIu64 "\n", id, m.batches);
+    append_count_histogram(out, "msgs", m.batch_msgs);
+  }
+  return out;
+}
+
+std::string queues_json(const Tracer& t) {
+  std::string out = "{\"queues\":[";
+  bool first = true;
+  for (std::int32_t id = 0; id <= t.max_queue_slot(); ++id) {
+    const QueueMetrics& q = t.queue_metrics(id);
+    if (!queue_slot_active(q)) continue;
+    appendf(out,
+            "%s{\"queue\":%d,\"frames\":%" PRIu64 ",\"batches\":%" PRIu64
+            ",\"charged_cyc\":%" PRIu64
+            ",\"reasons\":{\"immediate\":%" PRIu64 ",\"full\":%" PRIu64
+            ",\"timer\":%" PRIu64 ",\"poll\":%" PRIu64 "}"
+            ",\"batch_frames\":{\"count\":%" PRIu64 ",\"mean\":%.1f"
+            ",\"p50\":%" PRIu64 ",\"max\":%" PRIu64 "}"
+            ",\"depth\":{\"count\":%" PRIu64 ",\"mean\":%.1f"
+            ",\"p50\":%" PRIu64 ",\"max\":%" PRIu64 "}}",
+            first ? "" : ",", id, q.frames, q.batches, q.charged_cycles,
+            q.by_reason[0], q.by_reason[1], q.by_reason[2], q.by_reason[3],
+            q.batch_frames.count(), q.batch_frames.mean(),
+            q.batch_frames.percentile(50.0), q.batch_frames.max(),
+            q.depth.count(), q.depth.mean(), q.depth.percentile(50.0),
+            q.depth.max());
+    first = false;
+  }
+  out += "],\"batched_handlers\":[";
+  first = true;
+  for (std::int32_t id = 0; id <= t.max_ash_slot(); ++id) {
+    const AshMetrics& m = t.ash_metrics(id);
+    if (m.batches == 0) continue;
+    appendf(out,
+            "%s{\"ash\":%d,\"batches\":%" PRIu64
+            ",\"msgs\":{\"count\":%" PRIu64 ",\"mean\":%.1f"
+            ",\"p50\":%" PRIu64 ",\"max\":%" PRIu64 "}}",
+            first ? "" : ",", id, m.batches, m.batch_msgs.count(),
+            m.batch_msgs.mean(), m.batch_msgs.percentile(50.0),
+            m.batch_msgs.max());
     first = false;
   }
   out += "]}";

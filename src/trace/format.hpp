@@ -40,7 +40,12 @@ struct FormatOptions {
 
 std::string format_trace(const Tracer& t, const FormatOptions& opts = {});
 std::string format_metrics(const Tracer& t);
+/// Per-rx-queue tables (multi-queue receive path): frames/batches/fire
+/// reasons plus batch-size and depth histograms ("ashtool queues").
+/// Separate from format_metrics so pre-queue golden outputs stay stable.
+std::string format_queues(const Tracer& t);
 std::string metrics_json(const Tracer& t);
+std::string queues_json(const Tracer& t);
 std::string trace_json(const Tracer& t, const FormatOptions& opts = {});
 std::string chrome_trace_json(const Tracer& t,
                               const FormatOptions& opts = {});

@@ -88,6 +88,8 @@ struct AshMetrics {
   std::uint64_t usercopies = 0;   // TUserCopy events
   std::uint64_t supervisor_quarantines = 0;
   std::uint64_t supervisor_revokes = 0;
+  std::uint64_t batches = 0;      // BatchDispatch events
+  Histogram batch_msgs;           // executed msgs per batch (arg1)
 };
 
 /// Per-demux-channel accounting (AN2 VC or Ethernet endpoint id).
@@ -98,6 +100,17 @@ struct ChannelMetrics {
   std::uint64_t demux_decisions = 0;
   std::uint64_t demux_cycles = 0;  // summed demux cost
   std::uint64_t fallbacks = 0;     // UpcallFallback events
+};
+
+/// Receive-queue accounting for the multi-queue scaling path, keyed by
+/// rx queue index (RxEnqueue / CoalesceFire events).
+struct QueueMetrics {
+  std::uint64_t frames = 0;       // RxEnqueue events
+  std::uint64_t batches = 0;      // CoalesceFire events
+  std::array<std::uint64_t, 4> by_reason{};  // by net::FireReason
+  Histogram batch_frames;         // frames per fired batch
+  Histogram depth;                // queue depth after each enqueue
+  std::uint64_t charged_cycles = 0;  // summed entry+driver batch charges
 };
 
 /// Per-engine execution totals (interp vs translated form) — the

@@ -21,6 +21,9 @@ const char* to_string(EventType t) noexcept {
     case EventType::TUserCopy: return "TUserCopy";
     case EventType::UpcallFallback: return "UpcallFallback";
     case EventType::SupervisorAction: return "SupervisorAction";
+    case EventType::RxEnqueue: return "RxEnqueue";
+    case EventType::CoalesceFire: return "CoalesceFire";
+    case EventType::BatchDispatch: return "BatchDispatch";
   }
   return "?";
 }
@@ -100,10 +103,12 @@ void Tracer::enable(const TracerConfig& cfg) {
   }
   ash_m_.assign(cfg_.max_ash_ids + 1, AshMetrics{});
   chan_m_.assign(cfg_.max_channels + 1, ChannelMetrics{});
+  queue_m_.assign(cfg_.max_queues + 1, QueueMetrics{});
   engine_m_ = {};
   type_counts_ = {};
   max_ash_slot_ = -1;
   max_chan_slot_ = -1;
+  max_queue_slot_ = -1;
   clamped_cpus_.store(0, std::memory_order_relaxed);
   detail::g_enabled.store(true, std::memory_order_relaxed);
 }
@@ -119,10 +124,12 @@ void Tracer::clear() {
   }
   for (AshMetrics& m : ash_m_) m = AshMetrics{};
   for (ChannelMetrics& m : chan_m_) m = ChannelMetrics{};
+  for (QueueMetrics& m : queue_m_) m = QueueMetrics{};
   engine_m_ = {};
   type_counts_ = {};
   max_ash_slot_ = -1;
   max_chan_slot_ = -1;
+  max_queue_slot_ = -1;
   clamped_cpus_.store(0, std::memory_order_relaxed);
 }
 
@@ -149,6 +156,17 @@ ChannelMetrics& Tracer::chan_slot(std::int32_t id) noexcept {
   return chan_m_[idx];
 }
 
+QueueMetrics& Tracer::queue_slot(std::int32_t id) noexcept {
+  std::size_t idx = queue_m_.size() - 1;
+  if (id >= 0 && static_cast<std::size_t>(id) < queue_m_.size() - 1) {
+    idx = static_cast<std::size_t>(id);
+  }
+  if (static_cast<std::int32_t>(idx) > max_queue_slot_) {
+    max_queue_slot_ = static_cast<std::int32_t>(idx);
+  }
+  return queue_m_[idx];
+}
+
 const AshMetrics& Tracer::ash_metrics(std::int32_t id) const noexcept {
   std::size_t idx = ash_m_.size() - 1;
   if (id >= 0 && static_cast<std::size_t>(id) < ash_m_.size() - 1) {
@@ -163,6 +181,14 @@ const ChannelMetrics& Tracer::channel_metrics(std::int32_t id) const noexcept {
     idx = static_cast<std::size_t>(id);
   }
   return chan_m_[idx];
+}
+
+const QueueMetrics& Tracer::queue_metrics(std::int32_t id) const noexcept {
+  std::size_t idx = queue_m_.size() - 1;
+  if (id >= 0 && static_cast<std::size_t>(id) < queue_m_.size() - 1) {
+    idx = static_cast<std::size_t>(id);
+  }
+  return queue_m_[idx];
 }
 
 void Tracer::aggregate(const Event& ev) {
@@ -239,6 +265,26 @@ void Tracer::aggregate(const Event& ev) {
       } else {
         ++m.supervisor_quarantines;
       }
+      break;
+    }
+    case EventType::RxEnqueue: {
+      QueueMetrics& q = queue_slot(ev.id);
+      ++q.frames;
+      q.depth.observe(ev.arg1);
+      break;
+    }
+    case EventType::CoalesceFire: {
+      QueueMetrics& q = queue_slot(ev.id);
+      ++q.batches;
+      if (ev.arg1 < q.by_reason.size()) ++q.by_reason[ev.arg1];
+      q.batch_frames.observe(ev.arg0);
+      q.charged_cycles += ev.cycles;
+      break;
+    }
+    case EventType::BatchDispatch: {
+      AshMetrics& m = ash_slot(ev.id);
+      ++m.batches;
+      m.batch_msgs.observe(ev.arg1);
       break;
     }
   }

@@ -67,9 +67,15 @@ enum class EventType : std::uint8_t {
   TUserCopy,        // id=Context::id, arg0=len, cycles of the copy
   UpcallFallback,   // id=channel, arg0=NicKind
   SupervisorAction, // id=ash, arg0=SupAction
+  // Multi-queue receive path (appended so older numeric ids stay stable):
+  RxEnqueue,        // id=rx queue, arg0=channel, arg1=depth after enqueue
+  CoalesceFire,     // id=rx queue, arg0=frames in batch, arg1=FireReason,
+                    //   cycles=entry+driver charge for the batch
+  BatchDispatch,    // id=ash, arg0=msgs offered, arg1=msgs executed,
+                    //   cycles=batch total charge, insns=batch total
 };
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::SupervisorAction) + 1;
+    static_cast<std::size_t>(EventType::BatchDispatch) + 1;
 const char* to_string(EventType t) noexcept;
 
 /// Which engine produced a VcodeExec event.
@@ -119,6 +125,8 @@ struct TracerConfig {
   /// overflow slot (again: counted, never silent).
   std::uint32_t max_ash_ids = 64;
   std::uint32_t max_channels = 64;
+  /// Per-rx-queue metric slots (RxEnqueue / CoalesceFire aggregation).
+  std::uint32_t max_queues = 16;
   /// true: overwrite the oldest event when full (flight recorder).
   /// false: drop the newest. Both maintain the occupancy invariant.
   bool overwrite = true;
@@ -208,9 +216,12 @@ class Tracer {
   const AshMetrics& ash_metrics(std::int32_t id) const noexcept;
   /// Per-demux-channel aggregates (VC / Ethernet endpoint).
   const ChannelMetrics& channel_metrics(std::int32_t id) const noexcept;
+  /// Per-rx-queue aggregates (multi-queue receive path).
+  const QueueMetrics& queue_metrics(std::int32_t id) const noexcept;
   /// Highest slot index that saw traffic, or -1 (for report iteration).
   std::int32_t max_ash_slot() const noexcept { return max_ash_slot_; }
   std::int32_t max_channel_slot() const noexcept { return max_chan_slot_; }
+  std::int32_t max_queue_slot() const noexcept { return max_queue_slot_; }
   /// Per-engine execution totals (interp vs code cache).
   const EngineMetrics& engine_metrics(Engine e) const noexcept {
     return engine_m_[static_cast<std::size_t>(e)];
@@ -231,15 +242,18 @@ class Tracer {
   void aggregate(const Event& ev);
   AshMetrics& ash_slot(std::int32_t id) noexcept;
   ChannelMetrics& chan_slot(std::int32_t id) noexcept;
+  QueueMetrics& queue_slot(std::int32_t id) noexcept;
 
   TracerConfig cfg_;
   std::vector<Ring> rings_;
   std::vector<AshMetrics> ash_m_;     // size max_ash_ids + 1 (overflow)
   std::vector<ChannelMetrics> chan_m_;
+  std::vector<QueueMetrics> queue_m_;  // size max_queues + 1 (overflow)
   std::array<EngineMetrics, kEngineCount> engine_m_{};
   std::array<std::uint64_t, kEventTypeCount> type_counts_{};
   std::int32_t max_ash_slot_ = -1;
   std::int32_t max_chan_slot_ = -1;
+  std::int32_t max_queue_slot_ = -1;
   std::atomic<std::uint64_t> clamped_cpus_{0};
 };
 

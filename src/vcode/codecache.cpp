@@ -967,6 +967,7 @@ void CodeCache::build() {
 
 ExecResult CodeCache::run(Env& env, std::array<std::uint32_t, kNumRegs>& regs,
                           const ExecLimits& limits) const {
+  ++runs_;
   regs[kRegZero] = 0;
   env.bind_regs(regs.data());
 

@@ -57,6 +57,10 @@ class CodeCache {
   const JumpTable& jump_table() const noexcept { return jt_; }
   std::size_t block_count() const noexcept { return blocks_; }
   std::size_t fused_count() const noexcept { return fused_; }
+  /// Times run() has executed this translated form. Batched dispatch
+  /// keeps one cache hot across a whole batch; the counter lets tests
+  /// and ashtool confirm the same translation served every message.
+  std::uint64_t run_count() const noexcept { return runs_; }
 
   /// Execute against `env` with the caller's register file (imported on
   /// entry, exported on exit — same contract as Interpreter's explicit
@@ -117,6 +121,7 @@ class CodeCache {
   std::vector<const TInsn*> head_of_;
   std::size_t blocks_ = 0;
   std::size_t fused_ = 0;
+  mutable std::uint64_t runs_ = 0;  // run() is logically const
 };
 
 }  // namespace ash::vcode

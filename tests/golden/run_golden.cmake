@@ -12,6 +12,7 @@
 #   cmake -DASHTOOL=<path> -DMODE=<mode> -DGOLDEN=<file> -DWORK_DIR=<dir>
 #         [-DRECORD=1] -P run_golden.cmake
 # Modes: status trace trace-json trace-chrome metrics metrics-json
+#        queues queues-json
 # RECORD=1 rewrites the golden instead of comparing (for intentional
 # output changes; review the diff).
 
@@ -47,6 +48,10 @@ elseif(MODE STREQUAL "metrics")
   set(cmd metrics ${image} 6)
 elseif(MODE STREQUAL "metrics-json")
   set(cmd metrics ${image} 6 --json)
+elseif(MODE STREQUAL "queues")
+  set(cmd queues ${image} 44)
+elseif(MODE STREQUAL "queues-json")
+  set(cmd queues ${image} 44 --json)
 else()
   message(FATAL_ERROR "unknown MODE '${MODE}'")
 endif()

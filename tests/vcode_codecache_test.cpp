@@ -533,5 +533,21 @@ TEST(CodeCacheTranslation, DumpShowsBlocksAndFusions) {
   EXPECT_EQ(cache.block_count(), count_basic_blocks(prog));
 }
 
+TEST(CodeCacheTranslation, RunCountTracksExecutions) {
+  Program prog;
+  prog.insns.push_back({Op::Movi, 5, 0, 0, 7});
+  prog.insns.push_back({Op::Halt, 0, 0, 0, 0});
+  CodeCache cache(prog);
+  EXPECT_EQ(cache.run_count(), 0u);
+  std::array<std::uint32_t, kNumRegs> regs{};
+  DiffEnv env(1);
+  for (int i = 0; i < 3; ++i) {
+    regs.fill(0);
+    const ExecResult r = cache.run(env, regs);
+    EXPECT_EQ(r.outcome, Outcome::Halted);
+  }
+  EXPECT_EQ(cache.run_count(), 3u);
+}
+
 }  // namespace
 }  // namespace ash::vcode

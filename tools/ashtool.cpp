@@ -30,6 +30,15 @@
 //                                         same scenario; print the per-
 //                                         handler / per-channel / per-
 //                                         engine aggregates
+//   ashtool queues <file> [msgs] [--json]
+//                                         download into a two-node AN2
+//                                         kernel with a 2-queue receive
+//                                         set (adaptive coalescing) and a
+//                                         deterministic bursty sender;
+//                                         print the per-queue depth /
+//                                         batch-size / fire-reason tables
+//                                         and the batched-dispatch
+//                                         aggregates
 //
 // The serialized format is exactly what AshSystem::download consumes —
 // these files are "what the kernel sees".
@@ -66,7 +75,8 @@ int usage() {
                "       ashtool dump-translated <file>\n"
                "       ashtool status <file> [msgs]\n"
                "       ashtool trace <file> [msgs] [--json|--chrome]\n"
-               "       ashtool metrics <file> [msgs] [--json]\n");
+               "       ashtool metrics <file> [msgs] [--json]\n"
+               "       ashtool queues <file> [msgs] [--json]\n");
   return 2;
 }
 
@@ -296,6 +306,103 @@ int cmd_metrics(const std::string& file, int msgs, const std::string& mode) {
   return 0;
 }
 
+// The multi-queue inspection scenario behind `queues`: a two-node AN2
+// kernel downloads the image on the server, attaches it to 4 VCs steered
+// through a 2-queue receive set (channel hash, adaptive coalescing,
+// max_frames 4 / max_delay 50 us), and a client sends `msgs` messages in
+// alternating long (16) and short (6) bursts. The long bursts trip the
+// max-frames (Full) fire and flip the coalescer into polling mode, the
+// short bursts leave partial batches for the max-delay (Timer) fire —
+// so every fire reason and the batched-dispatch path are all visible in
+// one deterministic run.
+int cmd_queues(const std::string& file, int msgs, const std::string& mode) {
+  const auto bytes = read_file(file);
+  const auto prog = Program::deserialize(bytes);
+  if (!prog.has_value()) {
+    std::fprintf(stderr, "%s: not a valid .ashv image\n", file.c_str());
+    return 1;
+  }
+  ash::trace::set_outcome_namer(&name_outcome);
+  ash::trace::TracerConfig tcfg;
+  tcfg.max_cpus = 8;  // the queue set adds auxiliary rx CPUs
+  ash::trace::Session session(tcfg);
+
+  ash::sim::Simulator sim;
+  ash::sim::Node& client = sim.add_node("client");
+  ash::sim::Node& server = sim.add_node("server");
+  ash::net::An2Device dev_c(client);
+  ash::net::An2Device dev_s(server);
+  dev_c.connect(dev_s);
+  ash::core::AshSystem ashsys(server);
+
+  ash::net::RxQueueSet::Config qc;
+  qc.queues = 2;
+  qc.steering.mode = ash::net::SteerMode::ChannelHash;
+  qc.coalesce.enabled = true;
+  qc.coalesce.max_frames = 4;
+  qc.coalesce.max_delay = ash::sim::us(50.0);
+  qc.coalesce.adaptive = true;
+  ash::net::RxQueueSet queues(server, qc);
+  dev_s.set_rx_queues(&queues);
+
+  constexpr int kVcs = 4;
+  int id = -1;
+  std::string error;
+  server.kernel().spawn(
+      "owner", [&](ash::sim::Process& self) -> ash::sim::Task {
+        id = ashsys.download(self, *prog, {}, &error);
+        if (id < 0) co_return;
+        const std::uint32_t scratch = self.segment().base + 0x100;
+        for (int v = 0; v < kVcs; ++v) {
+          const int vc = dev_s.bind_vc(self);
+          for (int i = 0; i < 32; ++i) {
+            dev_s.supply_buffer(
+                vc,
+                self.segment().base + 0x1000 +
+                    64u * static_cast<std::uint32_t>(v * 32 + i),
+                64);
+          }
+          ashsys.attach_an2(dev_s, vc, id, scratch);
+        }
+        co_await self.sleep_for(ash::sim::us(1e6));
+      });
+
+  client.kernel().spawn(
+      "sender", [&](ash::sim::Process& self) -> ash::sim::Task {
+        for (int v = 0; v < kVcs; ++v) dev_c.bind_vc(self);
+        co_await self.sleep_for(ash::sim::us(100.0));
+        const std::uint8_t ping[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+        int in_burst = 0;
+        int burst_len = 16;
+        for (int m = 0; m < msgs; ++m) {
+          co_await self.compute(dev_c.config().tx_kernel_work);
+          // Four consecutive frames per VC before rotating: a queue then
+          // sees same-channel runs, so the batched dispatch path gets
+          // multi-message batches rather than singletons.
+          dev_c.send((m / 4) % kVcs, ping);
+          if (++in_burst == burst_len) {
+            in_burst = 0;
+            burst_len = burst_len == 16 ? 6 : 16;
+            co_await self.sleep_for(ash::sim::us(200.0));
+          }
+        }
+      });
+
+  sim.run(ash::sim::us(50000.0));
+  if (id < 0) {
+    std::fprintf(stderr, "download rejected: %s\n", error.c_str());
+    return 1;
+  }
+  if (mode == "--json") {
+    std::printf("%s\n",
+                ash::trace::queues_json(ash::trace::global()).c_str());
+  } else {
+    std::fputs(ash::trace::format_queues(ash::trace::global()).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
 int cmd_dump_translated(const std::string& file) {
   const auto bytes = read_file(file);
   const auto prog = Program::deserialize(bytes);
@@ -331,6 +438,20 @@ int main(int argc, char** argv) {
     if (argc == 4) msgs = std::atoi(argv[3]);
     if (msgs <= 0) return usage();
     return cmd_status(argv[2], msgs);
+  }
+  if (cmd == "queues" && argc >= 3 && argc <= 5) {
+    int msgs = 44;  // two long+short burst cycles (see cmd_queues)
+    std::string mode;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        mode = arg;
+      } else {
+        msgs = std::atoi(argv[i]);
+      }
+    }
+    if (msgs <= 0 || !(mode.empty() || mode == "--json")) return usage();
+    return cmd_queues(argv[2], msgs, mode);
   }
   if ((cmd == "trace" || cmd == "metrics") && argc >= 3 && argc <= 5) {
     int msgs = 10;
