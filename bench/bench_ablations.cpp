@@ -28,14 +28,17 @@
 #include "dilp/stdpipes.hpp"
 #include "trace/trace.hpp"
 #include "util/byteorder.hpp"
+#include "vcode/backend.hpp"
 #include "vcode/codecache.hpp"
 #include "vcode/interp.hpp"
+#include "vcode/jit/jit.hpp"
 
 namespace ash::bench {
 namespace {
 
-// --code-cache={on,off}: which engine executes the handlers below.
-bool g_use_code_cache = true;
+// --backend={interp,codecache,jit}: which engine executes the handlers
+// below (--code-cache={on,off} is the legacy two-way spelling).
+vcode::Backend g_backend = vcode::Backend::CodeCache;
 
 /// Cycles for one remote-increment invocation under the given options
 /// (execution only; dispatch costs added per the option set).
@@ -79,18 +82,23 @@ double invocation_cycles(const core::AshOptions& opts) {
     limits.max_cycles = node.cost().ash_max_runtime;
   }
   vcode::ExecResult r;
-  if (g_use_code_cache) {
-    vcode::CodeCache cache(installed);
+  if (g_backend == vcode::Backend::Interp) {
+    vcode::Interpreter interp(installed, env);
+    interp.set_args(msg, 4, seg + 0x100, 0);
+    r = interp.run(limits);
+  } else {
     std::array<std::uint32_t, vcode::kNumRegs> regs{};
     regs[vcode::kRegArg0] = msg;
     regs[vcode::kRegArg1] = 4;
     regs[vcode::kRegArg2] = seg + 0x100;
     regs[vcode::kRegArg3] = 0;
-    r = cache.run(env, regs, limits);
-  } else {
-    vcode::Interpreter interp(installed, env);
-    interp.set_args(msg, 4, seg + 0x100, 0);
-    r = interp.run(limits);
+    if (g_backend == vcode::Backend::Jit) {
+      vcode::JitBackend jit(installed);
+      r = jit.run(env, regs, limits);
+    } else {
+      vcode::CodeCache cache(installed);
+      r = cache.run(env, regs, limits);
+    }
   }
   if (r.outcome != vcode::Outcome::Halted) return -2;
 
@@ -104,8 +112,9 @@ double invocation_cycles(const core::AshOptions& opts) {
 
 /// Host nanoseconds per remote-increment invocation (sandboxed defaults),
 /// one setup amortised over many runs — the same shape as AshSystem::invoke
-/// (fresh Interpreter per run vs prebuilt CodeCache with fresh registers).
-double host_ns_per_invocation(bool use_cache) {
+/// (fresh Interpreter per run vs prebuilt translated form with fresh
+/// registers).
+double host_ns_per_invocation(vcode::Backend be) {
   sim::Simulator s;
   sim::Node& node = s.add_node("n");
   core::AshSystem ash_sys(node);
@@ -118,6 +127,7 @@ double host_ns_per_invocation(bool use_cache) {
   if (!boxed) return -1;
   const vcode::Program installed = std::move(boxed->program);
   const vcode::CodeCache cache(installed);
+  const vcode::JitBackend jit(installed);
 
   const std::uint32_t msg = seg + 0x8000;
   util::store_u32(node.mem(msg, 4), 42);
@@ -135,16 +145,17 @@ double host_ns_per_invocation(bool use_cache) {
   constexpr int kWarmup = 2000;
   constexpr int kRuns = 20000;
   const auto once = [&]() -> vcode::Outcome {
-    if (use_cache) {
-      std::array<std::uint32_t, vcode::kNumRegs> regs{};
-      regs[vcode::kRegArg0] = msg;
-      regs[vcode::kRegArg1] = 4;
-      regs[vcode::kRegArg2] = seg + 0x100;
-      return cache.run(env, regs, limits).outcome;
+    if (be == vcode::Backend::Interp) {
+      vcode::Interpreter interp(installed, env);
+      interp.set_args(msg, 4, seg + 0x100, 0);
+      return interp.run(limits).outcome;
     }
-    vcode::Interpreter interp(installed, env);
-    interp.set_args(msg, 4, seg + 0x100, 0);
-    return interp.run(limits).outcome;
+    std::array<std::uint32_t, vcode::kNumRegs> regs{};
+    regs[vcode::kRegArg0] = msg;
+    regs[vcode::kRegArg1] = 4;
+    regs[vcode::kRegArg2] = seg + 0x100;
+    if (be == vcode::Backend::Jit) return jit.run(env, regs, limits).outcome;
+    return cache.run(env, regs, limits).outcome;
   };
   for (int i = 0; i < kWarmup; ++i) {
     if (once() != vcode::Outcome::Halted) return -2;
@@ -182,21 +193,27 @@ int main(int argc, char** argv) {
   bool with_trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--code-cache=on") == 0) {
-      g_use_code_cache = true;
+      g_backend = ash::vcode::Backend::CodeCache;
     } else if (std::strcmp(argv[i], "--code-cache=off") == 0) {
-      g_use_code_cache = false;
+      g_backend = ash::vcode::Backend::Interp;
+    } else if (std::strcmp(argv[i], "--backend=interp") == 0) {
+      g_backend = ash::vcode::Backend::Interp;
+    } else if (std::strcmp(argv[i], "--backend=codecache") == 0) {
+      g_backend = ash::vcode::Backend::CodeCache;
+    } else if (std::strcmp(argv[i], "--backend=jit") == 0) {
+      g_backend = ash::vcode::Backend::Jit;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       with_trace = true;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_ablations [--code-cache={on,off}] [--trace]\n");
+                   "usage: bench_ablations [--backend={interp,codecache,jit}]"
+                   " [--code-cache={on,off}] [--trace]\n");
       return 2;
     }
   }
   std::printf("execution engine: %s (simulated cycles are identical on "
-              "either path)\n",
-              g_use_code_cache ? "code cache (pre-decoded threaded form)"
-                               : "interpreter");
+              "every path)\n",
+              ash::vcode::to_string(g_backend));
 
   std::vector<Row> rows;
   {
@@ -253,11 +270,15 @@ int main(int argc, char** argv) {
               "composition instead (Section VI-3c).\n");
 
   std::vector<Row> host_rows;
-  host_rows.push_back({"interpreter", host_ns_per_invocation(false), -1,
-                       "host ns/invocation"});
+  host_rows.push_back({"interpreter",
+                       host_ns_per_invocation(ash::vcode::Backend::Interp),
+                       -1, "host ns/invocation"});
   host_rows.push_back({"code cache (translate at download)",
-                       host_ns_per_invocation(true), -1,
-                       "host ns/invocation"});
+                       host_ns_per_invocation(ash::vcode::Backend::CodeCache),
+                       -1, "host ns/invocation"});
+  host_rows.push_back({"superblock jit (fused pipe chains)",
+                       host_ns_per_invocation(ash::vcode::Backend::Jit),
+                       -1, "host ns/invocation"});
   print_table("Ablation C", "host execution engine (simulated results "
                             "bit-identical)", host_rows);
 
@@ -283,13 +304,15 @@ int main(int argc, char** argv) {
     // Overhead is host wall-clock only: the same measurement loop as
     // Ablation C, with the tracer recording every invocation.
     std::vector<Row> trace_rows;
-    for (const bool use_cache : {false, true}) {
-      const char* eng = use_cache ? "code cache" : "interpreter";
-      const double off_ns = host_ns_per_invocation(use_cache);
+    for (const auto be : {ash::vcode::Backend::Interp,
+                          ash::vcode::Backend::CodeCache,
+                          ash::vcode::Backend::Jit}) {
+      const char* eng = ash::vcode::to_string(be);
+      const double off_ns = host_ns_per_invocation(be);
       double on_ns;
       {
         ash::trace::Session session;
-        on_ns = host_ns_per_invocation(use_cache);
+        on_ns = host_ns_per_invocation(be);
       }
       char label[96];
       std::snprintf(label, sizeof label, "%s, tracer off", eng);

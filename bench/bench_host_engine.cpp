@@ -1,18 +1,29 @@
-// Host execution-engine microbenchmark: ns per VCODE instruction for the
-// plain interpreter vs the download-time translated form (CodeCache), on
-// the two handlers the paper's evaluation leans on:
+// Host execution-engine microbenchmark: ns per VCODE invocation for the
+// plain interpreter vs the download-time translated form (CodeCache) vs
+// the superblock JIT, on the handlers the paper's evaluation leans on:
 //
-//  * Table V's remote-increment (sandboxed), and
+//  * Table V's remote-increment (sandboxed),
 //  * Table VI's TCP receive fast path, replayed on a real committing
 //    invocation captured from a live simulated transfer (header
-//    prediction hit, fused checksum+copy DILP, ACK template patch+send).
+//    prediction hit, fused checksum+copy DILP, ACK template patch+send),
+//  * the fused DILP pipe chain (checksum + byteswap + copy) standalone,
+//    where the JIT collapses the whole loop into one host pass.
 //
 // Simulated results (outcome, cycles, insns, registers) are bit-identical
-// on both paths — asserted at setup — so this measures only how fast the
-// host machine turns the simulation crank.
+// on all three paths — asserted at setup — so this measures only how fast
+// the host machine turns the simulation crank.
+//
+// Modes:
+//   (none)    google-benchmark timings for every (workload, backend) pair
+//   --smoke   acceptance gate: jit must beat the interpreter by >= 3x on
+//             the TCP fast path; exits nonzero otherwise
+//   --json    manual timing sweep; prints the speedup series per workload
+//             and writes BENCH_host_engine.json (BENCH_scaling.json shape)
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -21,13 +32,18 @@
 #include "ashlib/tcp_fastpath.hpp"
 #include "core/ash.hpp"
 #include "core/ash_env.hpp"
+#include "dilp/engine.hpp"
+#include "dilp/stdpipes.hpp"
 #include "proto/an2_link.hpp"
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
 #include "util/byteorder.hpp"
 #include "util/rng.hpp"
+#include "vcode/backend.hpp"
 #include "vcode/codecache.hpp"
+#include "vcode/env_util.hpp"
 #include "vcode/interp.hpp"
+#include "vcode/jit/jit.hpp"
 
 namespace ash::bench {
 namespace {
@@ -39,6 +55,10 @@ using proto::TcpConnection;
 using sim::Process;
 using sim::Task;
 using sim::us;
+using vcode::Backend;
+
+constexpr Backend kBackends[] = {Backend::Interp, Backend::CodeCache,
+                                 Backend::Jit};
 
 // ---------------------------------------------------------------- TCP ----
 
@@ -63,6 +83,7 @@ struct TcpFixture {
   sim::Node* b = nullptr;
   std::unique_ptr<net::An2Device> dev_a, dev_b;
   std::unique_ptr<core::AshSystem> ash_b;
+  std::unique_ptr<vcode::JitBackend> jit;
   int ash_id = -1;
 
   bool captured = false;
@@ -71,7 +92,7 @@ struct TcpFixture {
   std::uint32_t owner_base = 0, owner_size = 0;
   std::array<std::uint32_t, proto::tcb::kWords> tcb{};
   std::vector<std::uint8_t> packet;
-  std::uint64_t sim_insns = 0;   // per replay, identical on both engines
+  std::uint64_t sim_insns = 0;   // per replay, identical on every engine
   std::uint64_t sim_cycles = 0;
 };
 
@@ -81,7 +102,7 @@ void restore(TcpFixture& f) {
   std::memcpy(f.b->mem(f.msg_addr, f.msg_len), f.packet.data(), f.msg_len);
 }
 
-vcode::ExecResult replay(TcpFixture& f, bool use_cache) {
+vcode::ExecResult replay(TcpFixture& f, Backend be) {
   restore(f);
   core::AshEnv::Config ec;
   ec.node = f.b;
@@ -94,18 +115,21 @@ vcode::ExecResult replay(TcpFixture& f, bool use_cache) {
   vcode::ExecLimits limits;
   limits.max_insns = 1u << 20;
   limits.max_cycles = f.b->cost().ash_max_runtime;
-  if (use_cache) {
-    std::array<std::uint32_t, vcode::kNumRegs> regs{};
-    regs[vcode::kRegArg0] = f.msg_addr;
-    regs[vcode::kRegArg1] = f.msg_len;
-    regs[vcode::kRegArg2] = f.tcb_base;
-    regs[vcode::kRegArg3] = static_cast<std::uint32_t>(f.channel);
-    return f.ash_b->code_cache(f.ash_id)->run(env, regs, limits);
+  // The handler's TDilp transfer runs on the same engine under test.
+  f.ash_b->dilp().set_backend(be);
+  if (be == Backend::Interp) {
+    vcode::Interpreter interp(f.ash_b->program(f.ash_id), env);
+    interp.set_args(f.msg_addr, f.msg_len, f.tcb_base,
+                    static_cast<std::uint32_t>(f.channel));
+    return interp.run(limits);
   }
-  vcode::Interpreter interp(f.ash_b->program(f.ash_id), env);
-  interp.set_args(f.msg_addr, f.msg_len, f.tcb_base,
-                  static_cast<std::uint32_t>(f.channel));
-  return interp.run(limits);
+  std::array<std::uint32_t, vcode::kNumRegs> regs{};
+  regs[vcode::kRegArg0] = f.msg_addr;
+  regs[vcode::kRegArg1] = f.msg_len;
+  regs[vcode::kRegArg2] = f.tcb_base;
+  regs[vcode::kRegArg3] = static_cast<std::uint32_t>(f.channel);
+  if (be == Backend::Jit) return f.jit->run(env, regs, limits);
+  return f.ash_b->code_cache(f.ash_id)->run(env, regs, limits);
 }
 
 TcpFixture* build_tcp_fixture() {
@@ -205,16 +229,21 @@ TcpFixture* build_tcp_fixture() {
                          "invocation captured\n");
     std::exit(1);
   }
+  f->jit = std::make_unique<vcode::JitBackend>(f->ash_b->program(f->ash_id));
 
-  // Both engines must replay to an identical commit before we time them.
+  // All engines must replay to an identical commit before we time them.
   // One discarded warm-up first: the node's cache model charges cold
   // misses on the first pass, and we compare cycles exactly.
-  (void)replay(*f, false);
-  const vcode::ExecResult ri = replay(*f, false);
-  const vcode::ExecResult rc = replay(*f, true);
+  (void)replay(*f, Backend::Interp);
+  const vcode::ExecResult ri = replay(*f, Backend::Interp);
+  const vcode::ExecResult rc = replay(*f, Backend::CodeCache);
+  const vcode::ExecResult rj = replay(*f, Backend::Jit);
   if (ri.outcome != vcode::Outcome::Halted ||
-      rc.outcome != vcode::Outcome::Halted || ri.insns != rc.insns ||
-      ri.cycles != rc.cycles || ri.result != rc.result) {
+      rc.outcome != vcode::Outcome::Halted ||
+      rj.outcome != vcode::Outcome::Halted || ri.insns != rc.insns ||
+      ri.cycles != rc.cycles || ri.result != rc.result ||
+      ri.insns != rj.insns || ri.cycles != rj.cycles ||
+      ri.result != rj.result) {
     std::fprintf(stderr, "bench_host_engine: engines disagree on the "
                          "captured invocation\n");
     std::exit(1);
@@ -229,12 +258,10 @@ TcpFixture& tcp_fixture() {
   return *f;
 }
 
-void BM_TcpFastpath(benchmark::State& state, bool use_cache) {
+void BM_TcpFastpath(benchmark::State& state, Backend be) {
   TcpFixture& f = tcp_fixture();
-  // The handler's TDilp transfer should run on the same engine under test.
-  f.ash_b->dilp().set_use_code_cache(use_cache);
   for (auto _ : state) {
-    const vcode::ExecResult r = replay(f, use_cache);
+    const vcode::ExecResult r = replay(f, be);
     if (r.outcome != vcode::Outcome::Halted) {
       state.SkipWithError("handler did not commit");
       break;
@@ -257,13 +284,14 @@ struct RiFixture {
   std::unique_ptr<core::AshSystem> sys;
   vcode::Program prog;
   std::unique_ptr<vcode::CodeCache> cache;
+  std::unique_ptr<vcode::JitBackend> jit;
   std::uint32_t seg = 0x100000;
   std::uint32_t msg = 0;
   std::uint64_t sim_insns = 0;
   std::uint64_t sim_cycles = 0;
 };
 
-vcode::ExecResult ri_run(RiFixture& f, bool use_cache) {
+vcode::ExecResult ri_run(RiFixture& f, Backend be) {
   core::AshEnv::Config ec;
   ec.node = f.n;
   ec.owner_seg = {f.seg, 0x100000};
@@ -275,16 +303,17 @@ vcode::ExecResult ri_run(RiFixture& f, bool use_cache) {
   vcode::ExecLimits limits;
   limits.max_insns = 1u << 20;
   limits.max_cycles = f.n->cost().ash_max_runtime;
-  if (use_cache) {
-    std::array<std::uint32_t, vcode::kNumRegs> regs{};
-    regs[vcode::kRegArg0] = f.msg;
-    regs[vcode::kRegArg1] = 4;
-    regs[vcode::kRegArg2] = f.seg + 0x100;
-    return f.cache->run(env, regs, limits);
+  if (be == Backend::Interp) {
+    vcode::Interpreter interp(f.prog, env);
+    interp.set_args(f.msg, 4, f.seg + 0x100, 0);
+    return interp.run(limits);
   }
-  vcode::Interpreter interp(f.prog, env);
-  interp.set_args(f.msg, 4, f.seg + 0x100, 0);
-  return interp.run(limits);
+  std::array<std::uint32_t, vcode::kNumRegs> regs{};
+  regs[vcode::kRegArg0] = f.msg;
+  regs[vcode::kRegArg1] = 4;
+  regs[vcode::kRegArg2] = f.seg + 0x100;
+  if (be == Backend::Jit) return f.jit->run(env, regs, limits);
+  return f.cache->run(env, regs, limits);
 }
 
 RiFixture& ri_fixture() {
@@ -303,13 +332,15 @@ RiFixture& ri_fixture() {
     }
     r->prog = std::move(boxed->program);
     r->cache = std::make_unique<vcode::CodeCache>(r->prog);
+    r->jit = std::make_unique<vcode::JitBackend>(r->prog);
     r->msg = r->seg + 0x8000;
     util::store_u32(r->n->mem(r->msg, 4), 42);
-    (void)ri_run(*r, false);  // warm the simulated cache model
-    const vcode::ExecResult a = ri_run(*r, false);
-    const vcode::ExecResult b = ri_run(*r, true);
+    (void)ri_run(*r, Backend::Interp);  // warm the simulated cache model
+    const vcode::ExecResult a = ri_run(*r, Backend::Interp);
+    const vcode::ExecResult b = ri_run(*r, Backend::CodeCache);
+    const vcode::ExecResult j = ri_run(*r, Backend::Jit);
     if (a.outcome != vcode::Outcome::Halted || a.insns != b.insns ||
-        a.cycles != b.cycles) {
+        a.cycles != b.cycles || a.insns != j.insns || a.cycles != j.cycles) {
       std::fprintf(stderr, "remote-increment engines disagree\n");
       std::exit(1);
     }
@@ -320,10 +351,10 @@ RiFixture& ri_fixture() {
   return *f;
 }
 
-void BM_RemoteIncrement(benchmark::State& state, bool use_cache) {
+void BM_RemoteIncrement(benchmark::State& state, Backend be) {
   RiFixture& f = ri_fixture();
   for (auto _ : state) {
-    const vcode::ExecResult r = ri_run(f, use_cache);
+    const vcode::ExecResult r = ri_run(f, be);
     if (r.outcome != vcode::Outcome::Halted) {
       state.SkipWithError("handler did not commit");
       break;
@@ -338,15 +369,201 @@ void BM_RemoteIncrement(benchmark::State& state, bool use_cache) {
       static_cast<double>(f.sim_cycles);
 }
 
-BENCHMARK_CAPTURE(BM_RemoteIncrement, interpreter, false);
-BENCHMARK_CAPTURE(BM_RemoteIncrement, code_cache, true);
-BENCHMARK_CAPTURE(BM_TcpFastpath, interpreter, false);
-BENCHMARK_CAPTURE(BM_TcpFastpath, code_cache, true);
+// ---------------------------------------------- fused DILP chain ----------
+
+/// The checksum + byteswap + copy pipe chain standalone over a 4 KiB
+/// message: the workload where the JIT's fused single-pass loop shows the
+/// largest win over per-template dispatch.
+struct DilpFixture {
+  dilp::Engine engine;
+  vcode::FlatMemoryEnv env{1 << 20};
+  int id = -1;
+  std::uint32_t src = 0x1000, dst = 0x40000, len = 4096;
+  std::uint64_t sim_insns = 0;
+  std::uint64_t sim_cycles = 0;
+};
+
+vcode::ExecResult dilp_run(DilpFixture& f, Backend be) {
+  f.engine.set_backend(be);
+  const auto r = f.engine.run(f.id, f.env, f.src, f.dst, f.len);
+  return r.exec;
+}
+
+DilpFixture& dilp_fixture() {
+  static DilpFixture* f = [] {
+    auto* d = new DilpFixture;
+    vcode::Reg acc_reg = 0;
+    dilp::PipeList pl;
+    pl.add(dilp::make_cksum_pipe(&acc_reg));
+    pl.add(dilp::make_byteswap_pipe());
+    std::string error;
+    d->id = d->engine.register_ilp(pl, dilp::Direction::Write, &error);
+    if (d->id < 0) {
+      std::fprintf(stderr, "dilp chain compile failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+    util::Rng rng(11);
+    auto mem = d->env.memory();
+    for (std::uint32_t i = 0; i < d->len; ++i) {
+      mem[d->src + i] = static_cast<std::uint8_t>(rng.next());
+    }
+    const vcode::ExecResult a = dilp_run(*d, Backend::Interp);
+    const vcode::ExecResult b = dilp_run(*d, Backend::CodeCache);
+    const vcode::ExecResult j = dilp_run(*d, Backend::Jit);
+    if (a.outcome != vcode::Outcome::Halted || a.insns != b.insns ||
+        a.cycles != b.cycles || a.insns != j.insns || a.cycles != j.cycles) {
+      std::fprintf(stderr, "dilp chain engines disagree\n");
+      std::exit(1);
+    }
+    d->sim_insns = a.insns;
+    d->sim_cycles = a.cycles;
+    return d;
+  }();
+  return *f;
+}
+
+void BM_DilpChain(benchmark::State& state, Backend be) {
+  DilpFixture& f = dilp_fixture();
+  for (auto _ : state) {
+    const vcode::ExecResult r = dilp_run(f, be);
+    if (r.outcome != vcode::Outcome::Halted) {
+      state.SkipWithError("chain did not complete");
+      break;
+    }
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.sim_insns));
+  state.counters["sim_insns/invocation"] =
+      static_cast<double>(f.sim_insns);
+  state.counters["sim_cycles/invocation"] =
+      static_cast<double>(f.sim_cycles);
+}
+
+BENCHMARK_CAPTURE(BM_RemoteIncrement, interp, Backend::Interp);
+BENCHMARK_CAPTURE(BM_RemoteIncrement, codecache, Backend::CodeCache);
+BENCHMARK_CAPTURE(BM_RemoteIncrement, jit, Backend::Jit);
+BENCHMARK_CAPTURE(BM_TcpFastpath, interp, Backend::Interp);
+BENCHMARK_CAPTURE(BM_TcpFastpath, codecache, Backend::CodeCache);
+BENCHMARK_CAPTURE(BM_TcpFastpath, jit, Backend::Jit);
+BENCHMARK_CAPTURE(BM_DilpChain, interp, Backend::Interp);
+BENCHMARK_CAPTURE(BM_DilpChain, codecache, Backend::CodeCache);
+BENCHMARK_CAPTURE(BM_DilpChain, jit, Backend::Jit);
+
+// ---------------------------------------------- manual timing sweep -------
+
+/// ns per call of `fn`, measured over at least `min_ms` of wall time.
+template <typename F>
+double time_ns(F&& fn, double min_ms = 60.0) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < 32; ++i) fn();  // warm-up
+  std::uint64_t iters = 0;
+  const auto start = clock::now();
+  auto end = start;
+  do {
+    for (int i = 0; i < 16; ++i) fn();
+    iters += 16;
+    end = clock::now();
+  } while (std::chrono::duration<double, std::milli>(end - start).count() <
+           min_ms);
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         static_cast<double>(iters);
+}
+
+struct Workload {
+  const char* name;
+  double ns[3];  // indexed by Backend order: interp, codecache, jit
+};
+
+std::vector<Workload> run_sweep() {
+  std::vector<Workload> out;
+  {
+    Workload w{"remote_increment", {}};
+    RiFixture& f = ri_fixture();
+    for (Backend be : kBackends) {
+      w.ns[static_cast<int>(be)] = time_ns([&] { (void)ri_run(f, be); });
+    }
+    out.push_back(w);
+  }
+  {
+    Workload w{"tcp_fastpath", {}};
+    TcpFixture& f = tcp_fixture();
+    for (Backend be : kBackends) {
+      w.ns[static_cast<int>(be)] = time_ns([&] { (void)replay(f, be); });
+    }
+    out.push_back(w);
+  }
+  {
+    Workload w{"dilp_chain", {}};
+    DilpFixture& f = dilp_fixture();
+    for (Backend be : kBackends) {
+      w.ns[static_cast<int>(be)] = time_ns([&] { (void)dilp_run(f, be); });
+    }
+    out.push_back(w);
+  }
+  return out;
+}
 
 }  // namespace
 }  // namespace ash::bench
 
 int main(int argc, char** argv) {
+  using namespace ash::bench;
+  using ash::vcode::Backend;
+  bool smoke = false, json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  if (smoke) {
+    // Acceptance gate: superblock JIT >= 3x over the interpreter on the
+    // captured TCP fast-path commit.
+    TcpFixture& f = tcp_fixture();
+    const double ni = time_ns([&] { (void)replay(f, Backend::Interp); });
+    const double nj = time_ns([&] { (void)replay(f, Backend::Jit); });
+    const double speedup = ni / nj;
+    std::printf("bench_host_engine --smoke: tcp_fastpath interp=%.0fns "
+                "jit=%.0fns (%.2fx)\n",
+                ni, nj, speedup);
+    if (!(speedup >= 3.0)) {
+      std::printf("FAIL: expected >= 3x jit speedup on the TCP fast path\n");
+      return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+  }
+
+  if (json) {
+    const std::vector<Workload> sweep = run_sweep();
+    std::string out;
+    char line[256];
+    out += "{\n  \"bench\": \"host_engine\",\n  \"unit\": "
+           "\"ns/invocation\",\n  \"workloads\": {\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const Workload& w = sweep[i];
+      const double si = w.ns[0] / w.ns[2];   // jit vs interp
+      const double sc = w.ns[1] / w.ns[2];   // jit vs codecache
+      std::snprintf(line, sizeof line,
+                    "    \"%s\": {\"interp\": %.1f, \"codecache\": %.1f, "
+                    "\"jit\": %.1f, \"jit_vs_interp\": %.2f, "
+                    "\"jit_vs_codecache\": %.2f}%s\n",
+                    w.name, w.ns[0], w.ns[1], w.ns[2], si, sc,
+                    i + 1 < sweep.size() ? "," : "");
+      out += line;
+    }
+    out += "  }\n}\n";
+    std::fputs(out.c_str(), stdout);
+    if (FILE* fp = std::fopen("BENCH_host_engine.json", "w")) {
+      std::fputs(out.c_str(), fp);
+      std::fclose(fp);
+    } else {
+      std::fprintf(stderr, "warning: could not write "
+                           "BENCH_host_engine.json\n");
+    }
+    return 0;
+  }
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

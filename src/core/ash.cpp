@@ -82,12 +82,26 @@ int AshSystem::download(sim::Process& owner, const vcode::Program& prog,
     entry->prog = prog;
   }
 
-  // Translate stage: build the pre-decoded threaded form once, at install.
+  // Translate stage: resolve the backend, then build the translated form
+  // once, at install. Resolution order: AshOptions::backend, then the
+  // legacy use_code_cache=false knob (demotes CodeCache to Interp), then
+  // ASH_USE_CODE_CACHE, then ASH_BACKEND (strongest).
+  vcode::Backend be = opts.backend;
+  if (!opts.use_code_cache && be == vcode::Backend::CodeCache) {
+    be = vcode::Backend::Interp;
+  }
   const int env_override = vcode::code_cache_env_override();
-  entry->opts.use_code_cache =
-      env_override >= 0 ? env_override != 0 : opts.use_code_cache;
-  if (entry->opts.use_code_cache) {
+  if (env_override >= 0) {
+    be = env_override != 0 ? vcode::Backend::CodeCache
+                           : vcode::Backend::Interp;
+  }
+  vcode::backend_env_override(&be);
+  entry->opts.backend = be;
+  entry->opts.use_code_cache = be == vcode::Backend::CodeCache;
+  if (be == vcode::Backend::CodeCache) {
     entry->cache = std::make_unique<vcode::CodeCache>(entry->prog);
+  } else if (be == vcode::Backend::Jit) {
+    entry->jit = std::make_unique<vcode::JitBackend>(entry->prog);
   }
 
   installed_.push_back(std::move(entry));
@@ -211,6 +225,21 @@ const vcode::CodeCache* AshSystem::code_cache(int ash_id) const {
   return at(ash_id).cache.get();
 }
 
+const vcode::JitBackend* AshSystem::jit_backend(int ash_id) const {
+  return at(ash_id).jit.get();
+}
+
+vcode::Backend AshSystem::backend(int ash_id) const {
+  return at(ash_id).opts.backend;
+}
+
+vcode::BackendStats AshSystem::backend_stats(int ash_id) const {
+  const Installed& ash = at(ash_id);
+  if (ash.jit != nullptr) return ash.jit->stats();
+  if (ash.cache != nullptr) return ash.cache->stats();
+  return {vcode::Backend::Interp, ash.stats.invocations, 0, 0, 0};
+}
+
 AshSystem::Installed* AshSystem::admit(int ash_id, std::uint16_t cpu_id) {
   // A stale or invalid id (reachable from a kernel hook once handlers can
   // be detached/revoked, or from a buggy custom demux point) must not
@@ -307,13 +336,14 @@ AshSystem::RunResult AshSystem::run_one(int ash_id, Installed& ash,
   // Calling convention: r1 = message address, r2 = length, r3 = the
   // application argument bound at attach, r4 = reply channel.
   vcode::ExecResult exec;
-  if (ash.cache != nullptr) {
+  if (ash.jit != nullptr || ash.cache != nullptr) {
     std::array<std::uint32_t, vcode::kNumRegs> regs{};
     regs[vcode::kRegArg0] = msg.addr;
     regs[vcode::kRegArg1] = msg.len;
     regs[vcode::kRegArg2] = msg.user_arg;
     regs[vcode::kRegArg3] = static_cast<std::uint32_t>(msg.channel);
-    exec = ash.cache->run(env, regs, limits);
+    exec = ash.jit != nullptr ? ash.jit->run(env, regs, limits)
+                              : ash.cache->run(env, regs, limits);
   } else {
     vcode::Interpreter interp(ash.prog, env);
     interp.set_args(msg.addr, msg.len, msg.user_arg,
@@ -592,6 +622,16 @@ std::string AshSystem::format_status() const {
                   static_cast<unsigned long long>(s.involuntary_aborts),
                   static_cast<unsigned long long>(s.quarantine_skips +
                                                   s.revoked_skips));
+    out += line;
+    const vcode::BackendStats bs = backend_stats(static_cast<int>(i));
+    std::snprintf(line, sizeof line,
+                  "       backend: %s runs=%llu translations=%llu "
+                  "superblocks=%llu emitted=%lluB\n",
+                  vcode::to_string(bs.backend),
+                  static_cast<unsigned long long>(bs.runs),
+                  static_cast<unsigned long long>(bs.translations),
+                  static_cast<unsigned long long>(bs.superblocks),
+                  static_cast<unsigned long long>(bs.emitted_bytes));
     out += line;
     // Abort taxonomy: only outcomes actually seen, to keep the table tight.
     bool any = false;

@@ -45,7 +45,9 @@
 #include "sim/cpu.hpp"
 #include "sim/node.hpp"
 #include "sim/process.hpp"
+#include "vcode/backend.hpp"
 #include "vcode/codecache.hpp"
+#include "vcode/jit/jit.hpp"
 #include "vcode/program.hpp"
 
 namespace ash::core {
@@ -76,8 +78,16 @@ struct AshOptions {
   /// results are bit-identical either way — this is a host wall-clock
   /// knob, exposed for ablation. Overridable per-process with the
   /// ASH_USE_CODE_CACHE environment variable (0/off forces the
-  /// interpreter, anything else forces the cache).
+  /// interpreter, anything else forces the cache). Kept for ablation
+  /// compatibility: `backend` below is the full three-way selector.
   bool use_code_cache = true;
+  /// Execution backend for this handler: the reference interpreter, the
+  /// pre-decoded threaded form, or the superblock JIT (vcode/jit/).
+  /// Simulated results are bit-identical across all three. Resolution
+  /// order at download: this field, then use_code_cache=false demotes
+  /// CodeCache to Interp, then ASH_USE_CODE_CACHE, then ASH_BACKEND
+  /// (strongest).
+  vcode::Backend backend = vcode::Backend::CodeCache;
 };
 
 /// Forensic record of a handler's most recent involuntary abort — what an
@@ -219,8 +229,19 @@ class AshSystem {
   const sim::Process& owner(int ash_id) const;
 
   /// The translated form built at download time, or nullptr when the
-  /// handler was installed with the code cache disabled.
+  /// handler was installed with a different backend.
   const vcode::CodeCache* code_cache(int ash_id) const;
+
+  /// The superblock JIT form, or nullptr when the handler was installed
+  /// with a different backend.
+  const vcode::JitBackend* jit_backend(int ash_id) const;
+
+  /// The backend a handler was resolved to at download time.
+  vcode::Backend backend(int ash_id) const;
+
+  /// Uniform execution statistics for the handler's backend (the
+  /// interpreter synthesizes runs from the invocation count).
+  vcode::BackendStats backend_stats(int ash_id) const;
 
   /// Delivers one collected TSend at handler completion: (channel, bytes).
   using SendFn = std::function<bool(int, std::span<const std::uint8_t>)>;
@@ -266,9 +287,11 @@ class AshSystem {
     vcode::Program prog;
     AshOptions opts;
     AshStats stats;
-    // Pre-decoded threaded form, built once at install (the translate
-    // stage); invocation never re-decodes. Null when ablated off.
+    // Translated forms, built once at install (the translate stage);
+    // invocation never re-decodes. At most one is non-null, per the
+    // resolved AshOptions::backend.
     std::unique_ptr<vcode::CodeCache> cache;
+    std::unique_ptr<vcode::JitBackend> jit;
     Supervisor::HandlerState health;
     std::vector<Attachment> attachments;
   };

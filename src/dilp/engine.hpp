@@ -18,18 +18,22 @@
 #include <vector>
 
 #include "dilp/compiler.hpp"
+#include "vcode/backend.hpp"
 #include "vcode/codecache.hpp"
 #include "vcode/interp.hpp"
+#include "vcode/jit/jit.hpp"
 
 namespace ash::dilp {
 
 class Engine {
  public:
-  /// By default the engine translates each registered loop into the
-  /// pre-decoded threaded form at registration time (the same download-time
-  /// translate stage ASHs get) and runs through it; ASH_USE_CODE_CACHE
-  /// overrides the initial setting. Simulated results are identical either
-  /// way.
+  /// By default the engine translates each registered loop at registration
+  /// time (the same download-time translate stage ASHs get) and runs
+  /// through the pre-decoded threaded form; ASH_USE_CODE_CACHE and then
+  /// ASH_BACKEND override the initial setting. Simulated results are
+  /// identical across all backends. With Backend::Jit, the superblock
+  /// lowering additionally fuses the whole loop (checksum + byteswap +
+  /// copy) into one emitted host pass over the message.
   Engine();
   /// Compile and register a pipe composition. Returns the ilp id, or -1
   /// on failure (with `error` filled in). `layout` selects the network-
@@ -57,18 +61,32 @@ class Engine {
                 std::span<const std::uint32_t> persistent_in = {},
                 std::vector<std::uint32_t>* persistent_out = nullptr) const;
 
-  /// Ablation knob: execute loops through the translated form (true) or
-  /// the interpreter (false). Translation always happens at registration;
-  /// this only selects the execution path for future run() calls.
-  void set_use_code_cache(bool on) noexcept { use_cache_ = on; }
-  bool use_code_cache() const noexcept { return use_cache_; }
+  /// Ablation knob: which engine executes the loops. Translation always
+  /// happens at registration; this only selects the execution path for
+  /// future run() calls.
+  void set_backend(vcode::Backend be) noexcept { backend_ = be; }
+  vcode::Backend backend() const noexcept { return backend_; }
+
+  /// Legacy two-way form of set_backend, kept for the existing ablation
+  /// surface: true = CodeCache, false = Interp.
+  void set_use_code_cache(bool on) noexcept {
+    backend_ = on ? vcode::Backend::CodeCache : vcode::Backend::Interp;
+  }
+  bool use_code_cache() const noexcept {
+    return backend_ == vcode::Backend::CodeCache;
+  }
+
+  /// The translated forms of a registered loop (always built; cheap, and
+  /// they keep the knob a pure execution-path selector).
+  const vcode::CodeCache* code_cache(int id) const noexcept;
+  const vcode::JitBackend* jit_backend(int id) const noexcept;
 
  private:
   std::vector<CompiledIlp> ilps_;
-  // Parallel to ilps_: the translated loop bodies (always built; cheap,
-  // and keeps the knob a pure execution-path selector).
+  // Parallel to ilps_: the translated loop bodies.
   std::vector<std::unique_ptr<vcode::CodeCache>> caches_;
-  bool use_cache_ = true;
+  std::vector<std::unique_ptr<vcode::JitBackend>> jits_;
+  vcode::Backend backend_ = vcode::Backend::CodeCache;
 };
 
 }  // namespace ash::dilp

@@ -33,6 +33,7 @@ const char* to_string(Engine e) noexcept {
     case Engine::None: return "-";
     case Engine::Interp: return "interp";
     case Engine::CodeCache: return "codecache";
+    case Engine::Jit: return "jit";
   }
   return "?";
 }

@@ -79,8 +79,8 @@ inline constexpr std::size_t kEventTypeCount =
 const char* to_string(EventType t) noexcept;
 
 /// Which engine produced a VcodeExec event.
-enum class Engine : std::uint8_t { None, Interp, CodeCache };
-inline constexpr std::size_t kEngineCount = 3;
+enum class Engine : std::uint8_t { None, Interp, CodeCache, Jit };
+inline constexpr std::size_t kEngineCount = 4;
 const char* to_string(Engine e) noexcept;
 
 /// FrameArrival / DemuxDecision / UpcallFallback source device.

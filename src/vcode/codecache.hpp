@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "vcode/backend.hpp"
 #include "vcode/interp.hpp"
 #include "vcode/program.hpp"
 
@@ -61,6 +62,12 @@ class CodeCache {
   /// keeps one cache hot across a whole batch; the counter lets tests
   /// and ashtool confirm the same translation served every message.
   std::uint64_t run_count() const noexcept { return runs_; }
+
+  /// Uniform cross-backend statistics (see vcode/backend.hpp).
+  BackendStats stats() const noexcept {
+    return {Backend::CodeCache, runs_, 1, blocks_,
+            code_.size() * sizeof(TInsn)};
+  }
 
   /// Execute against `env` with the caller's register file (imported on
   /// entry, exported on exit — same contract as Interpreter's explicit

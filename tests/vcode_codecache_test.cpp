@@ -1,8 +1,11 @@
-// Differential execution: the download-time code cache must be
-// bit-identical to the interpreter — outcome, insns, cycles, result,
-// abort_code, fault_pc, final registers, and final memory — on random
-// verified programs (sandboxed and unsandboxed) and on handcrafted edge
-// cases around fused pairs, hoisted budget checks, and indirect jumps.
+// Differential execution: the download-time translated engines — the
+// pre-decoded code cache and the superblock JIT — must be bit-identical
+// to the interpreter (outcome, insns, cycles, result, abort_code,
+// fault_pc, final registers, and final memory) on random verified
+// programs (sandboxed and unsandboxed) and on handcrafted edge cases
+// around fused pairs, hoisted budget checks, and indirect jumps. Every
+// sweep is a three-way interp/codecache/jit cross-check, including
+// engine-tagged trace-event equivalence.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -14,6 +17,7 @@
 #include "util/rng.hpp"
 #include "vcode/codecache.hpp"
 #include "vcode/interp.hpp"
+#include "vcode/jit/jit.hpp"
 #include "vcode/program.hpp"
 #include "vcode/verifier.hpp"
 
@@ -129,8 +133,26 @@ std::array<std::uint32_t, kNumRegs> seed_regs(util::Rng& rng) {
   return regs;
 }
 
-/// Run `prog` through both engines with identical seeds and compare every
-/// observable. `tag` makes failures attributable to a seed/limit combo.
+/// One engine-tagged trace-event stream check: exactly one engine-exec
+/// record per run (mid-run delegation to the interpreter core must NOT
+/// surface as a second event), observables matching the run's result, and
+/// the expected engine tag.
+void expect_one_exec_event(const std::vector<ash::trace::Event>& ev,
+                           ash::trace::Engine engine, const ExecResult& r,
+                           const std::string& tag) {
+  ASSERT_EQ(ev.size(), 1u) << tag;
+  const ash::trace::Event& e = ev[0];
+  ASSERT_EQ(static_cast<int>(e.type),
+            static_cast<int>(ash::trace::EventType::VcodeExec)) << tag;
+  ASSERT_EQ(static_cast<int>(e.engine), static_cast<int>(engine)) << tag;
+  ASSERT_EQ(e.arg0, static_cast<std::uint32_t>(r.outcome)) << tag;
+  ASSERT_EQ(e.insns, r.insns) << tag;
+  ASSERT_EQ(e.cycles, r.cycles) << tag;
+}
+
+/// Run `prog` through all three engines with identical seeds and compare
+/// every observable. `tag` makes failures attributable to a seed/limit
+/// combo.
 void expect_identical(const Program& prog,
                       const std::array<std::uint32_t, kNumRegs>& seeds,
                       const ExecLimits& limits, std::uint64_t env_seed,
@@ -155,6 +177,16 @@ void expect_identical(const Program& prog,
   std::vector<ash::trace::Event> ev_b;
   if (ash::trace::enabled()) ev_b = ash::trace::global().all_events();
 
+  if (ash::trace::enabled()) ash::trace::global().clear();
+  DiffEnv env_j(env_seed);
+  env_j.set_offer_fast_mem(env_seed % 2 == 0);
+  JitBackend jit(prog);
+  std::array<std::uint32_t, kNumRegs> jregs = seeds;
+  jregs[kRegZero] = 0;
+  const ExecResult j = jit.run(env_j, jregs, limits);
+  std::vector<ash::trace::Event> ev_j;
+  if (ash::trace::enabled()) ev_j = ash::trace::global().all_events();
+
   ASSERT_EQ(static_cast<int>(a.outcome), static_cast<int>(b.outcome))
       << tag << " interp=" << to_string(a.outcome)
       << " cache=" << to_string(b.outcome);
@@ -163,36 +195,29 @@ void expect_identical(const Program& prog,
   ASSERT_EQ(a.result, b.result) << tag;
   ASSERT_EQ(a.abort_code, b.abort_code) << tag;
   ASSERT_EQ(a.fault_pc, b.fault_pc) << tag;
+  ASSERT_EQ(static_cast<int>(a.outcome), static_cast<int>(j.outcome))
+      << tag << " interp=" << to_string(a.outcome)
+      << " jit=" << to_string(j.outcome);
+  ASSERT_EQ(a.insns, j.insns) << tag << " jit";
+  ASSERT_EQ(a.cycles, j.cycles) << tag << " jit";
+  ASSERT_EQ(a.result, j.result) << tag << " jit";
+  ASSERT_EQ(a.abort_code, j.abort_code) << tag << " jit";
+  ASSERT_EQ(a.fault_pc, j.fault_pc) << tag << " jit";
   for (std::uint32_t r = 0; r < kNumRegs; ++r) {
     ASSERT_EQ(interp.reg(static_cast<Reg>(r)), regs[r])
         << tag << " register r" << r;
+    ASSERT_EQ(interp.reg(static_cast<Reg>(r)), jregs[r])
+        << tag << " jit register r" << r;
   }
   ASSERT_EQ(env_a.memory(), env_b.memory()) << tag;
+  ASSERT_EQ(env_a.memory(), env_j.memory()) << tag << " jit";
 
-  // With the tracer on, the two engine-tagged event streams must be
-  // semantically equivalent: exactly one engine-exec record per run
-  // (the code cache's mid-run delegation to the interpreter core must
-  // NOT surface as a second event), equal observables, and the only
-  // difference the engine tag itself.
+  // With the tracer on, the three engine-tagged event streams must be
+  // semantically equivalent: the only difference is the engine tag.
   if (ash::trace::enabled()) {
-    ASSERT_EQ(ev_a.size(), 1u) << tag;
-    ASSERT_EQ(ev_b.size(), 1u) << tag;
-    const ash::trace::Event& ea = ev_a[0];
-    const ash::trace::Event& eb = ev_b[0];
-    ASSERT_EQ(static_cast<int>(ea.type),
-              static_cast<int>(ash::trace::EventType::VcodeExec)) << tag;
-    ASSERT_EQ(static_cast<int>(eb.type),
-              static_cast<int>(ash::trace::EventType::VcodeExec)) << tag;
-    ASSERT_EQ(static_cast<int>(ea.engine),
-              static_cast<int>(ash::trace::Engine::Interp)) << tag;
-    ASSERT_EQ(static_cast<int>(eb.engine),
-              static_cast<int>(ash::trace::Engine::CodeCache)) << tag;
-    ASSERT_EQ(ea.arg0, static_cast<std::uint32_t>(a.outcome)) << tag;
-    ASSERT_EQ(eb.arg0, static_cast<std::uint32_t>(b.outcome)) << tag;
-    ASSERT_EQ(ea.insns, eb.insns) << tag;
-    ASSERT_EQ(ea.cycles, eb.cycles) << tag;
-    ASSERT_EQ(ea.insns, a.insns) << tag;
-    ASSERT_EQ(ea.cycles, a.cycles) << tag;
+    expect_one_exec_event(ev_a, ash::trace::Engine::Interp, a, tag);
+    expect_one_exec_event(ev_b, ash::trace::Engine::CodeCache, b, tag);
+    expect_one_exec_event(ev_j, ash::trace::Engine::Jit, j, tag);
   }
 }
 
@@ -397,14 +422,27 @@ TEST(CodeCacheDifferential, BudgetBoundarySweep) {
       std::array<std::uint32_t, kNumRegs> regs = seeds;
       const ExecResult b = cache.run(env_b, regs, lim);
 
+      DiffEnv env_j(1, /*base=*/0, /*size=*/0x10000);
+      JitBackend jit(prog);
+      std::array<std::uint32_t, kNumRegs> jregs = seeds;
+      const ExecResult j = jit.run(env_j, jregs, lim);
+
       ASSERT_EQ(static_cast<int>(a.outcome), static_cast<int>(b.outcome))
           << "insns=" << max_insns << " cycles=" << max_cycles;
       ASSERT_EQ(a.insns, b.insns) << max_insns << "/" << max_cycles;
       ASSERT_EQ(a.cycles, b.cycles) << max_insns << "/" << max_cycles;
       ASSERT_EQ(a.fault_pc, b.fault_pc) << max_insns << "/" << max_cycles;
       ASSERT_EQ(a.result, b.result) << max_insns << "/" << max_cycles;
+      ASSERT_EQ(static_cast<int>(a.outcome), static_cast<int>(j.outcome))
+          << "jit insns=" << max_insns << " cycles=" << max_cycles;
+      ASSERT_EQ(a.insns, j.insns) << "jit " << max_insns << "/" << max_cycles;
+      ASSERT_EQ(a.cycles, j.cycles) << "jit " << max_insns << "/" << max_cycles;
+      ASSERT_EQ(a.fault_pc, j.fault_pc)
+          << "jit " << max_insns << "/" << max_cycles;
+      ASSERT_EQ(a.result, j.result) << "jit " << max_insns << "/" << max_cycles;
       for (std::uint32_t r = 0; r < kNumRegs; ++r) {
         ASSERT_EQ(interp.reg(static_cast<Reg>(r)), regs[r]) << "r" << r;
+        ASSERT_EQ(interp.reg(static_cast<Reg>(r)), jregs[r]) << "jit r" << r;
       }
     }
   }
@@ -430,12 +468,21 @@ TEST(CodeCacheDifferential, JrChkUnmappedTargetFaults) {
   std::array<std::uint32_t, kNumRegs> regs{};
   const ExecResult b = cache.run(env_b, regs, {});
 
+  DiffEnv env_jit(2);
+  JitBackend jit(prog);
+  std::array<std::uint32_t, kNumRegs> jregs{};
+  const ExecResult j = jit.run(env_jit, jregs, {});
+
   EXPECT_EQ(a.outcome, Outcome::IndirectJumpFault);
   EXPECT_EQ(b.outcome, Outcome::IndirectJumpFault);
+  EXPECT_EQ(j.outcome, Outcome::IndirectJumpFault);
   EXPECT_EQ(a.fault_pc, 1u);
   EXPECT_EQ(b.fault_pc, 1u);
+  EXPECT_EQ(j.fault_pc, 1u);
   EXPECT_EQ(a.insns, b.insns);
   EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.insns, j.insns);
+  EXPECT_EQ(a.cycles, j.cycles);
 
   // Mapped variant lands, including through the sparse (out-of-dense-range)
   // side of the shared jump table.
@@ -460,6 +507,15 @@ TEST(CodeCacheDifferential, JrChkUnmappedTargetFaults) {
   CodeCache cache3(sparse);
   std::array<std::uint32_t, kNumRegs> regs3{};
   EXPECT_EQ(cache3.run(env_f, regs3, {}).outcome, Outcome::Halted);
+
+  DiffEnv env_g(2);
+  JitBackend jit2(mapped);
+  std::array<std::uint32_t, kNumRegs> jregs2{};
+  EXPECT_EQ(jit2.run(env_g, jregs2, {}).outcome, Outcome::Halted);
+  DiffEnv env_h(2);
+  JitBackend jit3(sparse);
+  std::array<std::uint32_t, kNumRegs> jregs3{};
+  EXPECT_EQ(jit3.run(env_h, jregs3, {}).outcome, Outcome::Halted);
 }
 
 TEST(CodeCacheDifferential, FaultInsideFusedPairReportsSecondHalf) {
@@ -480,14 +536,23 @@ TEST(CodeCacheDifferential, FaultInsideFusedPairReportsSecondHalf) {
   std::array<std::uint32_t, kNumRegs> regs{};
   const ExecResult b = cache.run(env_b, regs, {});
 
+  DiffEnv env_j(3);
+  JitBackend jit(prog);
+  std::array<std::uint32_t, kNumRegs> jregs{};
+  const ExecResult j = jit.run(env_j, jregs, {});
+
   EXPECT_EQ(cache.fused_count(), 1u);
   EXPECT_EQ(a.outcome, Outcome::MemFault);
   EXPECT_EQ(b.outcome, Outcome::MemFault);
+  EXPECT_EQ(j.outcome, Outcome::MemFault);
   EXPECT_EQ(a.fault_pc, 2u);
   EXPECT_EQ(b.fault_pc, 2u);
+  EXPECT_EQ(j.fault_pc, 2u);
   EXPECT_EQ(a.insns, 3u);
   EXPECT_EQ(b.insns, 3u);
+  EXPECT_EQ(j.insns, 3u);
   EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.cycles, j.cycles);
 }
 
 TEST(CodeCacheDifferential, AbortReachedThroughFusedBranch) {
@@ -509,15 +574,25 @@ TEST(CodeCacheDifferential, AbortReachedThroughFusedBranch) {
   std::array<std::uint32_t, kNumRegs> regs{};
   const ExecResult b = cache.run(env_b, regs, {});
 
+  DiffEnv env_j(4);
+  JitBackend jit(prog);
+  std::array<std::uint32_t, kNumRegs> jregs{};
+  const ExecResult j = jit.run(env_j, jregs, {});
+
   EXPECT_EQ(cache.fused_count(), 1u);
   EXPECT_EQ(a.outcome, Outcome::VoluntaryAbort);
   EXPECT_EQ(b.outcome, Outcome::VoluntaryAbort);
+  EXPECT_EQ(j.outcome, Outcome::VoluntaryAbort);
   EXPECT_EQ(a.abort_code, 77u);
   EXPECT_EQ(b.abort_code, 77u);
+  EXPECT_EQ(j.abort_code, 77u);
   EXPECT_EQ(a.fault_pc, 5u);
   EXPECT_EQ(b.fault_pc, 5u);
+  EXPECT_EQ(j.fault_pc, 5u);
   EXPECT_EQ(a.insns, b.insns);
   EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.insns, j.insns);
+  EXPECT_EQ(a.cycles, j.cycles);
 }
 
 TEST(CodeCacheTranslation, DumpShowsBlocksAndFusions) {
