@@ -1,15 +1,24 @@
 // A miniature web server on the full protocol inventory: ARP resolution,
-// then HTTP/1.0 over the user-level TCP library, over Ethernet with DPF
-// demultiplexing — the "web server" workload the paper's scheduling
-// discussion brings up (Section VI-4).
+// then HTTP/1.0 over TCP, over Ethernet with DPF demultiplexing — the
+// "web server" workload the paper's scheduling discussion brings up
+// (Section VI-4).
+//
+// The server side runs on the event-driven TcpEngine: ONE link binding,
+// one listener on port 80, per-connection TCBs spawned by inbound SYNs —
+// the c10k shape, scaled down to two requests. The client side keeps the
+// paper-shaped blocking TcpConnection library, so the two TCP
+// implementations interoperate over the wire in this example.
 //
 // Build & run:  ./build/examples/http_server
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <unordered_map>
 
 #include "proto/arp.hpp"
 #include "proto/eth_link.hpp"
 #include "proto/http.hpp"
+#include "proto/tcp_engine.hpp"
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
 
@@ -21,6 +30,7 @@ using proto::Ipv4Addr;
 using proto::MacAddr;
 using proto::TcpConfig;
 using proto::TcpConnection;
+using proto::TcpEngine;
 using sim::Process;
 using sim::Task;
 using sim::us;
@@ -32,31 +42,33 @@ const Ipv4Addr kClientIp = Ipv4Addr::of(192, 168, 7, 2);
 const MacAddr kServerMac{{{2, 0, 0, 0, 7, 1}}};
 const MacAddr kClientMac{{{2, 0, 0, 0, 7, 2}}};
 
-TcpConfig tcp_cfg(bool client, std::uint16_t client_port) {
+TcpConfig client_tcp_cfg(std::uint16_t client_port) {
   TcpConfig c;
-  c.local_ip = client ? kClientIp : kServerIp;
-  c.remote_ip = client ? kServerIp : kClientIp;
-  c.local_port = client ? client_port : 80;
-  c.remote_port = client ? 80 : client_port;
-  c.iss = client ? 100 : 900;
+  c.local_ip = kClientIp;
+  c.remote_ip = kServerIp;
+  c.local_port = client_port;
+  c.remote_port = 80;
+  c.iss = 100;
   c.mss = 1456;
   return c;
 }
 
-/// Each connection gets its own DPF endpoint, discriminated by the
-/// client's ephemeral port (several links on one device must not shadow
-/// each other — first-match DPF priority).
-EthLink::Config server_link_cfg(std::uint16_t client_port) {
-  EthLink::Config cfg{kServerMac, kClientMac};
-  cfg.extra_atoms = {dpf::atom_be16(34, client_port)};  // TCP source port
-  return cfg;
-}
-
+/// Each client connection gets its own DPF endpoint, discriminated by its
+/// ephemeral port (several links on one device must not shadow each
+/// other — first-match DPF priority).
 EthLink::Config client_link_cfg(const MacAddr& server_mac,
                                 std::uint16_t client_port) {
   EthLink::Config cfg{kClientMac, server_mac};
   cfg.extra_atoms = {dpf::atom_be16(36, client_port)};  // TCP dest port
   return cfg;
+}
+
+std::optional<std::vector<std::uint8_t>> page(const std::string& p) {
+  if (p == "/motd") {
+    const char* body = "ASHs: the fast path belongs to the application.\n";
+    return std::vector<std::uint8_t>(body, body + std::strlen(body));
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -72,33 +84,55 @@ int main() {
   bool page_ok = false;
 
   server.kernel().spawn("httpd", [&](Process& self) -> Task {
-    // Answer ARP while the HTTP side comes up.
-    ArpService arp(self, nic_s, {kServerMac, kServerIp});
-    co_await arp.serve(us(3000.0));
+    // One link claims every IPv4 frame for this node; the engine demuxes
+    // flows by port. (The per-connection DPF endpoints of the blocking
+    // design are gone — that is the point.)
+    EthLink link(self, nic_s, EthLink::Config{kServerMac, kClientMac});
 
-    // One connection per request, HTTP/1.0 style.
-    for (int i = 0; i < 2; ++i) {
-      const auto client_port = static_cast<std::uint16_t>(4000 + i);
-      EthLink link(self, nic_s, server_link_cfg(client_port));
-      TcpConnection conn(link, tcp_cfg(false, client_port));
-      const bool accepted = co_await conn.accept();
-      if (!accepted) co_return;
-      const auto path = co_await proto::http_serve_one(
-          conn, [](const std::string& p)
-                    -> std::optional<std::vector<std::uint8_t>> {
-            if (p == "/motd") {
-              const char* body =
-                  "ASHs: the fast path belongs to the application.\n";
-              return std::vector<std::uint8_t>(body,
-                                               body + std::strlen(body));
-            }
-            return std::nullopt;
-          });
+    TcpEngine::Config ecfg;
+    ecfg.local_ip = kServerIp;
+    ecfg.mss = 1456;
+    TcpEngine engine(link, ecfg);
+
+    std::unordered_map<TcpEngine::ConnId, std::string> requests;
+    bool done = false;
+
+    TcpEngine::ListenConfig lc;
+    lc.callbacks.on_readable = [&](TcpEngine::ConnId id) {
+      std::string& acc = requests[id];
+      std::uint8_t buf[512];
+      for (;;) {
+        const std::size_t n = engine.read(id, buf, sizeof buf);
+        if (n == 0) break;
+        acc.append(reinterpret_cast<const char*>(buf), n);
+      }
+      if (!proto::http_request_complete(acc)) return;
+      const auto path = proto::http_parse_request(acc);
+      std::optional<std::vector<std::uint8_t>> content;
+      if (path.has_value()) content = page(*path);
+      const std::string wire = proto::http_format_response(path, content);
+      engine.write(id, {reinterpret_cast<const std::uint8_t*>(wire.data()),
+                        wire.size()});
+      engine.close(id);  // HTTP/1.0: response framed by FIN
+      requests.erase(id);
       if (path.has_value()) {
         ++requests_served;
         std::printf("[server] served GET %s\n", path->c_str());
       }
-    }
+    };
+    lc.callbacks.on_closed = [&](TcpEngine::ConnId id) {
+      requests.erase(id);
+      if (requests_served >= 2 && engine.open_connections() <= 1) {
+        done = true;  // both requests answered and torn all the way down
+      }
+    };
+    engine.listen(80, lc);
+
+    // Answer ARP while the engine's SYN queue absorbs early clients.
+    ArpService arp(self, nic_s, {kServerMac, kServerIp});
+    co_await arp.serve(us(3000.0));
+
+    co_await engine.run(done, self.node().now() + us(2.5e6));
   });
 
   client.kernel().spawn("client", [&](Process& self) -> Task {
@@ -121,7 +155,7 @@ int main() {
     for (const char* path : {"/motd", "/missing"}) {
       const auto client_port = static_cast<std::uint16_t>(4000 + i++);
       EthLink link(self, nic_c, client_link_cfg(*mac, client_port));
-      TcpConnection conn(link, tcp_cfg(true, client_port));
+      TcpConnection conn(link, client_tcp_cfg(client_port));
       const bool connected = co_await conn.connect();
       if (!connected) co_return;
       const auto resp = co_await proto::http_get(conn, path);

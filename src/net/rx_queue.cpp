@@ -37,6 +37,27 @@ std::size_t SteeringPolicy::pick(int channel, const sim::Process* owner,
   return static_cast<std::size_t>(channel < 0 ? 0 : channel) % queues;
 }
 
+int SteeringPolicy::flow_channel(std::uint32_t local_ip,
+                                 std::uint32_t remote_ip,
+                                 std::uint16_t local_port,
+                                 std::uint16_t remote_port) noexcept {
+  // FNV-1a over the 4-tuple, folded to 31 bits so the label is a valid
+  // channel id (channels are non-negative ints everywhere else).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint32_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(local_ip, 4);
+  mix(remote_ip, 4);
+  mix(local_port, 2);
+  mix(remote_port, 2);
+  const auto folded = static_cast<std::uint32_t>(h ^ (h >> 32));
+  return static_cast<int>(folded & 0x7fffffffu);
+}
+
 RxQueue::RxQueue(sim::KernelCpu cpu, std::size_t index,
                  const CoalesceConfig& co, std::size_t capacity)
     : cpu_(cpu), index_(index), co_(co), capacity_(capacity) {

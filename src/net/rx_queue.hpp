@@ -94,6 +94,14 @@ struct SteeringPolicy {
 
   std::size_t pick(int channel, const sim::Process* owner,
                    std::size_t queues) const;
+
+  /// RSS-style flow label for a TCP/UDP 4-tuple (FNV-1a, folded to a
+  /// non-negative int). Both the receive path and a connection table can
+  /// hash with this, so a flow's frames steer to the queue that owns the
+  /// flow's table shard.
+  static int flow_channel(std::uint32_t local_ip, std::uint32_t remote_ip,
+                          std::uint16_t local_port,
+                          std::uint16_t remote_port) noexcept;
 };
 
 struct CoalesceConfig {

@@ -1,5 +1,6 @@
 #include "proto/http.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -40,9 +41,61 @@ sim::Sub<bool> write_all(TcpConnection& conn, std::string_view text) {
 
 }  // namespace
 
+std::string http_format_get(const std::string& path) {
+  return "GET " + path + " HTTP/1.0\r\n\r\n";
+}
+
+bool http_request_complete(std::string_view raw) {
+  return raw.find("\r\n\r\n") != std::string_view::npos;
+}
+
+std::optional<std::string> http_parse_request(std::string_view raw) {
+  char method[8] = {};
+  char path[1024] = {};
+  const std::string head(raw.substr(0, std::min<std::size_t>(raw.size(),
+                                                             1100)));
+  if (std::sscanf(head.c_str(), "%7s %1023s", method, path) == 2 &&
+      std::strcmp(method, "GET") == 0) {
+    return std::string(path);
+  }
+  return std::nullopt;
+}
+
+std::string http_format_response(
+    const std::optional<std::string>& path,
+    const std::optional<std::vector<std::uint8_t>>& content) {
+  if (!path.has_value()) return "HTTP/1.0 400 Bad Request\r\n\r\n";
+  if (!content.has_value()) return "HTTP/1.0 404 Not Found\r\n\r\n";
+  char hdr[128];
+  std::snprintf(hdr, sizeof hdr,
+                "HTTP/1.0 200 OK\r\nContent-Length: %zu\r\n\r\n",
+                content->size());
+  std::string wire = hdr;
+  wire.append(content->begin(), content->end());
+  return wire;
+}
+
+std::optional<HttpResponse> http_parse_response(const std::string& raw) {
+  HttpResponse resp;
+  const int matched = std::sscanf(raw.c_str(), "HTTP/1.0 %d", &resp.status);
+  if (matched != 1) return std::nullopt;
+  const std::size_t line_end = raw.find("\r\n");
+  const std::size_t reason_at = raw.find(' ', raw.find(' ') + 1);
+  if (line_end != std::string::npos && reason_at != std::string::npos &&
+      reason_at < line_end) {
+    resp.reason = raw.substr(reason_at + 1, line_end - reason_at - 1);
+  }
+  const std::size_t body_at = raw.find("\r\n\r\n");
+  if (body_at != std::string::npos) {
+    resp.body.assign(raw.begin() + static_cast<std::ptrdiff_t>(body_at + 4),
+                     raw.end());
+  }
+  return resp;
+}
+
 sim::Sub<std::optional<HttpResponse>> http_get(TcpConnection& conn,
                                                const std::string& path) {
-  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  const std::string request = http_format_get(path);
   const bool sent = co_await write_all(conn, request);
   if (!sent) co_return std::nullopt;
 
@@ -58,56 +111,18 @@ sim::Sub<std::optional<HttpResponse>> http_get(TcpConnection& conn,
   }
 
   co_await conn.close();  // complete the FIN handshake from our side
-
-  HttpResponse resp;
-  int matched = std::sscanf(raw.c_str(), "HTTP/1.0 %d", &resp.status);
-  if (matched != 1) co_return std::nullopt;
-  const std::size_t line_end = raw.find("\r\n");
-  const std::size_t reason_at = raw.find(' ', raw.find(' ') + 1);
-  if (line_end != std::string::npos && reason_at != std::string::npos &&
-      reason_at < line_end) {
-    resp.reason = raw.substr(reason_at + 1, line_end - reason_at - 1);
-  }
-  const std::size_t body_at = raw.find("\r\n\r\n");
-  if (body_at != std::string::npos) {
-    resp.body.assign(raw.begin() + static_cast<std::ptrdiff_t>(body_at + 4),
-                     raw.end());
-  }
-  co_return resp;
+  co_return http_parse_response(raw);
 }
 
 sim::Sub<std::optional<std::string>> http_serve_one(
     TcpConnection& conn, const HttpHandler& handler) {
   const std::string raw = co_await read_until(conn, "\r\n\r\n");
-  std::optional<std::string> result;
+  const std::optional<std::string> result = http_parse_request(raw);
 
-  char method[8] = {};
-  char path[1024] = {};
-  if (std::sscanf(raw.c_str(), "%7s %1023s", method, path) == 2 &&
-      std::strcmp(method, "GET") == 0) {
-    result = std::string(path);
-  }
+  std::optional<std::vector<std::uint8_t>> content;
+  if (result.has_value()) content = handler(*result);
+  const std::string wire = http_format_response(result, content);
 
-  std::string head;
-  std::vector<std::uint8_t> body;
-  if (result.has_value()) {
-    auto content = handler(*result);
-    if (content.has_value()) {
-      body = std::move(*content);
-      char hdr[128];
-      std::snprintf(hdr, sizeof hdr,
-                    "HTTP/1.0 200 OK\r\nContent-Length: %zu\r\n\r\n",
-                    body.size());
-      head = hdr;
-    } else {
-      head = "HTTP/1.0 404 Not Found\r\n\r\n";
-    }
-  } else {
-    head = "HTTP/1.0 400 Bad Request\r\n\r\n";
-  }
-
-  std::string wire = head;
-  wire.append(body.begin(), body.end());
   const bool sent = co_await write_all(conn, wire);
   (void)sent;
   co_await conn.close();

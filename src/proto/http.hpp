@@ -7,6 +7,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "proto/tcp.hpp"
@@ -32,5 +33,30 @@ using HttpHandler =
         const std::string& path)>;
 sim::Sub<std::optional<std::string>> http_serve_one(TcpConnection& conn,
                                                     const HttpHandler& handler);
+
+// ---- wire-format helpers -------------------------------------------------
+// Shared by the blocking calls above and event-driven servers (TcpEngine):
+// the exact request/response bytes, split from the transport so both paths
+// speak an identical protocol.
+
+/// The one-line HTTP/1.0 GET request, terminated by the blank line.
+std::string http_format_get(const std::string& path);
+
+/// True once `raw` holds a complete request head (the blank line arrived).
+bool http_request_complete(std::string_view raw);
+
+/// Extract the GET path from a (complete) request; nullopt when malformed
+/// or not a GET.
+std::optional<std::string> http_parse_request(std::string_view raw);
+
+/// Response bytes for a handler result: 200 + Content-Length + body when
+/// `content` has a value, 404 when it does not, 400 when `path` was
+/// unparseable (pass nullopt for `path`).
+std::string http_format_response(
+    const std::optional<std::string>& path,
+    const std::optional<std::vector<std::uint8_t>>& content);
+
+/// Parse a complete HTTP/1.0 response (read-to-close framing).
+std::optional<HttpResponse> http_parse_response(const std::string& raw);
 
 }  // namespace ash::proto

@@ -48,7 +48,11 @@ inline constexpr std::uint32_t kAckPseudoSum = 19;
 /// Bytes of link framing preceding the IP header in the ACK template
 /// (0 on the AN2; 14 when the fast path runs over Ethernet).
 inline constexpr std::uint32_t kAckFrameOff = 20;
-inline constexpr std::uint32_t kWords = 21;
+/// Congestion window (bytes), mirrored by the library so downloaded
+/// handlers (and ashtool) can observe sender pacing. Appended past the
+/// original layout: handlers address words by name, never by kWords.
+inline constexpr std::uint32_t kSndCwnd = 21;
+inline constexpr std::uint32_t kWords = 22;
 
 inline constexpr std::uint32_t kAckPacketLen = 40;  // IP + TCP header
 /// Template buffer size: leaves room for link framing before the packet.

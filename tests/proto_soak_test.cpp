@@ -20,6 +20,7 @@
 #include "proto/eth_link.hpp"
 #include "proto/ip_frag.hpp"
 #include "proto/tcp.hpp"
+#include "proto/tcp_engine.hpp"
 #include "proto/udp.hpp"
 #include "proto/wire.hpp"
 #include "sim/kernel.hpp"
@@ -210,6 +211,144 @@ TEST(TcpSoak, SurvivesEverythingAtOnce) {
   f.jitter_prob = 0.3;
   f.seed = 1007;
   expect_clean_soak(tcp_soak(f));
+}
+
+// ------------------------------------------------- TcpEngine reorder soak
+
+struct EngineSoakResult {
+  bool intact = false;
+  sim::Cycles elapsed = 0;  // sim time until the sender fully tore down
+  TcpEngine::Stats client;
+  TcpEngine::Stats server;
+};
+
+/// Stream 96 KB a->b through two TcpEngines over a dropping, heavily
+/// reordering link (identical seed both runs), with out-of-order
+/// reassembly on or off. The `reassemble=false` receiver discards every
+/// segment past a gap, so the same fault schedule costs strictly more
+/// retransmissions and more sim time — the soak-leg comparison behind
+/// the c10k bench's ooo-vs-drop regimes.
+EngineSoakResult engine_stream_soak(bool reassemble) {
+  constexpr std::uint32_t kLen = 96 * 1024;
+  constexpr std::uint64_t kPattern = 7777;
+  EngineSoakResult r;
+
+  Simulator sim;
+  Node& na = sim.add_node("a");
+  Node& nb = sim.add_node("b");
+  net::An2Config cfg;
+  cfg.faults.drop_prob = 0.02;
+  cfg.faults.reorder_prob = 0.3;
+  cfg.faults.reorder_delay = us(400.0);
+  cfg.faults.seed = 8001;
+  net::An2Device dev_a(na, cfg);
+  net::An2Device dev_b(nb, cfg);
+  dev_a.connect(dev_b);
+
+  An2Link::Config lc;
+  lc.rx_buffers = 64;
+  lc.buf_size = 1536;
+
+  auto engine_cfg = [&](Ipv4Addr ip) {
+    TcpEngine::Config ec;
+    ec.local_ip = ip;
+    ec.reassemble = reassemble;
+    ec.rto = us(20000.0);
+    ec.min_rto = us(5000.0);
+    ec.max_retries = 40;
+    return ec;
+  };
+
+  bool server_stop = false;
+  std::string got;
+
+  nb.kernel().spawn("server", [&](Process& self) -> Task {
+    An2Link link(self, dev_b, lc);
+    TcpEngine eng(link, engine_cfg(kIpB));
+    bool closed = false;
+    TcpEngine::ListenConfig listen_cfg;
+    listen_cfg.callbacks.on_readable = [&](TcpEngine::ConnId id) {
+      std::uint8_t buf[2048];
+      for (;;) {
+        const std::size_t n = eng.read(id, buf, sizeof buf);
+        if (n == 0) break;
+        got.append(reinterpret_cast<const char*>(buf), n);
+      }
+      const bool eof = eng.at_eof(id);
+      if (eof && !closed) {
+        closed = true;
+        eng.close(id);
+      }
+    };
+    eng.listen(5000, listen_cfg);
+    co_await eng.run(server_stop, self.node().now() + us(2e7));
+    r.server = eng.stats();
+  });
+
+  na.kernel().spawn("client", [&](Process& self) -> Task {
+    An2Link link(self, dev_a, lc);
+    TcpEngine eng(link, engine_cfg(kIpA));
+    bool established = false;
+    TcpEngine::Callbacks cbs;
+    cbs.on_established = [&](TcpEngine::ConnId) { established = true; };
+    co_await self.sleep_for(us(500.0));
+    const TcpEngine::ConnId id = eng.connect(kIpB, 5000, 4000, cbs);
+    EXPECT_NE(id, 0u);
+
+    const sim::Cycles limit = self.node().now() + us(1.9e7);
+    while (!established && self.node().now() < limit) {
+      const bool got_frame = co_await eng.step(us(1000.0));
+      (void)got_frame;
+    }
+    EXPECT_TRUE(established);
+
+    std::vector<std::uint8_t> data(kLen);
+    util::Rng rng(kPattern);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_TRUE(eng.write(id, data));
+    eng.close(id);  // FIN rides out behind the stream
+
+    while (eng.open_connections() > 0 && self.node().now() < limit) {
+      const bool got_frame = co_await eng.step(us(1000.0));
+      (void)got_frame;
+    }
+    r.elapsed = self.node().now();
+    r.client = eng.stats();
+    server_stop = true;
+  });
+
+  sim.run(us(2.1e7));
+
+  bool ok = got.size() == kLen;
+  util::Rng check(kPattern);
+  for (std::size_t i = 0; ok && i < got.size(); ++i) {
+    ok = static_cast<std::uint8_t>(got[i]) ==
+         static_cast<std::uint8_t>(check.next());
+  }
+  r.intact = ok;
+  return r;
+}
+
+TEST(TcpEngineSoak, ReassemblyBeatsDroppingOutOfOrderSegments) {
+  const EngineSoakResult with = engine_stream_soak(/*reassemble=*/true);
+  const EngineSoakResult without = engine_stream_soak(/*reassemble=*/false);
+
+  // Both configurations must still deliver the stream intact...
+  EXPECT_TRUE(with.intact);
+  EXPECT_TRUE(without.intact);
+  // ...and both must have really exercised their out-of-order path.
+  EXPECT_GT(with.server.ooo_reassembled, 0u);
+  EXPECT_GT(without.server.ooo_dropped, 0u);
+  EXPECT_EQ(with.server.ooo_dropped, 0u);
+
+  // The same fault schedule: buffering the out-of-order tail must beat
+  // retransmitting it, in both retransmission count and completion time.
+  const std::uint64_t retx_with =
+      with.client.retransmits + with.server.retransmits;
+  const std::uint64_t retx_without =
+      without.client.retransmits + without.server.retransmits;
+  EXPECT_LT(retx_with, retx_without);
+  EXPECT_LT(with.elapsed, without.elapsed);
 }
 
 // ------------------------------------------------------------- UDP soak
