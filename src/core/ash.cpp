@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/ash_env.hpp"
+#include "core/tenant.hpp"
 #include "trace/trace.hpp"
 #include "vcode/verifier.hpp"
 
@@ -80,6 +81,29 @@ int AshSystem::download(sim::Process& owner, const vcode::Program& prog,
           static_cast<std::uint32_t>(prog.insns.size());
     }
     entry->prog = prog;
+  }
+
+  // Tenant admission: the (sandboxed) image's kernel footprint counts
+  // against the owner's buffer-pool share, and max_handlers caps the
+  // install count. Rejected before any translation work happens.
+  if (tenants_ != nullptr) {
+    const std::uint64_t image_bytes =
+        entry->prog.insns.size() * sizeof(entry->prog.insns[0]);
+    TenantDeny deny = TenantDeny::BufferQuota;
+    if (!tenants_->admit_download(owner, image_bytes, &deny)) {
+      if (error != nullptr) {
+        *error = std::string("tenant admission denied: ") + to_string(deny);
+      }
+      if (trace::enabled()) {
+        trace_denied(node_, node_.cpu_id(), -1,
+                     deny == TenantDeny::DownloadQuota
+                         ? trace::DenyReason::DownloadQuota
+                         : deny == TenantDeny::Revoked
+                               ? trace::DenyReason::Revoked
+                               : trace::DenyReason::BufferQuota);
+      }
+      return -1;
+    }
   }
 
   // Translate stage: resolve the backend, then build the translated form
@@ -163,6 +187,10 @@ std::size_t AshSystem::revoke_owner(const sim::Process& owner) {
     revoke_installed(static_cast<int>(i), ash);
     ++revoked;
   }
+  // Feed the tenant scheduler: the account is closed and its deficit debt
+  // written off; frames already coalesced for this owner will be drained
+  // by invoke_batch with counted denials.
+  if (tenants_ != nullptr) tenants_->on_owner_revoked(owner);
   return revoked;
 }
 
@@ -240,7 +268,8 @@ vcode::BackendStats AshSystem::backend_stats(int ash_id) const {
   return {vcode::Backend::Interp, ash.stats.invocations, 0, 0, 0};
 }
 
-AshSystem::Installed* AshSystem::admit(int ash_id, std::uint16_t cpu_id) {
+AshSystem::Installed* AshSystem::admit(int ash_id, std::uint16_t cpu_id,
+                                       trace::DenyReason* why) {
   // A stale or invalid id (reachable from a kernel hook once handlers can
   // be detached/revoked, or from a buggy custom demux point) must not
   // unwind through the device driver: count it and fall back.
@@ -250,6 +279,7 @@ AshSystem::Installed* AshSystem::admit(int ash_id, std::uint16_t cpu_id) {
     if (trace::enabled()) {
       trace_denied(node_, cpu_id, ash_id, trace::DenyReason::BadId);
     }
+    if (why != nullptr) *why = trace::DenyReason::BadId;
     return nullptr;
   }
   Installed& ash = *ash_p;
@@ -264,6 +294,7 @@ AshSystem::Installed* AshSystem::admit(int ash_id, std::uint16_t cpu_id) {
     if (trace::enabled()) {
       trace_denied(node_, cpu_id, ash_id, trace::DenyReason::Revoked);
     }
+    if (why != nullptr) *why = trace::DenyReason::Revoked;
     return nullptr;
   }
 
@@ -278,6 +309,20 @@ AshSystem::Installed* AshSystem::admit(int ash_id, std::uint16_t cpu_id) {
     if (trace::enabled()) {
       trace_denied(node_, cpu_id, ash_id, trace::DenyReason::Quarantined);
     }
+    if (why != nullptr) *why = trace::DenyReason::Quarantined;
+    return nullptr;
+  }
+
+  // Weighted-fair cycle scheduling: the owner's DRR account must be in
+  // credit. Like quarantine, a deferral costs near-zero kernel time —
+  // the message takes the normal delivery path and the tenant's backlog
+  // becomes its own problem, not its neighbors'.
+  if (tenants_ != nullptr && !tenants_->admit_cycles(*ash.owner)) {
+    ++stats.tenant_deferrals;
+    if (trace::enabled()) {
+      trace_denied(node_, cpu_id, ash_id, trace::DenyReason::CycleQuota);
+    }
+    if (why != nullptr) *why = trace::DenyReason::CycleQuota;
     return nullptr;
   }
 
@@ -296,6 +341,7 @@ AshSystem::Installed* AshSystem::admit(int ash_id, std::uint16_t cpu_id) {
       if (trace::enabled()) {
         trace_denied(node_, cpu_id, ash_id, trace::DenyReason::LivelockQuota);
       }
+      if (why != nullptr) *why = trace::DenyReason::LivelockQuota;
       return nullptr;  // over quota: normal delivery path
     }
     ++win.count;
@@ -352,6 +398,11 @@ AshSystem::RunResult AshSystem::run_one(int ash_id, Installed& ash,
   }
   stats.cycles += exec.cycles;
   stats.insns += exec.insns;
+  // The ONE tenant charge site: every executed cycle lands both in this
+  // handler's stats and in its owner's account, so per-tenant
+  // cycles_charged == sum of owned AshStats::cycles, always (the
+  // conservation property test pins this across fault/revoke churn).
+  if (tenants_ != nullptr) tenants_->charge(*ash.owner, exec.cycles);
 
   RunResult result;
   result.outcome = exec.outcome;
@@ -467,8 +518,31 @@ void AshSystem::invoke_batch(int ash_id, std::span<const MsgContext> msgs,
     // Per-message admission: a fault on message k can quarantine or
     // revoke the handler mid-batch, and the messages after it must see
     // that decision — the batch amortizes entry cost, not policy.
-    Installed* ash_p = admit(ash_id, cpu_id);
-    if (ash_p == nullptr) continue;
+    trace::DenyReason why{};
+    Installed* ash_p = admit(ash_id, cpu_id, &why);
+    if (ash_p == nullptr) {
+      // Revocation is terminal: no later message in this batch can be
+      // admitted, so drain the remaining coalesced frames with counted
+      // denials instead of re-running the admission path per frame.
+      if (why == trace::DenyReason::Revoked) {
+        Installed* rev = find(ash_id);
+        if (rev != nullptr) {
+          const std::uint64_t drained = msgs.size() - (i + 1);
+          for (std::size_t j = i + 1; j < msgs.size(); ++j) {
+            ++rev->stats.revoked_skips;
+            if (trace::enabled()) {
+              trace_denied(node_, cpu_id, ash_id,
+                           trace::DenyReason::Revoked);
+            }
+          }
+          if (tenants_ != nullptr && drained != 0) {
+            tenants_->note_drained(*rev->owner, drained);
+          }
+        }
+        break;
+      }
+      continue;
+    }
     Installed& ash = *ash_p;
 
     AshEnv::Config env_cfg;
@@ -665,6 +739,12 @@ std::string AshSystem::format_status() const {
           ash.health.quarantine_trips,
           static_cast<unsigned long long>(ash.health.quarantine_len),
           static_cast<unsigned long long>(ash.health.quarantine_until));
+      out += line;
+    }
+    if (s.tenant_deferrals != 0) {
+      std::snprintf(line, sizeof line,
+                    "       tenant: cycle-quota deferrals=%llu\n",
+                    static_cast<unsigned long long>(s.tenant_deferrals));
       out += line;
     }
   }

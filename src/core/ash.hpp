@@ -50,7 +50,13 @@
 #include "vcode/jit/jit.hpp"
 #include "vcode/program.hpp"
 
+namespace ash::trace {
+enum class DenyReason : std::uint8_t;
+}  // namespace ash::trace
+
 namespace ash::core {
+
+class TenantScheduler;
 
 /// Registers through which DILP persistent values are exchanged between an
 /// ASH and a TDilp invocation: persistent k of the invoked ilp is seeded
@@ -125,6 +131,9 @@ struct AshStats {
   /// Messages bypassed to the normal delivery path by the supervisor.
   std::uint64_t quarantine_skips = 0;  // while Quarantined
   std::uint64_t revoked_skips = 0;     // offered to a Revoked handler
+  /// Messages deferred by the tenant scheduler's cycle quota (the owner's
+  /// weighted-fair account was exhausted).
+  std::uint64_t tenant_deferrals = 0;
   AshFaultRecord last_fault;
 };
 
@@ -175,6 +184,18 @@ class AshSystem {
   /// OWNING PROCESS, so a process cannot multiply its share by installing
   /// more handlers. quota = 0 disables the guard.
   void set_livelock_quota(std::uint32_t quota, sim::Cycles window);
+
+  // ---- multi-tenant isolation (core/tenant.hpp) ----
+
+  /// Wire the tenant scheduler in (nullptr detaches; default). With a
+  /// scheduler installed, downloads pass per-tenant buffer/handler
+  /// admission, every invocation passes the weighted-fair cycle check,
+  /// executed cycles are charged to the owner's account, and
+  /// revoke_owner feeds the scheduler so queued work drains.
+  void set_tenants(TenantScheduler* tenants) noexcept {
+    tenants_ = tenants;
+  }
+  TenantScheduler* tenants() const noexcept { return tenants_; }
 
   // ---- supervisor: fault containment, quarantine, revocation ----
 
@@ -309,10 +330,13 @@ class AshSystem {
   Installed* find(int ash_id) noexcept;
 
   /// Admission shared by invoke and invoke_batch: bad id, revocation,
-  /// quarantine, and the livelock quota. nullptr means the message falls
-  /// back to the normal delivery path (already counted and traced, with
-  /// `cpu_id` as the denying CPU).
-  Installed* admit(int ash_id, std::uint16_t cpu_id);
+  /// quarantine, the tenant cycle quota, and the livelock quota. nullptr
+  /// means the message falls back to the normal delivery path (already
+  /// counted and traced, with `cpu_id` as the denying CPU); `why`, when
+  /// non-null, receives the denial reason so the batch path can
+  /// short-circuit a revoked handler's remaining frames.
+  Installed* admit(int ash_id, std::uint16_t cpu_id,
+                   trace::DenyReason* why = nullptr);
 
   /// One handler run, shared by invoke and invoke_batch. `dispatch` and
   /// `clear` are the caller's entry/exit charges for THIS message (the
@@ -342,6 +366,7 @@ class AshSystem {
   sim::Cycles livelock_window_ = 0;
   std::unordered_map<std::uint32_t, LivelockWindow> livelock_by_owner_;
   Supervisor supervisor_;
+  TenantScheduler* tenants_ = nullptr;
   std::unordered_map<std::uint32_t, std::uint64_t> faults_by_owner_;
   std::uint64_t bad_id_fallbacks_ = 0;
 };

@@ -5,6 +5,14 @@
 
 namespace ash::net {
 
+const char* to_string(RxDropReason r) noexcept {
+  switch (r) {
+    case RxDropReason::Overflow: return "overflow";
+    case RxDropReason::TenantQuota: return "tenant-quota";
+  }
+  return "?";
+}
+
 const char* to_string(FireReason r) noexcept {
   switch (r) {
     case FireReason::Immediate: return "immediate";
@@ -59,8 +67,9 @@ int SteeringPolicy::flow_channel(std::uint32_t local_ip,
 }
 
 RxQueue::RxQueue(sim::KernelCpu cpu, std::size_t index,
-                 const CoalesceConfig& co, std::size_t capacity)
-    : cpu_(cpu), index_(index), co_(co), capacity_(capacity) {
+                 const CoalesceConfig& co, std::size_t capacity,
+                 RxQuota* quota)
+    : cpu_(cpu), index_(index), co_(co), capacity_(capacity), quota_(quota) {
   if (co_.max_frames == 0) co_.max_frames = 1;
   if (capacity_ == 0) capacity_ = 1;
 }
@@ -68,8 +77,28 @@ RxQueue::RxQueue(sim::KernelCpu cpu, std::size_t index,
 void RxQueue::enqueue(RxFrame frame) {
   sim::Node& node = cpu_.node();
   ++enqueued_;  // counts offered frames, so drops stay in the balance
-  if (pending_.size() >= capacity_) {
+  // Overflow is checked first so a full queue never charges the tenant's
+  // occupancy account (try_admit charges only when it admits).
+  const bool overflow = pending_.size() >= capacity_;
+  if (overflow || (quota_ != nullptr && !quota_->try_admit(frame.owner))) {
+    const RxDropReason why =
+        overflow ? RxDropReason::Overflow : RxDropReason::TenantQuota;
     ++dropped_;
+    if (why == RxDropReason::Overflow) {
+      ++overflow_drops_;
+    } else {
+      ++quota_drops_;
+    }
+    if (quota_ != nullptr) quota_->on_drop(frame.owner, why);
+    if (trace::enabled()) {
+      trace::global().emit(trace::make_event(
+          trace::EventType::RxDrop, cpu_.cpu_id(), node.now(),
+          static_cast<std::int32_t>(index_),
+          frame.owner != nullptr ? frame.owner->pid() : 0,
+          static_cast<std::uint32_t>(why), 0,
+          static_cast<std::uint64_t>(
+              frame.channel < 0 ? 0 : frame.channel)));
+    }
     if (frame.sink != nullptr) frame.sink->rx_drop(frame);
     return;
   }
@@ -152,6 +181,13 @@ void RxQueue::fire(FireReason reason) {
 }
 
 void RxQueue::deliver_batch(std::vector<RxFrame> batch) {
+  // The frames leave the queue here: record their sojourn and release the
+  // per-tenant occupancy charged at enqueue (both host-side observers).
+  const sim::Cycles now = cpu_.node().now();
+  for (const RxFrame& f : batch) {
+    sojourn_.observe(now - f.enqueued_at);
+    if (quota_ != nullptr) quota_->on_dispatched(f.owner);
+  }
   // Group consecutive same-(sink, channel) runs so each sink sees a
   // maximal batch for one demux point (what invoke_batch amortizes).
   std::size_t i = 0;
@@ -175,8 +211,8 @@ RxQueueSet::RxQueueSet(sim::Node& node, const Config& cfg) : cfg_(cfg) {
   for (std::size_t i = 0; i < cfg_.queues; ++i) {
     const sim::KernelCpu cpu =
         i == 0 ? sim::KernelCpu(node) : sim::KernelCpu(node, &node.add_rx_cpu());
-    queues_.push_back(
-        std::make_unique<RxQueue>(cpu, i, cfg_.coalesce, cfg_.capacity));
+    queues_.push_back(std::make_unique<RxQueue>(cpu, i, cfg_.coalesce,
+                                                cfg_.capacity, cfg_.quota));
   }
 }
 

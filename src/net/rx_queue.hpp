@@ -45,6 +45,7 @@
 #include "sim/cpu.hpp"
 #include "sim/node.hpp"
 #include "sim/process.hpp"
+#include "trace/metrics.hpp"
 
 namespace ash::net {
 
@@ -79,6 +80,36 @@ class RxSink {
                         const sim::KernelCpu& cpu) = 0;
   /// Reclaim a frame the queue dropped before dispatch (overflow).
   virtual void rx_drop(const RxFrame& frame) = 0;
+};
+
+/// Why an RxQueue dropped a frame before dispatch (RxDrop arg1; keep in
+/// sync with the namer in trace/format.cpp and QueueMetrics).
+enum class RxDropReason : std::uint8_t {
+  Overflow,     // the queue itself was full
+  TenantQuota,  // the owning tenant exceeded its occupancy quota
+};
+inline constexpr std::size_t kRxDropReasonCount = 2;
+const char* to_string(RxDropReason r) noexcept;
+
+/// Per-tenant RX-queue occupancy accounting, consulted at enqueue time.
+/// Implemented by core::TenantScheduler (net cannot depend on core, so the
+/// interface lives here). All three calls are host-side bookkeeping: they
+/// charge no simulated cycles.
+///
+/// Contract: try_admit() charges one unit of occupancy to `owner` when it
+/// returns true; on_dispatched() releases it when the frame leaves the
+/// queue. A dropped frame was never charged — enqueue short-circuits on
+/// overflow before consulting the quota — so on_drop() only attributes the
+/// loss to the offender, it never releases.
+class RxQuota {
+ public:
+  virtual ~RxQuota() = default;
+  /// May frame-owner `owner` park one more frame? true charges occupancy.
+  virtual bool try_admit(const sim::Process* owner) = 0;
+  /// A previously admitted frame left the queue (batch delivery).
+  virtual void on_dispatched(const sim::Process* owner) = 0;
+  /// A frame owned by `owner` was dropped at enqueue for `reason`.
+  virtual void on_drop(const sim::Process* owner, RxDropReason reason) = 0;
 };
 
 enum class SteerMode : std::uint8_t {
@@ -125,7 +156,7 @@ const char* to_string(FireReason r) noexcept;
 class RxQueue {
  public:
   RxQueue(sim::KernelCpu cpu, std::size_t index, const CoalesceConfig& co,
-          std::size_t capacity);
+          std::size_t capacity, RxQuota* quota = nullptr);
 
   void enqueue(RxFrame frame);
 
@@ -134,11 +165,19 @@ class RxQueue {
   bool polling() const noexcept { return poll_mode_; }
   std::size_t depth() const noexcept { return pending_.size(); }
 
-  // Conservation counters: enqueued == dispatched + depth + dropped.
+  // Conservation counters: enqueued == dispatched + depth + dropped,
+  // and dropped == overflow_drops + quota_drops.
   std::uint64_t enqueued() const noexcept { return enqueued_; }
   std::uint64_t dispatched() const noexcept { return dispatched_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t overflow_drops() const noexcept { return overflow_drops_; }
+  std::uint64_t quota_drops() const noexcept { return quota_drops_; }
   std::uint64_t batches() const noexcept { return batches_; }
+
+  /// Enqueue-to-delivery delay (cycles) of every dispatched frame — the
+  /// queueing component of tail latency. Host-side observer: recording it
+  /// charges nothing.
+  const trace::Histogram& sojourn() const noexcept { return sojourn_; }
 
  private:
   void fire(FireReason reason);
@@ -149,6 +188,7 @@ class RxQueue {
   std::size_t index_;
   CoalesceConfig co_;
   std::size_t capacity_;
+  RxQuota* quota_ = nullptr;
   std::deque<RxFrame> pending_;
   bool timer_armed_ = false;
   std::uint64_t timer_gen_ = 0;
@@ -156,7 +196,10 @@ class RxQueue {
   std::uint64_t enqueued_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t overflow_drops_ = 0;
+  std::uint64_t quota_drops_ = 0;
   std::uint64_t batches_ = 0;
+  trace::Histogram sojourn_;
 };
 
 /// The set of receive queues a device steers into. Queue 0 runs on the
@@ -168,8 +211,12 @@ class RxQueueSet {
     SteeringPolicy steering;
     CoalesceConfig coalesce;
     /// Per-queue pending-frame cap; overflow frames are dropped back to
-    /// the device (counted in RxQueue::dropped).
+    /// the device (counted in RxQueue::dropped, attributed per owner via
+    /// `quota` and the RxDrop trace event).
     std::size_t capacity = 256;
+    /// Optional per-tenant occupancy accounting, consulted on every
+    /// enqueue (core::TenantScheduler implements this).
+    RxQuota* quota = nullptr;
   };
 
   RxQueueSet(sim::Node& node, const Config& cfg);

@@ -94,6 +94,10 @@ void append_event_body(std::string& out, const Event& ev) {
               " total=%" PRIu64 " cyc", ev.id, ev.arg0, ev.arg1, ev.insns,
               ev.cycles);
       break;
+    case EventType::RxDrop:
+      appendf(out, "queue=%d owner=%u ch=%" PRIu64 " reason=%s", ev.id,
+              ev.arg0, ev.insns, ev.arg1 == 0 ? "overflow" : "tenant-quota");
+      break;
   }
 }
 
@@ -139,7 +143,7 @@ bool chan_slot_active(const ChannelMetrics& c) {
 }
 
 bool queue_slot_active(const QueueMetrics& q) {
-  return q.frames || q.batches;
+  return q.frames || q.batches || q.drops;
 }
 
 }  // namespace
@@ -219,6 +223,16 @@ std::string format_metrics(const Tracer& t) {
               " livelock=%" PRIu64 " bad-id=%" PRIu64 "\n",
               m.denial_reasons[0], m.denial_reasons[1],
               m.denial_reasons[2], m.denial_reasons[3]);
+      // The tenant-admission reasons were appended later; only printed
+      // when seen, so pre-tenant golden output is unchanged.
+      if (m.denial_reasons[4] != 0 || m.denial_reasons[5] != 0 ||
+          m.denial_reasons[6] != 0) {
+        appendf(out,
+                "    tenant-denials: cycle-quota=%" PRIu64
+                " buffer-quota=%" PRIu64 " download-quota=%" PRIu64 "\n",
+                m.denial_reasons[4], m.denial_reasons[5],
+                m.denial_reasons[6]);
+      }
     }
     if (m.latency.count() != 0) {
       append_histogram(out, "latency", m.latency);
@@ -331,6 +345,12 @@ std::string format_queues(const Tracer& t) {
             " timer=%" PRIu64 " poll=%" PRIu64 "\n",
             q.by_reason[0], q.by_reason[1], q.by_reason[2],
             q.by_reason[3]);
+    if (q.drops != 0) {
+      appendf(out,
+              "    drops: total=%" PRIu64 " overflow=%" PRIu64
+              " tenant-quota=%" PRIu64 "\n",
+              q.drops, q.by_drop_reason[0], q.by_drop_reason[1]);
+    }
     if (q.batch_frames.count() != 0) {
       append_count_histogram(out, "batch", q.batch_frames);
     }
@@ -364,13 +384,22 @@ std::string queues_json(const Tracer& t) {
             ",\"batch_frames\":{\"count\":%" PRIu64 ",\"mean\":%.1f"
             ",\"p50\":%" PRIu64 ",\"max\":%" PRIu64 "}"
             ",\"depth\":{\"count\":%" PRIu64 ",\"mean\":%.1f"
-            ",\"p50\":%" PRIu64 ",\"max\":%" PRIu64 "}}",
+            ",\"p50\":%" PRIu64 ",\"max\":%" PRIu64 "}",
             first ? "" : ",", id, q.frames, q.batches, q.charged_cycles,
             q.by_reason[0], q.by_reason[1], q.by_reason[2], q.by_reason[3],
             q.batch_frames.count(), q.batch_frames.mean(),
             q.batch_frames.percentile(50.0), q.batch_frames.max(),
             q.depth.count(), q.depth.mean(), q.depth.percentile(50.0),
             q.depth.max());
+    // Appended for the multi-tenant PR; omitted when zero so pre-tenant
+    // golden output is byte-identical.
+    if (q.drops != 0) {
+      appendf(out,
+              ",\"drops\":{\"total\":%" PRIu64 ",\"overflow\":%" PRIu64
+              ",\"tenant_quota\":%" PRIu64 "}",
+              q.drops, q.by_drop_reason[0], q.by_drop_reason[1]);
+    }
+    out += "}";
     first = false;
   }
   out += "],\"batched_handlers\":[";

@@ -69,13 +69,17 @@ class Histogram {
 /// library (trace sits below it in the link order).
 inline constexpr std::size_t kMaxOutcomes = 16;
 
+/// Room for every trace::DenyReason value (the tenant-admission reasons
+/// were appended in the multi-tenant PR; headroom for a few more).
+inline constexpr std::size_t kMaxDenyReasons = 8;
+
 /// Per-handler receive-path accounting, keyed by ash id.
 struct AshMetrics {
   std::uint64_t dispatches = 0;   // AshDispatch events
   std::uint64_t outcomes = 0;     // AshOutcome events (completed runs)
   std::uint64_t consumed = 0;     // outcomes that committed the message
   std::uint64_t denials = 0;      // AshDenied events
-  std::array<std::uint64_t, 4> denial_reasons{};  // by DenyReason
+  std::array<std::uint64_t, kMaxDenyReasons> denial_reasons{};  // by DenyReason
   std::array<std::uint64_t, kMaxOutcomes> by_outcome{};
   Histogram latency;              // dispatch+exec+timer cycles per run
   Histogram exec_cycles;          // handler execution cycles per run
@@ -111,6 +115,8 @@ struct QueueMetrics {
   Histogram batch_frames;         // frames per fired batch
   Histogram depth;                // queue depth after each enqueue
   std::uint64_t charged_cycles = 0;  // summed entry+driver batch charges
+  std::uint64_t drops = 0;        // RxDrop events
+  std::array<std::uint64_t, 2> by_drop_reason{};  // by net::RxDropReason
 };
 
 /// Per-engine execution totals (interp vs translated form) — the

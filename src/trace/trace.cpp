@@ -24,6 +24,7 @@ const char* to_string(EventType t) noexcept {
     case EventType::RxEnqueue: return "RxEnqueue";
     case EventType::CoalesceFire: return "CoalesceFire";
     case EventType::BatchDispatch: return "BatchDispatch";
+    case EventType::RxDrop: return "RxDrop";
   }
   return "?";
 }
@@ -44,6 +45,9 @@ const char* to_string(DenyReason r) noexcept {
     case DenyReason::Revoked: return "revoked";
     case DenyReason::LivelockQuota: return "livelock-quota";
     case DenyReason::BadId: return "bad-id";
+    case DenyReason::CycleQuota: return "cycle-quota";
+    case DenyReason::BufferQuota: return "buffer-quota";
+    case DenyReason::DownloadQuota: return "download-quota";
   }
   return "?";
 }
@@ -286,6 +290,12 @@ void Tracer::aggregate(const Event& ev) {
       AshMetrics& m = ash_slot(ev.id);
       ++m.batches;
       m.batch_msgs.observe(ev.arg1);
+      break;
+    }
+    case EventType::RxDrop: {
+      QueueMetrics& q = queue_slot(ev.id);
+      ++q.drops;
+      if (ev.arg1 < q.by_drop_reason.size()) ++q.by_drop_reason[ev.arg1];
       break;
     }
   }

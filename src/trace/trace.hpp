@@ -73,9 +73,12 @@ enum class EventType : std::uint8_t {
                     //   cycles=entry+driver charge for the batch
   BatchDispatch,    // id=ash, arg0=msgs offered, arg1=msgs executed,
                     //   cycles=batch total charge, insns=batch total
+  // Multi-tenant isolation (appended; older numeric ids stay stable):
+  RxDrop,           // id=rx queue, arg0=owner pid (0 unowned),
+                    //   arg1=net::RxDropReason, insns=channel
 };
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::BatchDispatch) + 1;
+    static_cast<std::size_t>(EventType::RxDrop) + 1;
 const char* to_string(EventType t) noexcept;
 
 /// Which engine produced a VcodeExec event.
@@ -86,13 +89,20 @@ const char* to_string(Engine e) noexcept;
 /// FrameArrival / DemuxDecision / UpcallFallback source device.
 enum class NicKind : std::uint8_t { An2, Ethernet };
 
-/// Why AshDenied fired (arg0).
+/// Why AshDenied fired (arg0). The tenant reasons are appended so the
+/// original four keep their numeric ids (metric arrays index by value).
 enum class DenyReason : std::uint8_t {
   Quarantined,
   Revoked,
   LivelockQuota,
   BadId,
+  // Multi-tenant admission (core::TenantScheduler):
+  CycleQuota,     // weighted-fair cycle account exhausted
+  BufferQuota,    // kernel buffer-pool share exhausted at download
+  DownloadQuota,  // per-tenant handler-count cap hit at download
 };
+inline constexpr std::size_t kDenyReasonCount =
+    static_cast<std::size_t>(DenyReason::DownloadQuota) + 1;
 const char* to_string(DenyReason r) noexcept;
 
 /// SupervisorAction payload (arg0).

@@ -42,6 +42,16 @@
 //                                         batch-size / fire-reason tables
 //                                         and the batched-dispatch
 //                                         aggregates
+//   ashtool tenants <file> [msgs] [--json]
+//                                         download the image for three
+//                                         tenants (DRR weights 1/2/4)
+//                                         under a tight cycle quota and a
+//                                         one-handler install cap, offer
+//                                         each tenant `msgs` messages,
+//                                         and print the per-tenant
+//                                         scheduler table: weight, runs,
+//                                         cycles charged, and the typed
+//                                         denial taxonomy
 //
 // The serialized format is exactly what AshSystem::download consumes —
 // these files are "what the kernel sees".
@@ -55,6 +65,7 @@
 
 #include "ashlib/handlers.hpp"
 #include "core/ash.hpp"
+#include "core/tenant.hpp"
 #include "sandbox/sfi.hpp"
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
@@ -80,7 +91,8 @@ int usage() {
                "       ashtool status <file> [msgs]\n"
                "       ashtool trace <file> [msgs] [--json|--chrome]\n"
                "       ashtool metrics <file> [msgs] [--json]\n"
-               "       ashtool queues <file> [msgs] [--json]\n");
+               "       ashtool queues <file> [msgs] [--json]\n"
+               "       ashtool tenants <file> [msgs] [--json]\n");
   return 2;
 }
 
@@ -407,6 +419,82 @@ int cmd_queues(const std::string& file, int msgs, const std::string& mode) {
   return 0;
 }
 
+// The multi-tenant inspection scenario behind `tenants`: three tenant
+// processes (DRR weights 1, 2, 4) download the same image under a tight
+// cycle quota (150 cycles/weight per 1 ms round, burst 1) and a
+// one-handler install cap, then each offers `msgs` messages at 100 us
+// pacing — ten admission attempts per round against a budget worth a
+// weight-proportional few, so the weighted shares and the cycle-quota
+// denials are both visible. Tenant 1 also attempts a
+// second install, which the admission control rejects with a typed
+// download-quota denial.
+int cmd_tenants(const std::string& file, int msgs, const std::string& mode) {
+  const auto bytes = read_file(file);
+  const auto prog = Program::deserialize(bytes);
+  if (!prog.has_value()) {
+    std::fprintf(stderr, "%s: not a valid .ashv image\n", file.c_str());
+    return 1;
+  }
+  ash::sim::Simulator sim;
+  ash::sim::Node& node = sim.add_node("n");
+  ash::core::AshSystem ashsys(node);
+  ash::core::TenantSchedulerConfig tcfg;
+  tcfg.replenish_period = ash::sim::us(1000.0);
+  tcfg.quantum_per_weight = 150;
+  tcfg.burst_rounds = 1;
+  tcfg.max_handlers = 1;
+  ash::core::TenantScheduler tenants(node, tcfg);
+  ashsys.set_tenants(&tenants);
+
+  constexpr std::uint32_t kWeights[3] = {1, 2, 4};
+  int first_error = 0;
+  for (int t = 0; t < 3; ++t) {
+    node.kernel().spawn(
+        "tenant" + std::to_string(t + 1),
+        [&, t](ash::sim::Process& self) -> ash::sim::Task {
+          tenants.set_weight(self, kWeights[t]);
+          std::string error;
+          const int id = ashsys.download(self, *prog, {}, &error);
+          if (id < 0) {
+            std::fprintf(stderr, "tenant%d download rejected: %s\n", t + 1,
+                         error.c_str());
+            first_error = 1;
+            co_return;
+          }
+          if (t == 0) {
+            // One over the install cap: a graceful, typed denial.
+            ashsys.download(self, *prog, {}, &error);
+          }
+          const std::uint32_t msg_addr = self.segment().base + 0x8000;
+          const std::uint32_t scratch = self.segment().base + 0x100;
+          for (std::uint32_t k = 0; k < 64; ++k) {
+            *node.mem(msg_addr + k, 1) = static_cast<std::uint8_t>(k);
+          }
+          for (int i = 0; i < msgs; ++i) {
+            ash::core::MsgContext m;
+            m.addr = msg_addr;
+            m.len = 64;
+            m.channel = t;
+            m.user_arg = scratch;
+            ashsys.invoke(
+                id, m,
+                [](int, std::span<const std::uint8_t>) { return true; }, 0);
+            co_await self.sleep_for(ash::sim::us(100.0));
+          }
+        });
+  }
+  sim.run();
+  if (first_error != 0) return first_error;
+  if (mode == "--json") {
+    std::printf("%s\n", tenants.tenants_json().c_str());
+  } else {
+    std::printf("%s: %d message(s) offered per tenant\n\n", file.c_str(),
+                msgs);
+    std::fputs(tenants.format_table().c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_dump_translated(const std::string& file) {
   const auto bytes = read_file(file);
   const auto prog = Program::deserialize(bytes);
@@ -460,6 +548,20 @@ int main(int argc, char** argv) {
     }
     if (msgs <= 0 || !(mode.empty() || mode == "--json")) return usage();
     return cmd_queues(argv[2], msgs, mode);
+  }
+  if (cmd == "tenants" && argc >= 3 && argc <= 5) {
+    int msgs = 40;  // four 1 ms quota rounds at 100 us pacing
+    std::string mode;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        mode = arg;
+      } else {
+        msgs = std::atoi(argv[i]);
+      }
+    }
+    if (msgs <= 0 || !(mode.empty() || mode == "--json")) return usage();
+    return cmd_tenants(argv[2], msgs, mode);
   }
   if ((cmd == "trace" || cmd == "metrics") && argc >= 3 && argc <= 5) {
     int msgs = 10;
