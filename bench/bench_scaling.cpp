@@ -8,20 +8,24 @@
 // repo's first forward-looking BENCH_* trajectory point.
 //
 // Setup: two nodes over a fast AN2 link (the link is deliberately
-// over-provisioned so the server CPU is the bottleneck), 8 VCs on the
+// over-provisioned so the server is the bottleneck), 8 VCs on the
 // server each attached to one sandboxed remote-increment ASH, a client
 // that offers bursty load round-robin across the VCs at a configured
-// rate. Columns: the inline (paper) path, then 1/2/4/8 queues with
-// adaptive coalescing. Throughput is measured at the CLIENT as reply
-// arrivals per second: replies release only when the server CPU's charged
-// work completes, so arrival rate is the server's true service rate. The
-// client supplies no reply buffers — the device's per-VC drop counter
-// then counts arrivals exactly, costing zero client CPU (polling the
-// replies out would perturb the offered load).
+// rate. Columns: the inline (paper) path, 1/2/4/8 queues with adaptive
+// coalescing, and "offload" — 8 queues fronted by a smart-NIC processor
+// (16 execution units per queue) running the handler on the device, so
+// the host CPU never touches a consumed frame. Throughput is measured at
+// the CLIENT as reply arrivals per second: replies release only when the
+// serving side's charged work completes, so arrival rate is the true
+// service rate. The client supplies no reply buffers — the device's
+// per-VC drop counter then counts arrivals exactly, costing zero client
+// CPU (polling the replies out would perturb the offered load).
 //
-// Flags: --smoke   one saturating point, 1 vs 4 queues; exits nonzero
-//                  unless 4 queues deliver >= 2x the 1-queue throughput
-//                  (the ISSUE-5 acceptance gate; also a ctest target).
+// Flags: --smoke   two gates in one run: 4 queues must deliver >= 2x the
+//                  1-queue throughput at saturating load (the ISSUE-5
+//                  gate), and the offload column must deliver >= 5x the
+//                  8-queue host ceiling (the ISSUE-9 gate); also a ctest
+//                  target.
 //        --json    emit the full sweep as JSON (BENCH_scaling.json).
 #include "bench_util.hpp"
 
@@ -30,6 +34,7 @@
 
 #include "ashlib/handlers.hpp"
 #include "core/ash.hpp"
+#include "net/nic_offload.hpp"
 #include "net/rx_queue.hpp"
 
 namespace ash::bench {
@@ -43,24 +48,29 @@ constexpr int kVcs = 8;
 constexpr int kBurst = 4;  // frames per VC before moving on (bursty load)
 
 net::An2Config fast_link() {
-  // Over-provisioned link: serialization and per-packet costs small
-  // enough that the server CPU saturates first at every queue count.
+  // Over-provisioned link AND client: serialization, per-packet, and tx
+  // costs small enough that the serving side saturates first at every
+  // queue count — including the device-offload column, whose service
+  // rate is an order of magnitude past the 8-queue host ceiling.
   net::An2Config cfg;
   cfg.bandwidth_mbytes_per_sec = 1000.0;
   cfg.one_way_latency = us(5.0);
-  cfg.per_packet_overhead = us(0.1);
-  cfg.tx_kernel_work = us(0.4);
+  cfg.per_packet_overhead = us(0.025);
+  cfg.tx_kernel_work = us(0.025);
   return cfg;
 }
 
-/// One run: offered load in kmsg/s, `queues` == 0 means the inline path.
-/// Returns served throughput in kmsg/s.
-double run_point(double offered_kmsgs, std::size_t queues,
+/// One run: offered load in kmsg/s, `queues` == 0 means the inline path,
+/// `units` > 0 fronts the queue set with a smart-NIC processor running
+/// that many execution units per queue (NIC-resident handlers; the host
+/// CPU never sees a consumed frame). Returns served throughput in kmsg/s.
+double run_point(double offered_kmsgs, std::size_t queues, std::size_t units,
                  sim::Cycles window) {
   An2World w(fast_link());
   core::AshSystem ash_sys(*w.b);
 
   std::unique_ptr<net::RxQueueSet> rxq;
+  std::unique_ptr<net::NicProcessor> nic;
   if (queues > 0) {
     net::RxQueueSet::Config qc;
     qc.queues = queues;
@@ -71,6 +81,13 @@ double run_point(double offered_kmsgs, std::size_t queues,
     qc.coalesce.adaptive = true;
     rxq = std::make_unique<net::RxQueueSet>(*w.b, qc);
     w.dev_b->set_rx_queues(rxq.get());
+    if (units > 0) {
+      net::NicConfig nc;
+      nc.units_per_queue = units;
+      nc.queue_capacity = 512;
+      nic = std::make_unique<net::NicProcessor>(*w.b, *rxq, nc);
+      w.dev_b->set_nic(nic.get());
+    }
   }
 
   // --- server: 8 VCs, one remote-increment ASH attached to each ---
@@ -89,20 +106,27 @@ double run_point(double offered_kmsgs, std::size_t queues,
                 64u * static_cast<std::uint32_t>(v * 64 + i),
             64);
       }
-      ash_sys.attach_an2(*w.dev_b, vc, id, ctr);
+      if (nic != nullptr) {
+        ash_sys.offload_an2(*w.dev_b, vc, id, ctr);
+      } else {
+        ash_sys.attach_an2(*w.dev_b, vc, id, ctr);
+      }
     }
     co_await self.sleep_for(us(1e9));
   });
 
   // --- client: open-loop bursty sender, round-robin across VCs ---
   const sim::Cycles warmup = us(1000.0);
-  const sim::Cycles period = sim::us(1000.0 / offered_kmsgs);
+  // Fractional-cycle pacing: at the offload column's loads the period is
+  // a few cycles, so accumulating a truncated integer period would
+  // systematically over-offer.
+  const double period = static_cast<double>(sim::us(1000.0)) / offered_kmsgs;
   const sim::Cycles t_end = warmup + window;
   w.a->kernel().spawn("client", [&](Process& self) -> Task {
     for (int v = 0; v < kVcs; ++v) w.dev_a->bind_vc(self);
     co_await self.sleep_for(warmup);
     const std::uint8_t ping[4] = {1, 2, 3, 4};
-    sim::Cycles next = self.node().now();
+    double next = static_cast<double>(self.node().now());
     int vc = 0;
     int burst = 0;
     while (self.node().now() < t_end) {
@@ -113,8 +137,9 @@ double run_point(double offered_kmsgs, std::size_t queues,
         vc = (vc + 1) % kVcs;
       }
       next += period;
-      if (next > self.node().now()) {
-        co_await self.sleep_for(next - self.node().now());
+      const auto next_cyc = static_cast<sim::Cycles>(next);
+      if (next_cyc > self.node().now()) {
+        co_await self.sleep_for(next_cyc - self.node().now());
       }
     }
   });
@@ -148,10 +173,11 @@ int main(int argc, char** argv) {
   }
 
   if (smoke) {
-    // One saturating point; the acceptance gate from ISSUE 5.
+    // Saturating points; the ISSUE-5 host gate and the ISSUE-9 offload
+    // gate in one run.
     const ash::sim::Cycles window = ash::sim::us(20000.0);
-    const double q1 = run_point(2000.0, 1, window);
-    const double q4 = run_point(2000.0, 4, window);
+    const double q1 = run_point(2000.0, 1, 0, window);
+    const double q4 = run_point(2000.0, 4, 0, window);
     std::printf("bench_scaling --smoke: q1=%.1f kmsg/s q4=%.1f kmsg/s "
                 "(%.2fx)\n",
                 q1, q4, q4 / q1);
@@ -159,23 +185,40 @@ int main(int argc, char** argv) {
       std::printf("FAIL: expected >= 2x scaling from 1 to 4 queues\n");
       return 1;
     }
+    const ash::sim::Cycles offload_window = ash::sim::us(10000.0);
+    const double q8 = run_point(2000.0, 8, 0, offload_window);
+    const double off = run_point(12000.0, 8, 16, offload_window);
+    std::printf("bench_scaling --smoke: q8=%.1f kmsg/s offload=%.1f kmsg/s "
+                "(%.2fx)\n",
+                q8, off, off / q8);
+    if (!(off >= 5.0 * q8)) {
+      std::printf("FAIL: expected >= 5x the 8-queue host ceiling from the "
+                  "NIC offload path\n");
+      return 1;
+    }
     std::printf("PASS\n");
     return 0;
   }
 
-  const double offered[] = {100.0, 250.0, 500.0, 1000.0, 2000.0};
+  const double offered[] = {100.0,  250.0,  500.0,  1000.0, 2000.0,
+                            4000.0, 8000.0, 16000.0, 32000.0};
   const struct {
     const char* name;
     std::size_t queues;
-  } cols[] = {{"inline", 0}, {"1 queue", 1}, {"2 queues", 2},
-              {"4 queues", 4}, {"8 queues", 8}};
-  const ash::sim::Cycles window = ash::sim::us(30000.0);
+    std::size_t units;
+  } cols[] = {{"inline", 0, 0},   {"1 queue", 1, 0}, {"2 queues", 2, 0},
+              {"4 queues", 4, 0}, {"8 queues", 8, 0}, {"offload", 8, 16}};
 
   std::vector<std::pair<double, std::vector<double>>> points;
   for (double load : offered) {
+    // Past-saturation host points are pure queue-overflow churn; a
+    // shorter window bounds the sweep's wall-clock without moving the
+    // measured service rate.
+    const ash::sim::Cycles window =
+        load >= 4000.0 ? ash::sim::us(10000.0) : ash::sim::us(30000.0);
     std::vector<double> row;
     for (const auto& col : cols) {
-      row.push_back(run_point(load, col.queues, window));
+      row.push_back(run_point(load, col.queues, col.units, window));
     }
     points.push_back({load, std::move(row)});
   }

@@ -155,10 +155,16 @@ void AshSystem::clear_attachments(Installed& ash) {
     if (att.an2 != nullptr) {
       att.an2->set_kernel_hook(att.channel, nullptr);
       att.an2->set_kernel_batch_hook(att.channel, nullptr);
+      if (att.an2->nic() != nullptr) {
+        att.an2->nic()->detach(att.an2, att.channel);
+      }
     }
     if (att.eth != nullptr) {
       att.eth->set_kernel_hook(att.channel, nullptr);
       att.eth->set_kernel_batch_hook(att.channel, nullptr);
+      if (att.eth->nic() != nullptr) {
+        att.eth->nic()->detach(att.eth, att.channel);
+      }
     }
   }
   ash.attachments.clear();
@@ -215,6 +221,7 @@ bool AshSystem::detach_an2(net::An2Device& dev, int vc) {
   if (found) {
     dev.set_kernel_hook(vc, nullptr);
     dev.set_kernel_batch_hook(vc, nullptr);
+    if (dev.nic() != nullptr) dev.nic()->detach(&dev, vc);
   }
   return found;
 }
@@ -235,6 +242,7 @@ bool AshSystem::detach_eth(net::EthernetDevice& dev, int endpoint) {
   if (found) {
     dev.set_kernel_hook(endpoint, nullptr);
     dev.set_kernel_batch_hook(endpoint, nullptr);
+    if (dev.nic() != nullptr) dev.nic()->detach(&dev, endpoint);
   }
   return found;
 }
@@ -674,6 +682,124 @@ void AshSystem::attach_eth(net::EthernetDevice& dev, int endpoint, int ash_id,
                        return device->send(bytes);
                      },
                      device->config().tx_kernel_work, cpu, consumed);
+      });
+}
+
+std::uint32_t AshSystem::nic_footprint(int ash_id) const {
+  const Installed& ash = at(ash_id);
+  return static_cast<std::uint32_t>(ash.prog.insns.size() *
+                                    sizeof(ash.prog.insns[0])) +
+         kNicHandlerStateBytes;
+}
+
+net::NicExecResult AshSystem::invoke_nic(int ash_id, const MsgContext& msg,
+                                         SendFn send_fn, sim::Cycles tx_cost,
+                                         net::NicExecUnit& unit) {
+  net::NicExecResult res;
+  Installed* ash_p = admit(ash_id, unit.cpu_id());
+  if (ash_p == nullptr) {
+    // Admission denied on-device (revoked/quarantined/tenant/livelock).
+    // Deny counters and trace are identical to a host-path denial; the
+    // frame goes back to the host as a punt, charged only the handoff.
+    res.charged = unit.cost().punt_handoff;
+    unit.work(res.charged);
+    return res;
+  }
+  Installed& ash = *ash_p;
+
+  // Same env and tx_cost as the host paths, so execution — and therefore
+  // AshStats, outcome taxonomy, and replies — is identical wherever the
+  // handler runs. Only the cycle *charge* differs: it lands on the NIC
+  // unit under its own clock ratio and dispatch cost.
+  AshEnv::Config env_cfg;
+  env_cfg.node = &node_;
+  env_cfg.owner_seg = ash.owner->segment();
+  env_cfg.msg_addr = msg.addr;
+  env_cfg.msg_len = msg.len;
+  env_cfg.stripe_chunk = msg.stripe_chunk;
+  env_cfg.engine = &dilp_;
+  env_cfg.tx_cost = tx_cost;
+  AshEnv env(env_cfg);
+
+  // No host timer setup/clear on the device; the unit's dispatch overhead
+  // replaces them, added below under the device cost model.
+  const RunResult run = run_one(ash_id, ash, msg, env, unit.cpu_id(), 0, 0);
+  res.ran = true;
+  res.consumed = run.consumed;
+  res.faulted = run.outcome != vcode::Outcome::Halted &&
+                run.outcome != vcode::Outcome::VoluntaryAbort;
+  res.charged = unit.cost().dispatch + unit.scale(run.total);
+
+  if (run.consumed && !env.sends().empty()) {
+    // Replies initiate from the device (TSend with no host transition);
+    // the same release-after-runtime contract as invoke() applies.
+    auto sends = env.sends();
+    res.replies = static_cast<std::uint32_t>(sends.size());
+    res.charged += static_cast<sim::Cycles>(res.replies) *
+                   unit.cost().reply_issue;
+    unit.work(res.charged,
+              [send_fn = std::move(send_fn), sends = std::move(sends)] {
+                for (const auto& req : sends) {
+                  send_fn(req.channel, req.bytes);
+                }
+              });
+  } else {
+    // Ran-but-not-consumed (voluntary abort, fault, or plain "not mine")
+    // hands the frame back to the host: charge the punt handoff too.
+    if (!run.consumed) res.charged += unit.cost().punt_handoff;
+    unit.work(res.charged);
+  }
+  return res;
+}
+
+bool AshSystem::offload_an2(net::An2Device& dev, int vc, int ash_id,
+                            std::uint32_t user_arg) {
+  // Host hooks first: not-resident punts and post-detach frames must run
+  // the handler on the normal host path, so behaviour is identical minus
+  // where the cycles land.
+  attach_an2(dev, vc, ash_id, user_arg);
+  if (dev.nic() == nullptr) return false;
+  net::An2Device* device = &dev;
+  return dev.nic()->attach(
+      &dev, vc, nic_footprint(ash_id),
+      [this, device, ash_id, user_arg](const net::RxFrame& f,
+                                       net::NicExecUnit& unit) {
+        MsgContext msg;
+        msg.addr = f.addr;
+        msg.len = f.len;
+        msg.stripe_chunk = 0;
+        msg.channel = f.channel;
+        msg.user_arg = user_arg;
+        return invoke_nic(
+            ash_id, msg,
+            [device](int chan, std::span<const std::uint8_t> bytes) {
+              return device->send(chan, bytes);
+            },
+            device->config().tx_kernel_work, unit);
+      });
+}
+
+bool AshSystem::offload_eth(net::EthernetDevice& dev, int endpoint,
+                            int ash_id, std::uint32_t user_arg) {
+  attach_eth(dev, endpoint, ash_id, user_arg);
+  if (dev.nic() == nullptr) return false;
+  net::EthernetDevice* device = &dev;
+  return dev.nic()->attach(
+      &dev, endpoint, nic_footprint(ash_id),
+      [this, device, ash_id, user_arg](const net::RxFrame& f,
+                                       net::NicExecUnit& unit) {
+        MsgContext msg;
+        msg.addr = f.addr;
+        msg.len = f.len;
+        msg.stripe_chunk = 16;
+        msg.channel = f.channel;
+        msg.user_arg = user_arg;
+        return invoke_nic(
+            ash_id, msg,
+            [device](int, std::span<const std::uint8_t> bytes) {
+              return device->send(bytes);
+            },
+            device->config().tx_kernel_work, unit);
       });
 }
 

@@ -41,6 +41,7 @@
 #include "dilp/engine.hpp"
 #include "net/an2.hpp"
 #include "net/ethernet.hpp"
+#include "net/nic_offload.hpp"
 #include "sandbox/sfi.hpp"
 #include "sim/cpu.hpp"
 #include "sim/node.hpp"
@@ -63,6 +64,13 @@ class TenantScheduler;
 /// from r(kDilpPersistentBase + k) and written back there afterwards.
 inline constexpr vcode::Reg kDilpPersistentBase = 48;
 inline constexpr vcode::Reg kDilpPersistentMax = 8;
+
+/// Device-resident state an offloaded handler needs beyond its sandboxed
+/// image: the fast-mem scratch area plus the DILP persistent register
+/// file. Together with the image bytes this is the handler's NIC memory
+/// window footprint (AshSystem::nic_footprint).
+inline constexpr std::uint32_t kNicHandlerStateBytes =
+    256 + kDilpPersistentMax * sizeof(std::uint32_t);
 
 struct AshOptions {
   /// False = kernel-trusted "unsafe ASH" (Tables V/VI's comparison): the
@@ -176,6 +184,23 @@ class AshSystem {
   /// or TUserCopy (which destripes) moves it out.
   void attach_eth(net::EthernetDevice& dev, int endpoint, int ash_id,
                   std::uint32_t user_arg = 0);
+
+  // ---- smart-NIC offload (net/nic_offload.hpp) ----
+
+  /// The handler's NIC memory-window footprint: sandboxed image bytes
+  /// plus fast-mem scratch and DILP persistent registers.
+  std::uint32_t nic_footprint(int ash_id) const;
+
+  /// Attach like attach_an2, *and* make the handler NIC-resident on the
+  /// device's NicProcessor (dev.set_nic must have been called). Returns
+  /// true when the handler fit the NIC memory window — its frames then
+  /// execute on device units; false leaves it host-resident (frames are
+  /// counted NotResident punts through the normal host hooks installed
+  /// here either way, so behaviour is identical minus where cycles land).
+  bool offload_an2(net::An2Device& dev, int vc, int ash_id,
+                   std::uint32_t user_arg = 0);
+  bool offload_eth(net::EthernetDevice& dev, int endpoint, int ash_id,
+                   std::uint32_t user_arg = 0);
 
   /// Receive-livelock guard (Section VI-4): at most `quota` handler runs
   /// per owning process per `window` cycles; beyond that, messages fall
@@ -293,6 +318,14 @@ class AshSystem {
   void invoke_batch(int ash_id, std::span<const MsgContext> msgs,
                     SendFn send_fn, sim::Cycles tx_cost,
                     const sim::KernelCpu& cpu, bool* consumed);
+
+  /// Run handler `ash_id` on a NIC execution unit (the NicHook body —
+  /// exposed for tests). Admission, execution, stats, tenant charging,
+  /// and the supervisor all go through the same machinery as the host
+  /// paths; only the cycle charge lands on `unit`, under its cost model.
+  net::NicExecResult invoke_nic(int ash_id, const MsgContext& msg,
+                                SendFn send_fn, sim::Cycles tx_cost,
+                                net::NicExecUnit& unit);
 
  private:
   /// One device hook this handler is attached through (for detach and

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net/an2_switch.hpp"
+#include "net/nic_offload.hpp"
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
@@ -201,6 +202,10 @@ void An2Device::deliver(int vc_id, std::vector<std::uint8_t> bytes) {
     f.owner = vc.owner;
     f.driver_cycles = config_.rx_driver_work + node_.cost().demux_an2 +
                       config_.rx_cache_flush;
+    // Smart-NIC offload: frames for NIC-resident VCs never reach a host
+    // queue — the processor runs the handler on a device execution unit
+    // (or counts a punt/drop). false means "host path, as usual".
+    if (nic_ != nullptr && nic_->offer(f)) return;
     rxq_->steer(vc_id, vc.owner).enqueue(f);
     return;
   }
@@ -320,6 +325,33 @@ void An2Device::rx_drop(const RxFrame& frame) {
   Vc& v = vcs_[static_cast<std::size_t>(frame.channel)];
   v.free_bufs.push_back(RxDesc{frame.buf_addr, frame.buf_len});
   ++v.drops;
+}
+
+void An2Device::nic_consumed(const RxFrame& frame) {
+  // The handler committed on-device: the board recycles the pinned
+  // receive buffer itself, no host cycles.
+  Vc& v = vcs_[static_cast<std::size_t>(frame.channel)];
+  v.free_bufs.push_back(RxDesc{frame.buf_addr, frame.buf_len});
+}
+
+void An2Device::nic_punt(const RxFrame& frame, const sim::KernelCpu& cpu) {
+  // The NIC handed the frame back: charge the host's normal per-frame
+  // receive pass on the steered queue's CPU, then deliver through the
+  // fallback notification path. The handler is NOT re-run — it already
+  // executed (at most) once on the device.
+  const int vc_id = frame.channel;
+  const sim::Cycles host_pass =
+      cpu.node().cost().interrupt_entry + frame.driver_cycles;
+  cpu.kernel_work(host_pass, [this, vc_id, frame, cpu] {
+    Vc& v = vcs_[static_cast<std::size_t>(vc_id)];
+    if (trace::enabled()) {
+      trace::global().emit(trace::make_event(
+          trace::EventType::UpcallFallback, cpu.cpu_id(), node_.now(),
+          vc_id, static_cast<std::uint32_t>(trace::NicKind::An2)));
+    }
+    v.notify_ring.push_back(RxDesc{frame.addr, frame.len});
+    v.arrival.notify(/*boost=*/true);
+  });
 }
 
 }  // namespace ash::net

@@ -33,6 +33,7 @@
 namespace ash::net {
 
 class An2Switch;
+class NicProcessor;
 
 /// Where a received message landed in the owner's memory.
 struct RxDesc {
@@ -140,10 +141,19 @@ class An2Device : public RxSink {
   void set_rx_queues(RxQueueSet* queues) noexcept { rxq_ = queues; }
   RxQueueSet* rx_queues() const noexcept { return rxq_; }
 
+  /// Put a smart-NIC handler processor in front of the queue set: frames
+  /// for NIC-resident VCs are offered to it at steer time (before the
+  /// host RxQueueSet). Requires set_rx_queues; nullptr restores the pure
+  /// host path. The processor must outlive the device's traffic.
+  void set_nic(NicProcessor* nic) noexcept { nic_ = nic; }
+  NicProcessor* nic() const noexcept { return nic_; }
+
   // RxSink: batch delivery from an RxQueue (kernel context, queue CPU).
   void rx_batch(std::span<const RxFrame> frames,
                 const sim::KernelCpu& cpu) override;
   void rx_drop(const RxFrame& frame) override;
+  void nic_consumed(const RxFrame& frame) override;
+  void nic_punt(const RxFrame& frame, const sim::KernelCpu& cpu) override;
 
   /// Return a consumed buffer to the free ring (its full original length).
   void return_buffer(int vc, std::uint32_t addr, std::uint32_t len);
@@ -197,6 +207,7 @@ class An2Device : public RxSink {
   int switch_port_ = -1;
   std::vector<Vc> vcs_;
   RxQueueSet* rxq_ = nullptr;
+  NicProcessor* nic_ = nullptr;
   sim::Cycles tx_free_at_ = 0;  // link serialization pipeline
   FaultInjector faults_;
 };

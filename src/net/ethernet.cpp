@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "net/nic_offload.hpp"
 #include "sim/kernel.hpp"
 #include "sim/memops.hpp"
 #include "sim/simulator.hpp"
@@ -215,6 +216,9 @@ void EthernetDevice::deliver(std::vector<std::uint8_t> bytes) {
     f.buf_len = len;
     f.owner = ep.owner;
     f.driver_cycles = config_.rx_driver_work + demux_cost;
+    // Smart-NIC offload: frames for NIC-resident endpoints run on a
+    // device execution unit; false means "host path, as usual".
+    if (nic_ != nullptr && nic_->offer(f)) return;
     rxq_->steer(ep_id, ep.owner).enqueue(f);
     return;
   }
@@ -353,6 +357,49 @@ void EthernetDevice::rx_batch(std::span<const RxFrame> frames,
 void EthernetDevice::rx_drop(const RxFrame& frame) {
   release_kernel_buf(frame.buf_addr);
   ++drops_;
+}
+
+void EthernetDevice::nic_consumed(const RxFrame& frame) {
+  // The handler copied the frame out on-device; the scarce kernel buffer
+  // is free again without any host involvement.
+  release_kernel_buf(frame.buf_addr);
+}
+
+void EthernetDevice::nic_punt(const RxFrame& frame,
+                              const sim::KernelCpu& cpu) {
+  // Hand-back from the device: charge the host's per-frame receive pass
+  // on the steered queue's CPU, then take the default copy-out path (the
+  // handler is NOT re-run — it already executed at most once on-device).
+  const int ep_id = frame.channel;
+  const sim::Cycles host_pass =
+      cpu.node().cost().interrupt_entry + frame.driver_cycles;
+  cpu.kernel_work(host_pass, [this, ep_id, frame, cpu] {
+    Endpoint& ep = endpoints_[static_cast<std::size_t>(ep_id)];
+    if (trace::enabled()) {
+      trace::global().emit(trace::make_event(
+          trace::EventType::UpcallFallback, cpu.cpu_id(), node_.now(),
+          ep_id, static_cast<std::uint32_t>(trace::NicKind::Ethernet)));
+    }
+    if (ep.free_bufs.empty() || ep.free_bufs.front().len < frame.len) {
+      drops_ += 1;
+      release_kernel_buf(frame.buf_addr);
+      return;
+    }
+    const RxDesc dst = ep.free_bufs.front();
+    ep.free_bufs.pop_front();
+    const sim::Cycles copy_cycles = sim::memops::copy_destripe(
+        node_, dst.addr, frame.buf_addr, frame.len);
+    cpu.kernel_work(copy_cycles);
+    release_kernel_buf(frame.buf_addr);
+    ep.notify_ring.push_back({dst.addr, frame.len});
+    if (ep.interrupt_mode) {
+      cpu.kernel_work(node_.cost().wakeup, [this, ep_id] {
+        endpoints_[static_cast<std::size_t>(ep_id)].arrival.notify(true);
+      });
+    } else {
+      ep.arrival.notify(/*boost=*/false);
+    }
+  });
 }
 
 }  // namespace ash::net

@@ -115,10 +115,18 @@ class EthernetDevice : public RxSink {
   void set_rx_queues(RxQueueSet* queues) noexcept { rxq_ = queues; }
   RxQueueSet* rx_queues() const noexcept { return rxq_; }
 
+  /// Put a smart-NIC handler processor in front of the queue set (same
+  /// contract as An2Device::set_nic): matched frames for NIC-resident
+  /// endpoints are offered to it at steer time.
+  void set_nic(NicProcessor* nic) noexcept { nic_ = nic; }
+  NicProcessor* nic() const noexcept { return nic_; }
+
   // RxSink: batch delivery from an RxQueue (kernel context, queue CPU).
   void rx_batch(std::span<const RxFrame> frames,
                 const sim::KernelCpu& cpu) override;
   void rx_drop(const RxFrame& frame) override;
+  void nic_consumed(const RxFrame& frame) override;
+  void nic_punt(const RxFrame& frame, const sim::KernelCpu& cpu) override;
   void return_buffer(int endpoint, std::uint32_t addr, std::uint32_t len);
 
   std::uint64_t drops() const noexcept { return drops_; }
@@ -173,6 +181,7 @@ class EthernetDevice : public RxSink {
   std::vector<Endpoint> endpoints_;
   std::vector<KernelBuf> kernel_bufs_;
   RxQueueSet* rxq_ = nullptr;
+  NicProcessor* nic_ = nullptr;
   std::unique_ptr<dpf::Engine> demux_;
   sim::Cycles tx_free_at_ = 0;
   std::uint64_t drops_ = 0;

@@ -80,6 +80,24 @@ class RxSink {
                         const sim::KernelCpu& cpu) = 0;
   /// Reclaim a frame the queue dropped before dispatch (overflow).
   virtual void rx_drop(const RxFrame& frame) = 0;
+
+  // ---- smart-NIC offload (net::NicProcessor) ----
+  //
+  // Default no-ops so sinks that never offload (tests' FakeSinks) need
+  // not care. A device that hands frames to a NicProcessor overrides
+  // both.
+
+  /// The NIC committed `frame` entirely on-device: recycle its receive
+  /// buffer. Charges nothing — the device owns buffer bookkeeping.
+  virtual void nic_consumed(const RxFrame& frame) { (void)frame; }
+  /// The NIC punted `frame`: complete it on the host path, charging the
+  /// host-side receive pass on `cpu` (the steered queue's CPU). The
+  /// handler must NOT run again — it already executed (at most) once on
+  /// the device; this is fallback-ring delivery only.
+  virtual void nic_punt(const RxFrame& frame, const sim::KernelCpu& cpu) {
+    (void)frame;
+    (void)cpu;
+  }
 };
 
 /// Why an RxQueue dropped a frame before dispatch (RxDrop arg1; keep in

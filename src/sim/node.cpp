@@ -36,6 +36,11 @@ Cpu& Node::add_rx_cpu() {
   return *rx_cpus_.back();
 }
 
+Cpu& Node::add_nic_unit() {
+  nic_units_.push_back(std::make_unique<Cpu>(*this, sim_.alloc_cpu_id()));
+  return *nic_units_.back();
+}
+
 Cycles Node::kernel_work(Cycles cycles, EventFn done) {
   const Cycles start = now() > cpu_free_at() ? now() : cpu_free_at();
   busy_until_ = start + cycles;

@@ -88,6 +88,18 @@ class Node {
   std::size_t rx_cpu_count() const noexcept { return rx_cpus_.size(); }
   Cpu& rx_cpu(std::size_t i) noexcept { return *rx_cpus_[i]; }
 
+  // ---- NIC handler execution units ----
+  //
+  // Smart-NIC offload (net::NicProcessor) runs ASHs on device-resident
+  // execution units. They reuse the auxiliary-Cpu machinery — own
+  // busy_until accounting on the shared event queue, a simulator-wide
+  // dense cpu id for trace attribution — but are tracked separately so
+  // host-CPU statistics never mix with device cycles.
+
+  Cpu& add_nic_unit();
+  std::size_t nic_unit_count() const noexcept { return nic_units_.size(); }
+  Cpu& nic_unit(std::size_t i) noexcept { return *nic_units_[i]; }
+
  private:
   Simulator& sim_;
   std::string name_;
@@ -97,6 +109,7 @@ class Node {
   std::vector<std::uint8_t> memory_;
   std::unique_ptr<Kernel> kernel_;
   std::vector<std::unique_ptr<Cpu>> rx_cpus_;
+  std::vector<std::unique_ptr<Cpu>> nic_units_;
   Cycles busy_until_ = 0;
   Cycles chunk_end_ = 0;
   Cycles kernel_cycles_ = 0;

@@ -36,6 +36,12 @@ const char* fire_reason_name(std::uint32_t r) {
   return r < 4 ? kNames[r] : "?";
 }
 
+/// Mirrors net::PuntReason (same layering constraint).
+const char* punt_reason_name(std::uint32_t r) {
+  static const char* kNames[] = {"not-resident", "host-service", "fault"};
+  return r < 3 ? kNames[r] : "?";
+}
+
 void append_event_body(std::string& out, const Event& ev) {
   switch (ev.type) {
     case EventType::FrameArrival:
@@ -98,6 +104,14 @@ void append_event_body(std::string& out, const Event& ev) {
       appendf(out, "queue=%d owner=%u ch=%" PRIu64 " reason=%s", ev.id,
               ev.arg0, ev.insns, ev.arg1 == 0 ? "overflow" : "tenant-quota");
       break;
+    case EventType::NicExec:
+      appendf(out, "queue=%d ch=%u unit=%u charge=%" PRIu64 " cyc", ev.id,
+              ev.arg0, ev.arg1, ev.cycles);
+      break;
+    case EventType::OffloadPunt:
+      appendf(out, "queue=%d ch=%u reason=%s", ev.id, ev.arg1,
+              punt_reason_name(ev.arg0));
+      break;
   }
 }
 
@@ -143,7 +157,7 @@ bool chan_slot_active(const ChannelMetrics& c) {
 }
 
 bool queue_slot_active(const QueueMetrics& q) {
-  return q.frames || q.batches || q.drops;
+  return q.frames || q.batches || q.drops || q.nic_executed || q.punts;
 }
 
 }  // namespace
@@ -351,6 +365,16 @@ std::string format_queues(const Tracer& t) {
               " tenant-quota=%" PRIu64 "\n",
               q.drops, q.by_drop_reason[0], q.by_drop_reason[1]);
     }
+    // Appended for the smart-NIC offload PR; omitted when zero so
+    // pre-offload golden output is byte-identical.
+    if (q.nic_executed != 0 || q.punts != 0) {
+      appendf(out,
+              "    offload: nic-exec=%" PRIu64 " nic=%" PRIu64
+              " cyc punts=%" PRIu64 " (not-resident=%" PRIu64
+              " host-service=%" PRIu64 " fault=%" PRIu64 ")\n",
+              q.nic_executed, q.nic_cycles, q.punts, q.by_punt_reason[0],
+              q.by_punt_reason[1], q.by_punt_reason[2]);
+    }
     if (q.batch_frames.count() != 0) {
       append_count_histogram(out, "batch", q.batch_frames);
     }
@@ -398,6 +422,17 @@ std::string queues_json(const Tracer& t) {
               ",\"drops\":{\"total\":%" PRIu64 ",\"overflow\":%" PRIu64
               ",\"tenant_quota\":%" PRIu64 "}",
               q.drops, q.by_drop_reason[0], q.by_drop_reason[1]);
+    }
+    // Appended for the smart-NIC offload PR; omitted when zero so
+    // pre-offload golden output is byte-identical.
+    if (q.nic_executed != 0 || q.punts != 0) {
+      appendf(out,
+              ",\"offload\":{\"nic_executed\":%" PRIu64
+              ",\"nic_cyc\":%" PRIu64 ",\"punts\":%" PRIu64
+              ",\"not_resident\":%" PRIu64 ",\"host_service\":%" PRIu64
+              ",\"fault\":%" PRIu64 "}",
+              q.nic_executed, q.nic_cycles, q.punts, q.by_punt_reason[0],
+              q.by_punt_reason[1], q.by_punt_reason[2]);
     }
     out += "}";
     first = false;

@@ -117,6 +117,12 @@ struct QueueMetrics {
   std::uint64_t charged_cycles = 0;  // summed entry+driver batch charges
   std::uint64_t drops = 0;        // RxDrop events
   std::array<std::uint64_t, 2> by_drop_reason{};  // by net::RxDropReason
+  // Smart-NIC offload (zero when the queue has no NicProcessor in front,
+  // which keeps pre-offload report output byte-identical):
+  std::uint64_t nic_executed = 0;  // NicExec events (committed on-device)
+  std::uint64_t nic_cycles = 0;    // summed device cycles of those runs
+  std::uint64_t punts = 0;         // OffloadPunt events
+  std::array<std::uint64_t, 4> by_punt_reason{};  // by net::PuntReason
 };
 
 /// Per-engine execution totals (interp vs translated form) — the

@@ -25,6 +25,8 @@ const char* to_string(EventType t) noexcept {
     case EventType::CoalesceFire: return "CoalesceFire";
     case EventType::BatchDispatch: return "BatchDispatch";
     case EventType::RxDrop: return "RxDrop";
+    case EventType::NicExec: return "NicExec";
+    case EventType::OffloadPunt: return "OffloadPunt";
   }
   return "?";
 }
@@ -296,6 +298,18 @@ void Tracer::aggregate(const Event& ev) {
       QueueMetrics& q = queue_slot(ev.id);
       ++q.drops;
       if (ev.arg1 < q.by_drop_reason.size()) ++q.by_drop_reason[ev.arg1];
+      break;
+    }
+    case EventType::NicExec: {
+      QueueMetrics& q = queue_slot(ev.id);
+      ++q.nic_executed;
+      q.nic_cycles += ev.cycles;
+      break;
+    }
+    case EventType::OffloadPunt: {
+      QueueMetrics& q = queue_slot(ev.id);
+      ++q.punts;
+      if (ev.arg0 < q.by_punt_reason.size()) ++q.by_punt_reason[ev.arg0];
       break;
     }
   }

@@ -76,9 +76,13 @@ enum class EventType : std::uint8_t {
   // Multi-tenant isolation (appended; older numeric ids stay stable):
   RxDrop,           // id=rx queue, arg0=owner pid (0 unowned),
                     //   arg1=net::RxDropReason, insns=channel
+  // Smart-NIC offload (appended; older numeric ids stay stable):
+  NicExec,          // id=rx queue, arg0=channel, arg1=unit index,
+                    //   cycles=device cycles charged for the run
+  OffloadPunt,      // id=rx queue, arg0=net::PuntReason, arg1=channel
 };
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::RxDrop) + 1;
+    static_cast<std::size_t>(EventType::OffloadPunt) + 1;
 const char* to_string(EventType t) noexcept;
 
 /// Which engine produced a VcodeExec event.

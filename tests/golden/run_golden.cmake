@@ -12,7 +12,7 @@
 #   cmake -DASHTOOL=<path> -DMODE=<mode> -DGOLDEN=<file> -DWORK_DIR=<dir>
 #         [-DRECORD=1] -P run_golden.cmake
 # Modes: status trace trace-json trace-chrome metrics metrics-json
-#        queues queues-json dump-translated
+#        queues queues-json offload offload-json dump-translated
 # RECORD=1 rewrites the golden instead of comparing (for intentional
 # output changes; review the diff).
 
@@ -52,6 +52,10 @@ elseif(MODE STREQUAL "queues")
   set(cmd queues ${image} 44)
 elseif(MODE STREQUAL "queues-json")
   set(cmd queues ${image} 44 --json)
+elseif(MODE STREQUAL "offload")
+  set(cmd offload ${image} 44)
+elseif(MODE STREQUAL "offload-json")
+  set(cmd offload ${image} 44 --json)
 elseif(MODE STREQUAL "dump-translated")
   # Both translated forms of the sandboxed image: the threaded codecache
   # listing and the superblock JIT CFG + emitted-form listing.

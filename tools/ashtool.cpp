@@ -42,6 +42,17 @@
 //                                         batch-size / fire-reason tables
 //                                         and the batched-dispatch
 //                                         aggregates
+//   ashtool offload <file> [msgs] [--json]
+//                                         the `queues` scenario with a
+//                                         smart-NIC processor in front of
+//                                         the receive set, its memory
+//                                         window sized so exactly two of
+//                                         the four VC attachments are
+//                                         NIC-resident; print the queue
+//                                         tables with their offload
+//                                         columns plus the device summary
+//                                         (per-queue exec / punt taxonomy
+//                                         / reply counts)
 //   ashtool tenants <file> [msgs] [--json]
 //                                         download the image for three
 //                                         tenants (DRR weights 1/2/4)
@@ -59,6 +70,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -92,6 +104,7 @@ int usage() {
                "       ashtool trace <file> [msgs] [--json|--chrome]\n"
                "       ashtool metrics <file> [msgs] [--json]\n"
                "       ashtool queues <file> [msgs] [--json]\n"
+               "       ashtool offload <file> [msgs] [--json]\n"
                "       ashtool tenants <file> [msgs] [--json]\n");
   return 2;
 }
@@ -331,7 +344,8 @@ int cmd_metrics(const std::string& file, int msgs, const std::string& mode) {
 // short bursts leave partial batches for the max-delay (Timer) fire —
 // so every fire reason and the batched-dispatch path are all visible in
 // one deterministic run.
-int cmd_queues(const std::string& file, int msgs, const std::string& mode) {
+int cmd_queues(const std::string& file, int msgs, const std::string& mode,
+               bool offload) {
   const auto bytes = read_file(file);
   const auto prog = Program::deserialize(bytes);
   if (!prog.has_value()) {
@@ -340,7 +354,9 @@ int cmd_queues(const std::string& file, int msgs, const std::string& mode) {
   }
   ash::trace::set_outcome_namer(&name_outcome);
   ash::trace::TracerConfig tcfg;
-  tcfg.max_cpus = 8;  // the queue set adds auxiliary rx CPUs
+  // The queue set adds auxiliary rx CPUs; the NIC processor adds one
+  // virtual CPU per device execution unit on top.
+  tcfg.max_cpus = offload ? 16 : 8;
   ash::trace::Session session(tcfg);
 
   ash::sim::Simulator sim;
@@ -361,6 +377,15 @@ int cmd_queues(const std::string& file, int msgs, const std::string& mode) {
   ash::net::RxQueueSet queues(server, qc);
   dev_s.set_rx_queues(&queues);
 
+  // Offload variant: a window holding exactly two installed copies of
+  // this image (the post-download, sandboxed form — only the kernel
+  // knows its real footprint), so attachments 0 and 1 become
+  // NIC-resident while 2 and 3 stay host-resident — both the on-device
+  // execution columns and the counted NotResident punt path show up in
+  // one run. The processor is built at time zero, well before the
+  // sender's first frame at 100 us.
+  std::unique_ptr<ash::net::NicProcessor> nic;
+
   constexpr int kVcs = 4;
   int id = -1;
   std::string error;
@@ -368,6 +393,12 @@ int cmd_queues(const std::string& file, int msgs, const std::string& mode) {
       "owner", [&](ash::sim::Process& self) -> ash::sim::Task {
         id = ashsys.download(self, *prog, {}, &error);
         if (id < 0) co_return;
+        if (offload) {
+          ash::net::NicConfig nc;
+          nc.mem_window_bytes = 2 * ashsys.nic_footprint(id);
+          nic = std::make_unique<ash::net::NicProcessor>(server, queues, nc);
+          dev_s.set_nic(nic.get());
+        }
         const std::uint32_t scratch = self.segment().base + 0x100;
         for (int v = 0; v < kVcs; ++v) {
           const int vc = dev_s.bind_vc(self);
@@ -378,7 +409,11 @@ int cmd_queues(const std::string& file, int msgs, const std::string& mode) {
                     64u * static_cast<std::uint32_t>(v * 32 + i),
                 64);
           }
-          ashsys.attach_an2(dev_s, vc, id, scratch);
+          if (offload) {
+            ashsys.offload_an2(dev_s, vc, id, scratch);
+          } else {
+            ashsys.attach_an2(dev_s, vc, id, scratch);
+          }
         }
         co_await self.sleep_for(ash::sim::us(1e6));
       });
@@ -410,11 +445,20 @@ int cmd_queues(const std::string& file, int msgs, const std::string& mode) {
     return 1;
   }
   if (mode == "--json") {
-    std::printf("%s\n",
-                ash::trace::queues_json(ash::trace::global()).c_str());
+    if (nic != nullptr) {
+      std::printf("{\"queues\":%s,\"nic\":%s}\n",
+                  ash::trace::queues_json(ash::trace::global()).c_str(),
+                  nic->summary_json().c_str());
+    } else {
+      std::printf("%s\n",
+                  ash::trace::queues_json(ash::trace::global()).c_str());
+    }
   } else {
     std::fputs(ash::trace::format_queues(ash::trace::global()).c_str(),
                stdout);
+    if (nic != nullptr) {
+      std::printf("\n%s", nic->format_summary().c_str());
+    }
   }
   return 0;
 }
@@ -535,7 +579,7 @@ int main(int argc, char** argv) {
     if (msgs <= 0) return usage();
     return cmd_status(argv[2], msgs);
   }
-  if (cmd == "queues" && argc >= 3 && argc <= 5) {
+  if ((cmd == "queues" || cmd == "offload") && argc >= 3 && argc <= 5) {
     int msgs = 44;  // two long+short burst cycles (see cmd_queues)
     std::string mode;
     for (int i = 3; i < argc; ++i) {
@@ -547,7 +591,7 @@ int main(int argc, char** argv) {
       }
     }
     if (msgs <= 0 || !(mode.empty() || mode == "--json")) return usage();
-    return cmd_queues(argv[2], msgs, mode);
+    return cmd_queues(argv[2], msgs, mode, /*offload=*/cmd == "offload");
   }
   if (cmd == "tenants" && argc >= 3 && argc <= 5) {
     int msgs = 40;  // four 1 ms quota rounds at 100 us pacing
