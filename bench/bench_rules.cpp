@@ -1,0 +1,454 @@
+// bench_rules — compiled declarative rules vs hand-written ASHs.
+//
+// Four rule-built scenarios (the ashc::scenarios quartet: L4 load
+// balancer, KV request handler, telemetry sampler, firewall) each run
+// twice over the same deterministic workload: once as ashc::compile()d
+// rules through download_rules(), once as a hand-written VCODE twin a
+// careful ASH author would produce. The harness asserts the two legs are
+// byte-identical (decisions, send bytes, final state) — the twin IS the
+// rule set, written by hand — and then compares simulated cycles per
+// message.
+//
+// The acceptance gate (--smoke, registered as a ctest): compiled rules
+// must reach >= 80% of the hand-written throughput on every scenario,
+// i.e. rules_cycles <= hand_cycles / 0.8. The DPF-style preload
+// coalescing in the compiler is what keeps this true.
+//
+// Flags: --smoke   run the gate and exit nonzero on a miss
+//        --json    emit the BENCH_rules.json shape on stdout
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ashc/compile.hpp"
+#include "ashc/rule.hpp"
+#include "ashc/scenarios.hpp"
+#include "bench_util.hpp"
+#include "core/ash.hpp"
+#include "util/byteorder.hpp"
+#include "vcode/builder.hpp"
+
+namespace ash::bench {
+namespace {
+
+using sim::Process;
+using sim::Simulator;
+using sim::Task;
+using sim::us;
+using vcode::Builder;
+using vcode::kRegArg0;
+using vcode::kRegArg1;
+using vcode::kRegArg2;
+using vcode::kRegArg3;
+using vcode::kRegZero;
+using vcode::Reg;
+
+// ------------------------------------------------- hand-written twins
+//
+// Each twin implements its scenario's RuleSet exactly (same decisions,
+// same sends, same state writes) the way a hand author would: one
+// t_msgload per header word, short-circuit branches, state arithmetic
+// against r3, reply templates sent from state.
+
+vcode::Program hand_lb() {
+  Builder b;
+  const Reg p = b.reg(), t = b.reg(), c = b.reg();
+  vcode::Label deliver = b.label(), s1 = b.label(), s2 = b.label(),
+               s3 = b.label();
+  b.movi(t, 40);
+  b.bltu(kRegArg1, t, deliver);
+  b.t_msgload(p, kRegZero, 36);
+  b.bswap16(p, p);
+  b.movi(t, 8000);
+  b.bltu(p, t, deliver);
+  b.movi(t, 8100);
+  b.bltu(p, t, s1);
+  b.movi(t, 8200);
+  b.bltu(p, t, s2);
+  b.movi(t, 8300);
+  b.bltu(p, t, s3);
+  b.jmp(deliver);
+  b.bind(s1);
+  b.movi(c, 1);
+  b.t_send(c, kRegArg0, kRegArg1);
+  b.halt();
+  b.bind(s2);
+  b.movi(c, 2);
+  b.t_send(c, kRegArg0, kRegArg1);
+  b.halt();
+  b.bind(s3);
+  b.movi(c, 3);
+  b.t_send(c, kRegArg0, kRegArg1);
+  b.halt();
+  b.bind(deliver);
+  b.abort(0);
+  return b.take();
+}
+
+vcode::Program hand_kv() {
+  Builder b;
+  const Reg w0 = b.reg(), w4 = b.reg(), op = b.reg(), t = b.reg(),
+            v = b.reg(), a = b.reg(), l = b.reg();
+  vcode::Label try_put = b.label(), deliver = b.label();
+  b.t_msgload(w0, kRegZero, 0);
+  b.bswap32(op, w0);
+  b.movi(v, 1);
+  b.bne(op, v, try_put);
+  b.movi(v, 12);
+  b.bltu(kRegArg1, v, deliver);  // op==1, so no later rule can match
+  // GET: count, splice key + cached value into the template, reply.
+  b.lw(v, kRegArg2, 0);
+  b.addiu(v, v, 1);
+  b.sw(v, kRegArg2, 0);
+  b.t_msgload(w4, kRegZero, 4);
+  b.sb(w4, kRegArg2, 20);
+  b.srli(t, w4, 8);
+  b.sb(t, kRegArg2, 21);
+  b.srli(t, w4, 16);
+  b.sb(t, kRegArg2, 22);
+  b.srli(t, w4, 24);
+  b.sb(t, kRegArg2, 23);
+  b.lbu(t, kRegArg2, 8);
+  b.sb(t, kRegArg2, 24);
+  b.lbu(t, kRegArg2, 9);
+  b.sb(t, kRegArg2, 25);
+  b.lbu(t, kRegArg2, 10);
+  b.sb(t, kRegArg2, 26);
+  b.lbu(t, kRegArg2, 11);
+  b.sb(t, kRegArg2, 27);
+  b.addiu(a, kRegArg2, 16);
+  b.movi(l, 12);
+  b.t_send(kRegArg3, a, l);
+  b.halt();
+  b.bind(try_put);
+  b.movi(v, 2);
+  b.bne(op, v, deliver);
+  b.movi(v, 12);
+  b.bltu(kRegArg1, v, deliver);
+  // PUT: count, cache the value bytes.
+  b.lw(v, kRegArg2, 4);
+  b.addiu(v, v, 1);
+  b.sw(v, kRegArg2, 4);
+  b.addiu(a, kRegArg2, 8);
+  b.addiu(t, kRegArg0, 8);
+  b.movi(l, 4);
+  b.t_usercopy(a, t, l);
+  b.halt();
+  b.bind(deliver);
+  b.abort(0);
+  return b.take();
+}
+
+vcode::Program hand_sampler() {
+  Builder b;
+  const Reg w0 = b.reg(), w = b.reg(), t = b.reg(), v = b.reg(),
+            acc = b.reg(), a = b.reg(), l = b.reg();
+  vcode::Label done = b.label(), deliver = b.label();
+  b.t_msgload(w0, kRegZero, 0);
+  b.bswap16(t, w0);
+  b.movi(v, 0x5454);
+  b.bne(t, v, deliver);
+  b.lw(v, kRegArg2, 0);
+  b.addiu(v, v, 1);
+  b.sw(v, kRegArg2, 0);
+  // Digest: ones'-complement accumulate of message words 0..12.
+  b.movi(acc, 0);
+  b.cksum32(acc, w0);
+  b.t_msgload(w, kRegZero, 4);
+  b.cksum32(acc, w);
+  b.t_msgload(w, kRegZero, 8);
+  b.cksum32(acc, w);
+  b.t_msgload(w, kRegZero, 12);
+  b.cksum32(acc, w);
+  b.sw(acc, kRegArg2, 4);
+  // 1-in-8 sample gate; off-modulus frames still commit.
+  b.lw(v, kRegArg2, 8);
+  b.addiu(v, v, 1);
+  b.sw(v, kRegArg2, 8);
+  b.movi(t, 8);
+  b.remu(v, v, t);
+  b.bne(v, kRegZero, done);
+  // Splice the digest into the template and reply.
+  b.lbu(t, kRegArg2, 4);
+  b.sb(t, kRegArg2, 20);
+  b.lbu(t, kRegArg2, 5);
+  b.sb(t, kRegArg2, 21);
+  b.lbu(t, kRegArg2, 6);
+  b.sb(t, kRegArg2, 22);
+  b.lbu(t, kRegArg2, 7);
+  b.sb(t, kRegArg2, 23);
+  b.addiu(a, kRegArg2, 16);
+  b.movi(l, 8);
+  b.t_send(kRegArg3, a, l);
+  b.bind(done);
+  b.halt();
+  b.bind(deliver);
+  b.abort(0);
+  return b.take();
+}
+
+vcode::Program hand_firewall() {
+  Builder b;
+  const Reg p = b.reg(), q = b.reg(), t = b.reg(), v = b.reg();
+  vcode::Label udp = b.label(), runt = b.label(), rest = b.label(),
+               deliver = b.label();
+  b.t_msgload(p, kRegZero, 23);
+  b.andi(p, p, 0xff);
+  b.t_msgload(q, kRegZero, 36);
+  b.bswap16(q, q);
+  // tcp-http: proto 6, port 80 or 443 -> deliver
+  b.movi(t, 6);
+  b.bne(p, t, udp);
+  b.movi(t, 80);
+  b.beq(q, t, deliver);
+  b.movi(t, 443);
+  b.beq(q, t, deliver);
+  b.bind(udp);  // udp-media: proto 17, port 5000..5100 -> deliver
+  b.movi(t, 17);
+  b.bne(p, t, runt);
+  b.movi(t, 5000);
+  b.bltu(q, t, runt);
+  b.movi(t, 5101);
+  b.bltu(q, t, deliver);
+  b.bind(runt);  // len < 20: counted silent drop
+  b.movi(t, 20);
+  b.bgeu(kRegArg1, t, rest);
+  b.lw(v, kRegArg2, 0);
+  b.addiu(v, v, 1);
+  b.sw(v, kRegArg2, 0);
+  b.halt();
+  b.bind(rest);  // counted policy drop
+  b.lw(v, kRegArg2, 4);
+  b.addiu(v, v, 1);
+  b.sw(v, kRegArg2, 4);
+  b.halt();
+  b.bind(deliver);
+  b.abort(0);
+  return b.take();
+}
+
+vcode::Program hand_twin(const std::string& name) {
+  if (name == "lb") return hand_lb();
+  if (name == "kv") return hand_kv();
+  if (name == "sampler") return hand_sampler();
+  return hand_firewall();
+}
+
+// ------------------------------------------------------- the workload
+
+/// A deterministic per-scenario workload: demo-frame shapes with varied
+/// header values, so every rule (and every miss path) fires many times.
+std::vector<std::vector<std::uint8_t>> workload(const std::string& name,
+                                                std::size_t n) {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (name == "lb") {
+      const std::size_t len = i % 7 == 6 ? 38 : 64;
+      std::vector<std::uint8_t> f(len, 0);
+      util::store_be16(f.data() + 36,
+                       static_cast<std::uint16_t>(7900 + (i * 37) % 500));
+      out.push_back(std::move(f));
+    } else if (name == "kv") {
+      std::vector<std::uint8_t> f(12, 0);
+      const std::uint32_t op = i % 3 == 0 ? 2 : i % 3 == 1 ? 1 : 7;
+      util::store_be32(f.data() + 0, op);
+      util::store_be32(f.data() + 4, 0xabcd0000u + static_cast<std::uint32_t>(i));
+      util::store_be32(f.data() + 8, 0x11220000u + static_cast<std::uint32_t>(i));
+      out.push_back(std::move(f));
+    } else if (name == "sampler") {
+      std::vector<std::uint8_t> f(32, 0);
+      util::store_be16(f.data(), i % 5 == 4 ? 0x1111 : 0x5454);
+      f[4] = static_cast<std::uint8_t>(i);
+      f[9] = static_cast<std::uint8_t>(i * 3);
+      out.push_back(std::move(f));
+    } else {  // firewall
+      const std::size_t len = i % 6 == 5 ? 8 : 64;
+      std::vector<std::uint8_t> f(len, 0);
+      if (len >= 40) {
+        const std::uint8_t protos[] = {6, 17, 1};
+        f[23] = protos[i % 3];
+        const std::uint16_t ports[] = {80, 443, 22, 5050, 5200};
+        util::store_be16(f.data() + 36, ports[i % 5]);
+      }
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- one leg
+
+struct LegOut {
+  bool ok = false;
+  std::string error;
+  std::vector<char> consumed;
+  std::vector<std::vector<std::pair<int, std::vector<std::uint8_t>>>> sends;
+  std::vector<std::uint8_t> state;
+  double cycles_per_msg = 0.0;
+};
+
+LegOut run_leg(const ashc::RuleSet& rs, bool use_rules,
+               const std::vector<std::vector<std::uint8_t>>& frames) {
+  Simulator sim;
+  sim::Node& n = sim.add_node("n");
+  core::AshSystem ash(n);
+
+  LegOut out;
+  out.consumed.assign(frames.size(), 0);
+  out.sends.resize(frames.size());
+
+  std::uint32_t state_addr = 0, frame_addr = 0;
+  int id = -1;
+  n.kernel().spawn("owner", [&](Process& self) -> Task {
+    state_addr = self.segment().base + 0x1000;
+    frame_addr = self.segment().base + 0x8000;
+    if (use_rules) {
+      id = ash.download_rules(self, rs, state_addr, {}, &out.error);
+    } else {
+      id = ash.download(self, hand_twin(rs.name), {}, &out.error);
+      if (id >= 0) {
+        const auto image = ashc::init_state(rs);
+        std::memcpy(n.mem(state_addr, rs.limits.state_bytes), image.data(),
+                    image.size());
+      }
+    }
+    out.ok = id >= 0;
+    co_await self.sleep_for(us(1e6));
+  });
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    sim.queue().schedule_at(us(100.0 + 20.0 * static_cast<double>(i)),
+                            [&, i] {
+      if (id < 0) return;
+      const auto& f = frames[i];
+      std::memcpy(n.mem(frame_addr, static_cast<std::uint32_t>(f.size())),
+                  f.data(), f.size());
+      core::MsgContext m;
+      m.addr = frame_addr;
+      m.len = static_cast<std::uint32_t>(f.size());
+      m.channel = 4;
+      m.user_arg = state_addr;
+      out.consumed[i] =
+          ash.invoke(id, m,
+                     [&out, i](int ch, std::span<const std::uint8_t> bs) {
+                       out.sends[i].emplace_back(
+                           ch,
+                           std::vector<std::uint8_t>(bs.begin(), bs.end()));
+                       return true;
+                     },
+                     0)
+              ? 1
+              : 0;
+    });
+  }
+  sim.run(us(1e9));
+  if (id >= 0) {
+    const std::uint8_t* p = n.mem(state_addr, rs.limits.state_bytes);
+    out.state.assign(p, p + rs.limits.state_bytes);
+    out.cycles_per_msg = static_cast<double>(ash.stats(id).cycles) /
+                         static_cast<double>(frames.size());
+  }
+  return out;
+}
+
+struct ScenarioResult {
+  double rules_cpm = 0.0;
+  double hand_cpm = 0.0;
+  double ratio = 0.0;  // hand/rules = rules throughput vs hand (1.0 = parity)
+  bool identical = false;
+};
+
+ScenarioResult run_scenario(const std::string& name, std::size_t msgs) {
+  const ashc::RuleSet rs = ashc::scenario(name);
+  const auto frames = workload(name, msgs);
+  const LegOut rules = run_leg(rs, true, frames);
+  const LegOut hand = run_leg(rs, false, frames);
+  ScenarioResult r;
+  if (!rules.ok || !hand.ok) {
+    std::fprintf(stderr, "bench_rules: %s download failed: %s%s\n",
+                 name.c_str(), rules.error.c_str(), hand.error.c_str());
+    return r;
+  }
+  r.identical = rules.consumed == hand.consumed &&
+                rules.sends == hand.sends && rules.state == hand.state;
+  r.rules_cpm = rules.cycles_per_msg;
+  r.hand_cpm = hand.cycles_per_msg;
+  r.ratio = r.rules_cpm > 0 ? r.hand_cpm / r.rules_cpm : 0.0;
+  return r;
+}
+
+}  // namespace
+}  // namespace ash::bench
+
+int main(int argc, char** argv) {
+  using namespace ash::bench;
+  bool smoke = false, json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  const std::size_t msgs = smoke ? 200 : 400;
+
+  std::map<std::string, ScenarioResult> results;
+  bool all_identical = true, gate_ok = true;
+  for (const std::string& name : ash::ashc::scenario_names()) {
+    const ScenarioResult r = run_scenario(name, msgs);
+    results[name] = r;
+    all_identical = all_identical && r.identical;
+    gate_ok = gate_ok && r.ratio >= 0.8;
+  }
+
+  if (smoke) {
+    for (const auto& [name, r] : results) {
+      std::printf("bench_rules --smoke: %-9s rules=%.1f hand=%.1f cyc/msg "
+                  "(%.0f%% of hand throughput)%s\n",
+                  name.c_str(), r.rules_cpm, r.hand_cpm, 100.0 * r.ratio,
+                  r.identical ? "" : "  OUTPUT MISMATCH");
+    }
+    if (!all_identical) {
+      std::printf("FAIL: compiled rules and hand-written twin diverged\n");
+      return 1;
+    }
+    if (!gate_ok) {
+      std::printf("FAIL: a scenario fell below 80%% of hand-written "
+                  "throughput\n");
+      return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+  }
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"rules\",\n  \"unit\": \"cycles/msg\",\n"
+                "  \"messages\": %zu,\n  \"scenarios\": {\n",
+                msgs);
+    bool first = true;
+    for (const auto& [name, r] : results) {
+      std::printf("%s    \"%s\": {\"rules\": %.1f, \"hand\": %.1f, "
+                  "\"throughput_vs_hand\": %.3f, \"identical\": %s}",
+                  first ? "" : ",\n", name.c_str(), r.rules_cpm, r.hand_cpm,
+                  r.ratio, r.identical ? "true" : "false");
+      first = false;
+    }
+    std::printf("\n  }\n}\n");
+    return all_identical && gate_ok ? 0 : 1;
+  }
+
+  std::vector<Row> rows;
+  for (const auto& [name, r] : results) {
+    rows.push_back({name + " (compiled rules)", r.rules_cpm, -1,
+                    "cyc/msg"});
+    rows.push_back({name + " (hand-written ASH)", r.hand_cpm, -1,
+                    "cyc/msg"});
+    rows.push_back({name + " throughput vs hand", r.ratio, -1,
+                    std::string("x") +
+                        (r.identical ? "" : "  OUTPUT MISMATCH")});
+  }
+  print_table("rules", "declarative rules vs hand-written ASHs", rows);
+  std::printf("\ngate: every scenario >= 0.80x hand throughput, outputs "
+              "byte-identical: %s\n",
+              all_identical && gate_ok ? "OK" : "FAILED");
+  return all_identical && gate_ok ? 0 : 1;
+}

@@ -1,0 +1,557 @@
+#include "ashc/compile.hpp"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "vcode/builder.hpp"
+
+namespace ash::ashc {
+namespace {
+
+using vcode::Builder;
+using vcode::Label;
+using vcode::Reg;
+
+/// A hoisted normalized header field: the host-order (byte-swapped /
+/// masked-to-width) value of a `(offset, width)` field, computed once in
+/// the entry block when two or more sites consume it.
+struct Norm {
+  std::uint32_t offset = 0;
+  std::uint8_t width = 0;
+  int uses = 0;
+  Reg reg = 0;
+};
+
+struct Ctx {
+  const RuleSet& rs;
+  Builder b;
+  std::string error;
+
+  // The argument registers as seen by rule bodies. len/state/chan are the
+  // live r2..r4 (nothing compiled here ever writes them); msg is r1
+  // itself unless some rule reads the message after a TSend/TUserCopy
+  // clobbered r1, in which case it is an entry snapshot.
+  Reg msg = 0, len = 0, state = 0, chan = 0;
+  // Scratch registers, reused across every atom/action.
+  Reg rv = 0, rt = 0, rw = 0, rw2 = 0;
+  // Preloaded raw header words: message byte offset -> register.
+  std::vector<std::pair<std::uint32_t, Reg>> words;
+  // Normalized field values hoisted into the entry block.
+  std::vector<Norm> norms;
+
+  explicit Ctx(const RuleSet& r) : rs(r) {}
+
+  bool fail(const std::string& msg_text) {
+    if (error.empty()) error = msg_text;
+    return false;
+  }
+
+  Reg word_reg(std::uint32_t offset) const {
+    for (const auto& [off, reg] : words) {
+      if (off == offset) return reg;
+    }
+    return 0;  // collect_offsets guarantees this cannot happen
+  }
+
+  Reg norm_reg(const Field& f) const {
+    for (const Norm& n : norms) {
+      if (n.offset == f.offset && n.width == f.width && n.reg != 0) {
+        return n.reg;
+      }
+    }
+    return 0;
+  }
+
+  void note_norm(const Field& f) {
+    for (Norm& n : norms) {
+      if (n.offset == f.offset && n.width == f.width) {
+        ++n.uses;
+        return;
+      }
+    }
+    norms.push_back({f.offset, f.width, 1, Reg{0}});
+  }
+};
+
+bool valid_width(std::uint8_t w) { return w == 1 || w == 2 || w == 4; }
+
+bool note_offset(Ctx& cx, std::uint32_t offset) {
+  for (const auto& [off, reg] : cx.words) {
+    (void)reg;
+    if (off == offset) return true;
+  }
+  if (cx.words.size() >= kMaxDistinctFields) {
+    return cx.fail("rule set reads more than " +
+                   std::to_string(kMaxDistinctFields) +
+                   " distinct header words");
+  }
+  cx.words.emplace_back(offset, Reg{0});
+  return true;
+}
+
+bool collect_pred(Ctx& cx, const Pred& p) {
+  switch (p.op) {
+    case Pred::Op::Atom:
+      if (p.atom.kind != Match::Kind::Field) return true;
+      if (!valid_width(p.atom.field.width)) {
+        return cx.fail("match field width must be 1, 2, or 4");
+      }
+      cx.note_norm(p.atom.field);
+      return note_offset(cx, p.atom.field.offset);
+    case Pred::Op::And:
+    case Pred::Op::Or:
+      for (const Pred& k : p.kids) {
+        if (!collect_pred(cx, k)) return false;
+      }
+      return true;
+  }
+  return true;
+}
+
+bool collect_offsets(Ctx& cx) {
+  for (const Rule& r : cx.rs.rules) {
+    if (!collect_pred(cx, r.pred)) return false;
+    for (const Action& a : r.actions) {
+      switch (a.kind) {
+        case Action::Kind::Count:
+        case Action::Kind::Sample:
+        case Action::Kind::StoreField:
+        case Action::Kind::StoreCksum:
+          if (a.state_off % 4 != 0) {
+            return cx.fail("word-valued state offset " +
+                           std::to_string(a.state_off) +
+                           " is not 4-byte aligned");
+          }
+          break;
+        default:
+          break;
+      }
+      switch (a.kind) {
+        case Action::Kind::Sample:
+          if (a.n == 0) return cx.fail("Sample modulus must be > 0");
+          break;
+        case Action::Kind::StoreField:
+          if (!valid_width(a.field.width)) {
+            return cx.fail("stored field width must be 1, 2, or 4");
+          }
+          cx.note_norm(a.field);
+          if (!note_offset(cx, a.field.offset)) return false;
+          break;
+        case Action::Kind::StoreCksum:
+          if (a.len % 4 != 0) {
+            return cx.fail("checksum length must be a multiple of 4");
+          }
+          if (a.len > kMaxCksumBytes) {
+            return cx.fail("checksum length exceeds the unroll ceiling");
+          }
+          for (std::uint32_t w = 0; w < a.len; w += 4) {
+            if (!note_offset(cx, a.msg_off + w)) return false;
+          }
+          break;
+        case Action::Kind::Reply:
+          if (a.channel < kChannelArrival) {
+            return cx.fail("reply channel out of range");
+          }
+          for (const Splice& s : a.splices) {
+            if (s.from_state) continue;
+            if (!valid_width(s.src.width)) {
+              return cx.fail("spliced field width must be 1, 2, or 4");
+            }
+            if (!note_offset(cx, s.src.offset)) return false;
+          }
+          break;
+        case Action::Kind::Steer:
+          if (a.channel < kChannelArrival) {
+            return cx.fail("steer channel out of range");
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+/// Normalize the field's raw preload word into `dst`: host byte order,
+/// masked to the field width.
+void emit_normalize(Ctx& cx, const Field& f, Reg dst) {
+  const Reg word = cx.word_reg(f.offset);
+  switch (f.width) {
+    case 4:
+      cx.b.bswap32(dst, word);
+      break;
+    case 2:
+      cx.b.bswap16(dst, word);  // also zeroes the high half
+      break;
+    default:
+      cx.b.andi(dst, word, 0xffu);
+      break;
+  }
+}
+
+/// The register holding the atom's (unmasked) host-order field value:
+/// the entry-hoisted normalization when one exists, else cx.rv after
+/// normalizing in place.
+Reg emit_field_value(Ctx& cx, const Field& f) {
+  const Reg hoisted = cx.norm_reg(f);
+  if (hoisted != 0) return hoisted;
+  emit_normalize(cx, f, cx.rv);
+  return cx.rv;
+}
+
+/// Fall through when the atom holds; jump to `on_false` otherwise.
+void emit_atom(Ctx& cx, const Match& m, Label on_false) {
+  Builder& b = cx.b;
+  switch (m.kind) {
+    case Match::Kind::LenGe:
+      b.movi(cx.rw, m.value);
+      b.bltu(cx.len, cx.rw, on_false);
+      return;
+    case Match::Kind::LenLt:
+      b.movi(cx.rw, m.value);
+      b.bgeu(cx.len, cx.rw, on_false);
+      return;
+    case Match::Kind::Field:
+      break;
+  }
+  Reg val = emit_field_value(cx, m.field);
+  const std::uint32_t full =
+      m.field.width == 1 ? 0xffu : m.field.width == 2 ? 0xffffu : 0xffffffffu;
+  if (m.effective_mask() != full) {
+    b.andi(cx.rv, val, m.effective_mask());
+    val = cx.rv;
+  }
+  switch (m.cmp) {
+    case Cmp::Eq:
+      b.movi(cx.rw, m.value);
+      b.bne(val, cx.rw, on_false);
+      return;
+    case Cmp::Ne:
+      b.movi(cx.rw, m.value);
+      b.beq(val, cx.rw, on_false);
+      return;
+    case Cmp::Lt:
+      b.movi(cx.rw, m.value);
+      b.bgeu(val, cx.rw, on_false);
+      return;
+    case Cmp::Gt:
+      b.movi(cx.rw, m.value);
+      b.bgeu(cx.rw, val, on_false);
+      return;
+    case Cmp::Range:
+      b.movi(cx.rw, m.value);
+      b.bltu(val, cx.rw, on_false);
+      b.movi(cx.rw2, m.value2);
+      b.bltu(cx.rw2, val, on_false);
+      return;
+  }
+}
+
+/// Fall through when `p` holds; jump to `on_false` otherwise.
+void emit_pred(Ctx& cx, const Pred& p, Label on_false) {
+  Builder& b = cx.b;
+  switch (p.op) {
+    case Pred::Op::Atom:
+      emit_atom(cx, p.atom, on_false);
+      return;
+    case Pred::Op::And:
+      for (const Pred& k : p.kids) emit_pred(cx, k, on_false);
+      return;
+    case Pred::Op::Or: {
+      if (p.kids.empty()) {
+        b.jmp(on_false);  // empty Or is false
+        return;
+      }
+      const Label is_true = b.label();
+      for (std::size_t i = 0; i + 1 < p.kids.size(); ++i) {
+        const Label next = b.label();
+        emit_pred(cx, p.kids[i], next);
+        b.jmp(is_true);
+        b.bind(next);
+      }
+      emit_pred(cx, p.kids.back(), on_false);
+      b.bind(is_true);
+      return;
+    }
+  }
+}
+
+/// Leave the resolved send channel in cx.rw2.
+void emit_channel(Ctx& cx, int channel) {
+  if (channel == kChannelArrival) {
+    cx.b.mov(cx.rw2, cx.chan);
+  } else {
+    cx.b.movi(cx.rw2, static_cast<std::uint32_t>(channel));
+  }
+}
+
+/// `r1_clobbered` tracks whether a trusted call earlier in this rule's
+/// body has overwritten r1 (TSend/TUserCopy write their status there); it
+/// picks between the live argument registers and the entry snapshot.
+void emit_action(Ctx& cx, const Action& a, Label to_verdict,
+                 bool& r1_clobbered) {
+  Builder& b = cx.b;
+  switch (a.kind) {
+    case Action::Kind::Count:
+      b.lw(cx.rt, cx.state, static_cast<std::int32_t>(a.state_off));
+      b.addiu(cx.rt, cx.rt, 1);
+      b.sw(cx.rt, cx.state, static_cast<std::int32_t>(a.state_off));
+      return;
+
+    case Action::Kind::Sample:
+      b.lw(cx.rt, cx.state, static_cast<std::int32_t>(a.state_off));
+      b.addiu(cx.rt, cx.rt, 1);
+      b.sw(cx.rt, cx.state, static_cast<std::int32_t>(a.state_off));
+      b.movi(cx.rw, a.n);
+      b.remu(cx.rt, cx.rt, cx.rw);
+      // Skip this rule's remaining actions unless the count hit 0 mod n;
+      // the verdict still applies.
+      b.bne(cx.rt, vcode::kRegZero, to_verdict);
+      return;
+
+    case Action::Kind::StoreField:
+      b.sw(emit_field_value(cx, a.field), cx.state,
+           static_cast<std::int32_t>(a.state_off));
+      return;
+
+    case Action::Kind::StoreCksum:
+      b.movi(cx.rv, 0);
+      for (std::uint32_t w = 0; w < a.len; w += 4) {
+        b.cksum32(cx.rv, cx.word_reg(a.msg_off + w));
+      }
+      b.sw(cx.rv, cx.state, static_cast<std::int32_t>(a.state_off));
+      return;
+
+    case Action::Kind::CopyToState: {
+      // Skipped entirely when the source range overruns the frame; the
+      // reference interpreter applies the identical guard.
+      const Label skip = b.label();
+      b.movi(cx.rw, a.msg_off + a.len);
+      b.bltu(cx.len, cx.rw, skip);
+      b.addiu(cx.rv, cx.state, a.state_off);
+      b.addiu(cx.rt, r1_clobbered ? cx.msg : vcode::kRegArg0, a.msg_off);
+      b.movi(cx.rw, a.len);
+      b.t_usercopy(cx.rv, cx.rt, cx.rw);
+      r1_clobbered = true;
+      b.bind(skip);
+      return;
+    }
+
+    case Action::Kind::Reply: {
+      for (const Splice& s : a.splices) {
+        const std::int32_t dst =
+            static_cast<std::int32_t>(a.state_off + s.dst_off);
+        if (s.from_state) {
+          for (std::uint32_t i = 0; i < 4; ++i) {
+            b.lbu(cx.rt, cx.state,
+                  static_cast<std::int32_t>(s.state_src + i));
+            b.sb(cx.rt, cx.state, dst + static_cast<std::int32_t>(i));
+          }
+        } else {
+          // The little-endian header word's bytes are the message bytes
+          // in memory order, so storing them byte-by-byte reproduces the
+          // field verbatim — i.e. in network byte order.
+          const Reg word = cx.word_reg(s.src.offset);
+          b.mov(cx.rt, word);
+          b.sb(cx.rt, cx.state, dst);
+          for (std::uint32_t i = 1; i < s.src.width; ++i) {
+            b.srli(cx.rt, word, 8 * i);
+            b.sb(cx.rt, cx.state, dst + static_cast<std::int32_t>(i));
+          }
+        }
+      }
+      emit_channel(cx, a.channel);
+      b.addiu(cx.rv, cx.state, a.state_off);
+      b.movi(cx.rw, a.len);
+      b.t_send(cx.rw2, cx.rv, cx.rw);
+      r1_clobbered = true;
+      return;
+    }
+
+    case Action::Kind::Steer:
+      // TSend of (message base, message length) — the verifier's
+      // always-admitted whole-message forward form. Use r1 itself while
+      // it still holds the message address; the snapshot otherwise.
+      emit_channel(cx, a.channel);
+      b.t_send(cx.rw2, r1_clobbered ? cx.msg : vcode::kRegArg0, cx.len);
+      r1_clobbered = true;
+      return;
+  }
+}
+
+void emit_verdict(Ctx& cx, Verdict v) {
+  if (v == Verdict::Accept) {
+    cx.b.movi(vcode::kRegArg0, 1);
+    cx.b.halt();
+  } else {
+    cx.b.abort(0);
+  }
+}
+
+/// Actions and verdict of one rule (its predicate already passed).
+void emit_rule_tail(Ctx& cx, const Rule& r) {
+  const Label verdict = cx.b.label();
+  bool r1_clobbered = false;
+  for (const Action& a : r.actions) {
+    emit_action(cx, a, verdict, r1_clobbered);
+  }
+  cx.b.bind(verdict);
+  emit_verdict(cx, r.verdict);
+}
+
+bool same_atom(const Match& a, const Match& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Match::Kind::LenGe:
+    case Match::Kind::LenLt:
+      return a.value == b.value;
+    case Match::Kind::Field:
+      return a.field.offset == b.field.offset &&
+             a.field.width == b.field.width && a.cmp == b.cmp &&
+             a.value == b.value && a.value2 == b.value2 &&
+             a.effective_mask() == b.effective_mask();
+  }
+  return false;
+}
+
+/// The rule's first atom when its predicate is that atom or an And
+/// starting with it — the shape the group-guard pass can factor out.
+const Match* leading_atom(const Pred& p) {
+  if (p.op == Pred::Op::Atom) return &p.atom;
+  if (p.op == Pred::Op::And && !p.kids.empty() &&
+      p.kids[0].op == Pred::Op::Atom) {
+    return &p.kids[0].atom;
+  }
+  return nullptr;
+}
+
+/// Emit `p` minus its leading atom (already checked by a group guard).
+void emit_pred_rest(Ctx& cx, const Pred& p, Label on_false) {
+  if (p.op == Pred::Op::Atom) return;  // the atom WAS the whole predicate
+  for (std::size_t i = 1; i < p.kids.size(); ++i) {
+    emit_pred(cx, p.kids[i], on_false);
+  }
+}
+
+/// True when some rule reads the message address after a trusted call in
+/// the same body clobbered r1 — the only case the entry snapshot exists
+/// for. Atoms never need it: header bytes come from the preload block.
+bool needs_msg_snapshot(const RuleSet& rs) {
+  for (const Rule& r : rs.rules) {
+    bool clobbered = false;
+    for (const Action& a : r.actions) {
+      const bool uses_msg = a.kind == Action::Kind::CopyToState ||
+                            a.kind == Action::Kind::Steer;
+      if (uses_msg && clobbered) return true;
+      if (a.kind == Action::Kind::CopyToState ||
+          a.kind == Action::Kind::Steer ||
+          a.kind == Action::Kind::Reply) {
+        clobbered = true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Compiled compile(const RuleSet& rs) {
+  Compiled out;
+  Ctx cx(rs);
+  if (!collect_offsets(cx)) {
+    out.error = cx.error;
+    return out;
+  }
+
+  Builder& b = cx.b;
+  // r2..r4 are never written by compiled code, so rule bodies read them
+  // live; only r1 (clobbered by trusted-call statuses) may need an entry
+  // snapshot, and only when a rule reads the message after such a call.
+  const bool snapshot_msg = needs_msg_snapshot(rs);
+  cx.msg = snapshot_msg ? b.reg() : vcode::kRegArg0;
+  cx.len = vcode::kRegArg1;
+  cx.state = vcode::kRegArg2;
+  cx.chan = vcode::kRegArg3;
+  for (auto& [off, reg] : cx.words) {
+    (void)off;
+    reg = b.reg();
+  }
+  // Hoist normalized field values consumed by two or more sites into the
+  // entry block (capped so the scratch registers always fit).
+  int hoisted = 0;
+  for (Norm& n : cx.norms) {
+    if (n.uses >= 2 && hoisted < 24) {
+      n.reg = b.reg();
+      ++hoisted;
+    }
+  }
+  cx.rv = b.reg();
+  cx.rt = b.reg();
+  cx.rw = b.reg();
+  cx.rw2 = b.reg();
+
+  // Entry: coalesce all header loads into one preload block (DPF-style),
+  // then normalize the shared field values once.
+  if (snapshot_msg) b.mov(cx.msg, vcode::kRegArg0);
+  for (const auto& [off, reg] : cx.words) {
+    b.t_msgload(reg, vcode::kRegZero, static_cast<std::int32_t>(off));
+  }
+  for (const Norm& n : cx.norms) {
+    if (n.reg != 0) emit_normalize(cx, Field{n.offset, n.width}, n.reg);
+  }
+
+  // Rule chain. Consecutive rules sharing the same leading atom (e.g. a
+  // common `len >= N` guard) are grouped: the shared atom is checked once
+  // and its failure skips the whole group — sound because atoms are pure
+  // and a failed shared atom fails every rule in the group.
+  const auto& rules = rs.rules;
+  std::size_t i = 0;
+  while (i < rules.size()) {
+    const Match* lead = leading_atom(rules[i].pred);
+    std::size_t j = i + 1;
+    if (lead != nullptr) {
+      while (j < rules.size()) {
+        const Match* next = leading_atom(rules[j].pred);
+        if (next == nullptr || !same_atom(*lead, *next)) break;
+        ++j;
+      }
+    }
+    if (lead != nullptr && j - i >= 2) {
+      const Label group_end = b.label();
+      emit_atom(cx, *lead, group_end);
+      for (std::size_t k = i; k < j; ++k) {
+        const Label no_match = b.label();
+        emit_pred_rest(cx, rules[k].pred, no_match);
+        emit_rule_tail(cx, rules[k]);
+        b.bind(no_match);
+      }
+      b.bind(group_end);
+    } else {
+      const Label no_match = b.label();
+      emit_pred(cx, rules[i].pred, no_match);
+      emit_rule_tail(cx, rules[i]);
+      b.bind(no_match);
+      j = i + 1;
+    }
+    i = j;
+  }
+  emit_verdict(cx, rs.default_verdict);
+
+  out.program = b.take();
+  out.ok = true;
+  return out;
+}
+
+vcode::VerifyPolicy verify_policy(const RuleSet& rs) {
+  vcode::VerifyPolicy policy;
+  policy.allow_indirect = false;  // compiled rules never emit Jr
+  policy.bounds.enabled = true;
+  policy.bounds.msg_window = rs.limits.max_frame_bytes;
+  policy.bounds.state_window = rs.limits.state_bytes;
+  policy.bounds.send_cap = rs.limits.send_cap;
+  return policy;
+}
+
+}  // namespace ash::ashc

@@ -1,0 +1,65 @@
+// Rule-set -> VCODE compiler (the "lowering" half of ROADMAP item 5).
+//
+// compile() turns a RuleSet into a straight-line VCODE program (forward
+// branches only, no loops, no indirect jumps) in which every message
+// offset, state offset, and send length is a materialized constant. That
+// shape is exactly what the verifier's BoundsPolicy dataflow pass can
+// track, so a compiled program either proves its own safety under
+// verify_policy() or is rejected with a typed error — hostile rule sets
+// (out-of-window offsets, oversized replies) compile fine and then fail
+// verification, which is the contract tests/ashc_verify_test.cpp pins.
+//
+// Lowering outline:
+//   * entry: snapshot r1..r4 (TSend reports status in r1, clobbering the
+//     message pointer) and preload each distinct header word the rule set
+//     reads with one TMsgLoad — the DPF-style atom coalescing that keeps
+//     compiled rules within the hand-written ASH throughput envelope;
+//   * predicates: short-circuit forward branches (And falls through,
+//     Or jumps to a local true-label);
+//   * actions: straight-line state arithmetic (lw/addiu/sw), unrolled
+//     checksum accumulation, guarded TUserCopy, byte-spliced reply
+//     templates sent with TSend, whole-message steering as the verifier's
+//     always-admitted (r1, r2) forward form;
+//   * verdicts: Accept -> Halt (commit: message consumed, sends released),
+//     Deliver -> Abort (fall back to normal delivery, sends discarded).
+//
+// compile() itself only rejects rule sets it cannot express at all
+// (misaligned word state, zero Sample modulus, oversized checksum
+// unrolls); everything about windows and caps is the verifier's job.
+#pragma once
+
+#include <string>
+
+#include "ashc/rule.hpp"
+#include "vcode/program.hpp"
+#include "vcode/verifier.hpp"
+
+namespace ash::ashc {
+
+/// Result of compiling a rule set. When !ok, `error` names the first
+/// structural problem and `program` is empty.
+struct Compiled {
+  bool ok = false;
+  std::string error;
+  vcode::Program program;
+};
+
+/// Lower `rs` to VCODE. Never throws on hostile input; structural
+/// impossibilities come back as ok=false.
+Compiled compile(const RuleSet& rs);
+
+/// The verifier policy a compiled rule set must pass before download:
+/// the standard ASH policy (no FP, no signed traps, trusted calls
+/// allowed) tightened with no-indirect-jumps and the rule set's declared
+/// bounds windows (message window, state window, send cap).
+vcode::VerifyPolicy verify_policy(const RuleSet& rs);
+
+/// Hard ceiling on one StoreCksum action's length (the accumulation is
+/// unrolled at compile time).
+inline constexpr std::uint32_t kMaxCksumBytes = 1024;
+
+/// Hard ceiling on distinct header-word offsets one rule set may read
+/// (each costs a pinned preload register).
+inline constexpr std::uint32_t kMaxDistinctFields = 16;
+
+}  // namespace ash::ashc

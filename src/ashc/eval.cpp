@@ -1,0 +1,211 @@
+#include "ashc/eval.hpp"
+
+#include <cstring>
+
+#include "util/byteorder.hpp"
+#include "util/checksum.hpp"
+
+namespace ash::ashc {
+namespace {
+
+/// The 32-bit header word at logical offset `off` under t_msgload's
+/// contract: little-endian, and zero when any of the 4 bytes is past the
+/// end of the frame.
+std::uint32_t word_at(std::span<const std::uint8_t> frame,
+                      std::uint32_t off) {
+  if (static_cast<std::uint64_t>(off) + 4 > frame.size()) return 0;
+  return util::load_u32(frame.data() + off);
+}
+
+std::uint32_t state_word(const std::vector<std::uint8_t>& state,
+                         std::uint32_t off) {
+  if (static_cast<std::uint64_t>(off) + 4 > state.size()) return 0;
+  return util::load_u32(state.data() + off);
+}
+
+void set_state_word(std::vector<std::uint8_t>& state, std::uint32_t off,
+                    std::uint32_t v) {
+  if (static_cast<std::uint64_t>(off) + 4 > state.size()) return;
+  util::store_u32(state.data() + off, v);
+}
+
+void set_state_byte(std::vector<std::uint8_t>& state, std::uint32_t off,
+                    std::uint8_t v) {
+  if (off >= state.size()) return;
+  state[off] = v;
+}
+
+std::uint8_t get_state_byte(const std::vector<std::uint8_t>& state,
+                            std::uint32_t off) {
+  return off < state.size() ? state[off] : 0;
+}
+
+bool eval_match(const Match& m, std::span<const std::uint8_t> frame) {
+  std::uint32_t v;
+  switch (m.kind) {
+    case Match::Kind::LenGe:
+      return frame.size() >= m.value;
+    case Match::Kind::LenLt:
+      return frame.size() < m.value;
+    case Match::Kind::Field:
+      v = field_value(frame, m.field) & m.effective_mask();
+      break;
+    default:
+      return false;
+  }
+  switch (m.cmp) {
+    case Cmp::Eq: return v == m.value;
+    case Cmp::Ne: return v != m.value;
+    case Cmp::Lt: return v < m.value;
+    case Cmp::Gt: return v > m.value;
+    case Cmp::Range: return m.value <= v && v <= m.value2;
+  }
+  return false;
+}
+
+bool eval_pred(const Pred& p, std::span<const std::uint8_t> frame) {
+  switch (p.op) {
+    case Pred::Op::Atom:
+      return eval_match(p.atom, frame);
+    case Pred::Op::And:
+      for (const Pred& k : p.kids) {
+        if (!eval_pred(k, frame)) return false;
+      }
+      return true;
+    case Pred::Op::Or:
+      for (const Pred& k : p.kids) {
+        if (eval_pred(k, frame)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::uint32_t resolve_channel(int channel, std::uint32_t arrival) {
+  return channel == kChannelArrival ? arrival
+                                    : static_cast<std::uint32_t>(channel);
+}
+
+/// Run one rule's actions. Returns false when a Sample gate stops the
+/// remaining actions (the verdict still applies either way).
+void run_actions(const Rule& rule, std::span<const std::uint8_t> frame,
+                 std::vector<std::uint8_t>& state, std::uint32_t arrival,
+                 std::vector<EvalSend>& staged) {
+  for (const Action& a : rule.actions) {
+    switch (a.kind) {
+      case Action::Kind::Count:
+        set_state_word(state, a.state_off, state_word(state, a.state_off) + 1);
+        break;
+
+      case Action::Kind::Sample: {
+        const std::uint32_t cnt = state_word(state, a.state_off) + 1;
+        set_state_word(state, a.state_off, cnt);
+        if (a.n == 0 || cnt % a.n != 0) return;  // gate: skip the rest
+        break;
+      }
+
+      case Action::Kind::StoreField:
+        set_state_word(state, a.state_off, field_value(frame, a.field));
+        break;
+
+      case Action::Kind::StoreCksum: {
+        std::uint32_t acc = 0;
+        for (std::uint32_t w = 0; w < a.len; w += 4) {
+          acc = util::cksum32_accumulate(acc, word_at(frame, a.msg_off + w));
+        }
+        set_state_word(state, a.state_off, acc);
+        break;
+      }
+
+      case Action::Kind::CopyToState: {
+        if (static_cast<std::uint64_t>(a.msg_off) + a.len > frame.size()) {
+          break;  // whole copy skipped, same guard as the compiled code
+        }
+        for (std::uint32_t i = 0; i < a.len; ++i) {
+          set_state_byte(state, a.state_off + i, frame[a.msg_off + i]);
+        }
+        break;
+      }
+
+      case Action::Kind::Reply: {
+        for (const Splice& s : a.splices) {
+          const std::uint32_t dst = a.state_off + s.dst_off;
+          if (s.from_state) {
+            for (std::uint32_t i = 0; i < 4; ++i) {
+              set_state_byte(state, dst + i,
+                             get_state_byte(state, s.state_src + i));
+            }
+          } else {
+            // The compiled code stores the raw little-endian header
+            // word's bytes in memory order: the field verbatim, zeros
+            // when the word is out of frame.
+            const std::uint32_t word = word_at(frame, s.src.offset);
+            for (std::uint32_t i = 0; i < s.src.width; ++i) {
+              set_state_byte(state, dst + i,
+                             static_cast<std::uint8_t>(word >> (8 * i)));
+            }
+          }
+        }
+        EvalSend send;
+        send.channel = resolve_channel(a.channel, arrival);
+        for (std::uint32_t i = 0; i < a.len; ++i) {
+          send.bytes.push_back(get_state_byte(state, a.state_off + i));
+        }
+        staged.push_back(std::move(send));
+        break;
+      }
+
+      case Action::Kind::Steer: {
+        EvalSend send;
+        send.channel = resolve_channel(a.channel, arrival);
+        send.bytes.assign(frame.begin(), frame.end());
+        staged.push_back(std::move(send));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t field_value(std::span<const std::uint8_t> frame,
+                          const Field& f) {
+  const std::uint32_t word = word_at(frame, f.offset);
+  switch (f.width) {
+    case 4:
+      return util::bswap32(word);
+    case 2:
+      return util::bswap16(static_cast<std::uint16_t>(word & 0xffffu));
+    default:
+      return word & 0xffu;
+  }
+}
+
+EvalResult eval(const RuleSet& rs, std::span<const std::uint8_t> frame,
+                std::vector<std::uint8_t>& state,
+                std::uint32_t arrival_channel) {
+  EvalResult out;
+  std::vector<EvalSend> staged;
+
+  const Rule* matched = nullptr;
+  for (const Rule& r : rs.rules) {
+    if (eval_pred(r.pred, frame)) {
+      matched = &r;
+      break;
+    }
+  }
+
+  Verdict verdict = rs.default_verdict;
+  if (matched != nullptr) {
+    run_actions(*matched, frame, state, arrival_channel, staged);
+    verdict = matched->verdict;
+  }
+
+  out.consumed = verdict == Verdict::Accept;
+  if (out.consumed) {
+    out.sends = std::move(staged);  // Deliver discards staged sends
+  }
+  return out;
+}
+
+}  // namespace ash::ashc

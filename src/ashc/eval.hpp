@@ -1,0 +1,54 @@
+// Reference interpreter for rule sets: the ground truth the compiled
+// VCODE is differentially tested against (tests/ashc_diff_test.cpp).
+//
+// eval() executes a RuleSet directly over a frame, mirroring the kernel's
+// semantics instruction-for-instruction:
+//   * header fields follow t_msgload's whole-word contract — a field
+//     whose 32-bit word extends past the frame reads as zero;
+//   * state words are little-endian, written in place immediately (the
+//     kernel never rolls back memory writes, even on Abort);
+//   * sends are staged and RELEASED ONLY on an Accept verdict — a
+//     Deliver verdict discards them, exactly like the kernel discards a
+//     non-Halted invocation's sends;
+//   * reply splices physically overwrite the template bytes in state
+//     before the send snapshots them, so the mutation persists.
+//
+// Keep this file boring: it is deliberately a second, independent
+// implementation of rule semantics — when it and the compiler disagree,
+// the differential suite fails and one of them is wrong.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ashc/rule.hpp"
+
+namespace ash::ashc {
+
+/// One staged send: resolved channel id + snapshotted bytes.
+struct EvalSend {
+  std::uint32_t channel = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct EvalResult {
+  /// True when the matching rule's verdict was Accept (message consumed).
+  bool consumed = false;
+  /// Sends released by the verdict. Empty unless consumed.
+  std::vector<EvalSend> sends;
+};
+
+/// Run `rs` over `frame`, mutating `state` in place (it must be the
+/// rule set's state blob, at least Limits::state_bytes long).
+/// `arrival_channel` resolves kChannelArrival.
+EvalResult eval(const RuleSet& rs, std::span<const std::uint8_t> frame,
+                std::vector<std::uint8_t>& state,
+                std::uint32_t arrival_channel);
+
+/// The host-order value of `f` in `frame` under the whole-word contract
+/// (exposed for tests).
+std::uint32_t field_value(std::span<const std::uint8_t> frame,
+                          const Field& f);
+
+}  // namespace ash::ashc

@@ -1,0 +1,378 @@
+#include "ashc/gen.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ashc/compile.hpp"
+#include "util/byteorder.hpp"
+
+namespace ash::ashc {
+namespace {
+
+using util::Rng;
+
+// The generator's fixed declared limits; everything it draws stays
+// inside these windows so its output always verifies.
+constexpr std::uint32_t kFrameWindow = 96;
+constexpr std::uint32_t kStateBytes = 64;
+constexpr std::uint32_t kSendCap = 64;
+
+std::uint32_t width_max(std::uint8_t w) {
+  return w == 1 ? 0xffu : w == 2 ? 0xffffu : 0xffffffffu;
+}
+
+std::uint8_t rand_width(Rng& rng) {
+  const std::uint8_t widths[3] = {1, 2, 4};
+  return widths[rng.below(3)];
+}
+
+Match rand_atom(Rng& rng, const std::vector<std::uint32_t>& pool) {
+  if (rng.chance(1, 5)) {
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(rng.below(kFrameWindow + 16));
+    return rng.chance(1, 2) ? m_len_ge(n) : m_len_lt(n);
+  }
+  const std::uint32_t off =
+      pool[static_cast<std::size_t>(rng.below(pool.size()))];
+  const std::uint8_t w = rand_width(rng);
+  const std::uint32_t maxv = width_max(w);
+  switch (rng.below(5)) {
+    case 0:
+      return m_eq(off, w, static_cast<std::uint32_t>(rng.next()) & maxv);
+    case 1:
+      return m_ne(off, w, static_cast<std::uint32_t>(rng.next()) & maxv);
+    case 2: {
+      // Masked equality, constructed satisfiable: value is a subset of
+      // the mask.
+      std::uint32_t mask = static_cast<std::uint32_t>(rng.next()) & maxv;
+      if (mask == 0) mask = maxv;
+      const std::uint32_t value =
+          static_cast<std::uint32_t>(rng.next()) & mask;
+      return m_mask(off, w, mask, value);
+    }
+    case 3: {
+      Match m = m_eq(off, w, 0);
+      if (rng.chance(1, 2)) {
+        m.cmp = Cmp::Lt;
+        m.value = 1 + static_cast<std::uint32_t>(rng.below(maxv));
+      } else {
+        m.cmp = Cmp::Gt;
+        m.value = static_cast<std::uint32_t>(rng.below(maxv));
+      }
+      return m;
+    }
+    default: {
+      // Ranges stay unmasked so planting a satisfying value is trivial.
+      const std::uint32_t lo = static_cast<std::uint32_t>(rng.next()) & maxv;
+      const std::uint32_t hi =
+          lo + static_cast<std::uint32_t>(rng.below(maxv - lo + 1));
+      return m_range(off, w, lo, hi);
+    }
+  }
+}
+
+Pred rand_pred(Rng& rng, const std::vector<std::uint32_t>& pool) {
+  const std::uint64_t n_atoms = 1 + rng.below(3);
+  std::vector<Pred> kids;
+  for (std::uint64_t i = 0; i < n_atoms; ++i) {
+    kids.push_back(p_atom(rand_atom(rng, pool)));
+  }
+  if (kids.size() == 1) return kids[0];
+  // Occasionally nest one level: wrap a pair in the opposite connective.
+  const bool top_and = rng.chance(1, 2);
+  if (kids.size() == 3 && rng.chance(1, 3)) {
+    std::vector<Pred> inner{kids[1], kids[2]};
+    kids.resize(1);
+    kids.push_back(top_and ? p_or(std::move(inner))
+                           : p_and(std::move(inner)));
+  }
+  return top_and ? p_and(std::move(kids)) : p_or(std::move(kids));
+}
+
+std::uint32_t rand_word_state_off(Rng& rng) {
+  return 4 * static_cast<std::uint32_t>(rng.below(kStateBytes / 4));
+}
+
+int rand_channel(Rng& rng) {
+  return rng.chance(1, 3) ? kChannelArrival
+                          : static_cast<int>(rng.below(4));
+}
+
+Action rand_action(Rng& rng, const std::vector<std::uint32_t>& pool,
+                   RuleSet& rs) {
+  switch (rng.below(7)) {
+    case 0:
+      return a_count(rand_word_state_off(rng));
+    case 1:
+      return a_sample(1 + static_cast<std::uint32_t>(rng.below(8)),
+                      rand_word_state_off(rng));
+    case 2: {
+      Field f;
+      f.offset = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+      f.width = rand_width(rng);
+      return a_store_field(rand_word_state_off(rng), f);
+    }
+    case 3:
+      // Checksums confined to the first 16 bytes so the distinct-word
+      // budget stays well under the compiler's ceiling.
+      return a_store_cksum(rand_word_state_off(rng), 0,
+                           4 * (1 + static_cast<std::uint32_t>(rng.below(4))));
+    case 4: {
+      const std::uint32_t len = 1 + static_cast<std::uint32_t>(rng.below(16));
+      const std::uint32_t state_off =
+          static_cast<std::uint32_t>(rng.below(kStateBytes - len + 1));
+      const std::uint32_t msg_off =
+          static_cast<std::uint32_t>(rng.below(kFrameWindow - len + 1));
+      return a_copy(state_off, msg_off, len);
+    }
+    case 5: {
+      const std::uint32_t state_off =
+          4 * static_cast<std::uint32_t>(rng.below(8));  // 0..28
+      const std::uint32_t len =
+          4 * (1 + static_cast<std::uint32_t>(rng.below(8)));  // 4..32
+      std::vector<Splice> splices;
+      const std::uint64_t n_splices = rng.below(3);
+      for (std::uint64_t i = 0; i < n_splices; ++i) {
+        Splice s;
+        if (rng.chance(1, 3)) {
+          s.from_state = true;
+          s.dst_off = static_cast<std::uint32_t>(rng.below(len - 4 + 1));
+          s.state_src =
+              static_cast<std::uint32_t>(rng.below(kStateBytes - 4 + 1));
+        } else {
+          s.src.offset =
+              pool[static_cast<std::size_t>(rng.below(pool.size()))];
+          s.src.width = rand_width(rng);
+          s.dst_off =
+              static_cast<std::uint32_t>(rng.below(len - s.src.width + 1));
+        }
+        splices.push_back(s);
+      }
+      if (rng.chance(1, 2)) {
+        Template t;
+        t.state_off = state_off;
+        for (std::uint32_t i = 0; i < len; ++i) {
+          t.bytes.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+        rs.templates.push_back(std::move(t));
+      }
+      return a_reply(state_off, len, rand_channel(rng), std::move(splices));
+    }
+    default:
+      return a_steer(rand_channel(rng));
+  }
+}
+
+void collect_pred_offsets(const Pred& p, std::vector<std::uint32_t>& out) {
+  if (p.op == Pred::Op::Atom) {
+    if (p.atom.kind == Match::Kind::Field) out.push_back(p.atom.field.offset);
+    return;
+  }
+  for (const Pred& k : p.kids) collect_pred_offsets(k, out);
+}
+
+std::vector<std::uint32_t> all_field_offsets(const RuleSet& rs) {
+  std::vector<std::uint32_t> out;
+  for (const Rule& r : rs.rules) {
+    collect_pred_offsets(r.pred, out);
+    for (const Action& a : r.actions) {
+      if (a.kind == Action::Kind::StoreField) out.push_back(a.field.offset);
+      for (const Splice& s : a.splices) {
+        if (!s.from_state) out.push_back(s.src.offset);
+      }
+    }
+  }
+  if (out.empty()) out.push_back(0);
+  return out;
+}
+
+void collect_pred_atoms(const Pred& p, std::vector<const Match*>& out) {
+  if (p.op == Pred::Op::Atom) {
+    if (p.atom.kind == Match::Kind::Field) out.push_back(&p.atom);
+    return;
+  }
+  for (const Pred& k : p.kids) collect_pred_atoms(k, out);
+}
+
+/// A field value satisfying `m` where one exists (best effort — dead
+/// atoms just get a plausible value).
+std::uint32_t sat_value(Rng& rng, const Match& m) {
+  const std::uint32_t maxv = width_max(m.field.width);
+  const std::uint32_t mask = m.effective_mask() & maxv;
+  switch (m.cmp) {
+    case Cmp::Eq:
+      return (m.value & mask) |
+             (static_cast<std::uint32_t>(rng.next()) & ~mask & maxv);
+    case Cmp::Ne: {
+      std::uint32_t v = static_cast<std::uint32_t>(rng.next()) & maxv;
+      // Flip the lowest mask bit if we accidentally drew the == value.
+      if ((v & mask) == m.value && mask != 0) v ^= mask & (0u - mask);
+      return v;
+    }
+    case Cmp::Lt:
+      return m.value == 0
+                 ? 0
+                 : static_cast<std::uint32_t>(
+                       rng.below(std::min<std::uint64_t>(m.value,
+                                                         maxv + 1ull)));
+    case Cmp::Gt:
+      return mask > m.value ? mask : maxv;
+    case Cmp::Range:
+      return m.value +
+             static_cast<std::uint32_t>(rng.below(
+                 std::min<std::uint64_t>(m.value2, maxv) - m.value + 1));
+  }
+  return 0;
+}
+
+void plant(std::vector<std::uint8_t>& frame, const Match& m,
+           std::uint32_t v) {
+  const std::uint32_t off = m.field.offset;
+  if (static_cast<std::uint64_t>(off) + 4 > frame.size()) return;
+  switch (m.field.width) {
+    case 4:
+      util::store_be32(frame.data() + off, v);
+      break;
+    case 2:
+      util::store_be16(frame.data() + off, static_cast<std::uint16_t>(v));
+      break;
+    default:
+      frame[off] = static_cast<std::uint8_t>(v);
+      break;
+  }
+}
+
+}  // namespace
+
+RuleSet random_rule_set(Rng& rng) {
+  RuleSet rs;
+  rs.name = "generated";
+  rs.limits.max_frame_bytes = kFrameWindow;
+  rs.limits.state_bytes = kStateBytes;
+  rs.limits.send_cap = kSendCap;
+  rs.default_verdict = rng.chance(1, 2) ? Verdict::Accept : Verdict::Deliver;
+
+  // A small pool of header offsets, shared across rules so the compiler's
+  // preload coalescing actually triggers.
+  std::vector<std::uint32_t> pool;
+  const std::uint64_t pool_size = 2 + rng.below(4);
+  for (std::uint64_t i = 0; i < pool_size; ++i) {
+    pool.push_back(static_cast<std::uint32_t>(rng.below(kFrameWindow - 3)));
+  }
+
+  const std::uint64_t n_rules = 1 + rng.below(4);
+  for (std::uint64_t i = 0; i < n_rules; ++i) {
+    Rule r;
+    char nm[16];
+    std::snprintf(nm, sizeof nm, "r%u", static_cast<unsigned>(i));
+    r.name = nm;
+    r.pred = rand_pred(rng, pool);
+    const std::uint64_t n_actions = rng.below(4);
+    for (std::uint64_t k = 0; k < n_actions; ++k) {
+      r.actions.push_back(rand_action(rng, pool, rs));
+    }
+    r.verdict = rng.chance(1, 2) ? Verdict::Accept : Verdict::Deliver;
+    rs.rules.push_back(std::move(r));
+  }
+  return rs;
+}
+
+Hostile hostilize(Rng& rng, RuleSet& rs) {
+  if (rs.rules.empty()) {
+    Rule r;
+    r.name = "always";
+    r.pred = p_and({});
+    rs.rules.push_back(std::move(r));
+  }
+  Rule& r0 = rs.rules[0];
+  switch (rng.below(8)) {
+    case 0:
+      // Match word starting at the window edge: off + 4 > msg_window.
+      rs.rules.insert(
+          rs.rules.begin(),
+          Rule{"oob-match",
+               p_atom(m_eq(rs.limits.max_frame_bytes - 1, 4, 0)),
+               {},
+               Verdict::Accept});
+      return {HostileStage::Verify, "match offset past message window"};
+    case 1:
+      r0.actions.push_back(
+          a_reply(0, rs.limits.send_cap + 4, kChannelArrival));
+      return {HostileStage::Verify, "reply longer than the send cap"};
+    case 2:
+      r0.actions.push_back(a_reply(rs.limits.state_bytes - 4, 8, 0));
+      return {HostileStage::Verify, "reply overruns the state window"};
+    case 3:
+      r0.actions.push_back(a_copy(rs.limits.state_bytes - 2, 0, 8));
+      return {HostileStage::Verify, "copy overruns the state window"};
+    case 4:
+      r0.actions.push_back(a_count(rs.limits.state_bytes));
+      return {HostileStage::Verify, "counter word past the state window"};
+    case 5:
+      r0.actions.push_back(a_count(2));
+      return {HostileStage::Compile, "misaligned counter word"};
+    case 6:
+      r0.actions.push_back(a_sample(0, 0));
+      return {HostileStage::Compile, "zero sample modulus"};
+    default:
+      r0.actions.push_back(a_store_cksum(0, 0, kMaxCksumBytes + 4));
+      return {HostileStage::Compile, "checksum unroll past the ceiling"};
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> gen_frames(Rng& rng,
+                                                  const RuleSet& rs,
+                                                  std::size_t count) {
+  const std::vector<std::uint32_t> offsets = all_field_offsets(rs);
+  const std::uint32_t window = rs.limits.max_frame_bytes;
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> f;
+    switch (rng.below(4)) {
+      case 0: {  // uniform random
+        f.resize(rng.below(window + 16));
+        break;
+      }
+      case 1: {  // planted: satisfy every field atom of one rule's pred
+        if (rs.rules.empty()) {
+          f.resize(rng.below(window + 16));
+          break;
+        }
+        const Rule& r = rs.rules[static_cast<std::size_t>(
+            rng.below(rs.rules.size()))];
+        std::vector<const Match*> atoms;
+        collect_pred_atoms(r.pred, atoms);
+        std::uint32_t need = 8;
+        for (const Match* m : atoms) {
+          need = std::max(need, m->field.offset + 4);
+        }
+        f.resize(need + rng.below(window - std::min(need, window) + 1));
+        for (auto& byte : f) byte = static_cast<std::uint8_t>(rng.next());
+        for (const Match* m : atoms) plant(f, *m, sat_value(rng, *m));
+        frames.push_back(std::move(f));
+        continue;
+      }
+      case 2: {  // boundary lengths around a referenced field
+        const std::uint32_t off = offsets[static_cast<std::size_t>(
+            rng.below(offsets.size()))];
+        const std::uint32_t deltas[5] = {0, 1, 3, 4, 5};
+        f.resize(off + deltas[rng.below(5)]);
+        break;
+      }
+      default: {  // extremes
+        const std::uint32_t lens[7] = {0,      1,          2,
+                                       3,      4,          window,
+                                       window + 8};
+        f.resize(lens[rng.below(7)]);
+        break;
+      }
+    }
+    for (auto& byte : f) byte = static_cast<std::uint8_t>(rng.next());
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+}  // namespace ash::ashc

@@ -1,0 +1,51 @@
+// Structure-aware random rule-set and frame generation — the shared
+// engine behind tests/ashc_diff_test.cpp and packetfuzz's rules /
+// rulesverify targets.
+//
+// random_rule_set() draws from the verifiable subset of the language:
+// everything it produces compiles and passes verify_policy() bounds
+// checking, so a compile or verify failure on its output is a real bug.
+// hostilize() then breaks exactly one property of a valid rule set and
+// names the expected failure stage, giving the fuzzer a rejection oracle.
+//
+// gen_frames() is frame generation biased at the rule set under test:
+// random frames, frames with planted field values satisfying a randomly
+// chosen atom (so predicates actually fire), and adversarial boundary
+// lengths around each referenced field (offset+3 / offset+4 — the edge
+// of t_msgload's whole-word-zero contract).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ashc/rule.hpp"
+#include "util/rng.hpp"
+
+namespace ash::ashc {
+
+/// A random rule set from the verifiable subset. Deterministic in `rng`.
+RuleSet random_rule_set(util::Rng& rng);
+
+/// Which stage must reject a hostilized rule set.
+enum class HostileStage : std::uint8_t {
+  Compile,  // ashc::compile() itself returns ok=false
+  Verify,   // compiles, but vcode::verify must reject under verify_policy
+};
+
+struct Hostile {
+  HostileStage stage = HostileStage::Verify;
+  const char* what = "";  // human-readable mutation name
+};
+
+/// Break one property of `rs` (out-of-window offset, oversized reply,
+/// misaligned state word, ...). Returns what was broken and which stage
+/// must reject the result. Deterministic in `rng`.
+Hostile hostilize(util::Rng& rng, RuleSet& rs);
+
+/// `count` test frames biased at `rs` (see file comment). Frame lengths
+/// range from 0 to a little beyond the declared message window.
+std::vector<std::vector<std::uint8_t>> gen_frames(util::Rng& rng,
+                                                  const RuleSet& rs,
+                                                  std::size_t count);
+
+}  // namespace ash::ashc

@@ -1,0 +1,323 @@
+#include "ashc/rule.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ash::ashc {
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+const char* cmp_name(Cmp c) {
+  switch (c) {
+    case Cmp::Eq: return "==";
+    case Cmp::Ne: return "!=";
+    case Cmp::Lt: return "<";
+    case Cmp::Gt: return ">";
+    case Cmp::Range: return "in";
+  }
+  return "?";
+}
+
+void format_match(std::string& out, const Match& m) {
+  switch (m.kind) {
+    case Match::Kind::LenGe:
+      appendf(out, "len>=%u", m.value);
+      return;
+    case Match::Kind::LenLt:
+      appendf(out, "len<%u", m.value);
+      return;
+    case Match::Kind::Field:
+      break;
+  }
+  appendf(out, "msg[%u:w%u]", m.field.offset, m.field.width);
+  if (m.mask != 0) appendf(out, "&0x%x", m.mask);
+  if (m.cmp == Cmp::Range) {
+    appendf(out, " in [%u,%u]", m.value, m.value2);
+  } else {
+    appendf(out, " %s %u", cmp_name(m.cmp), m.value);
+  }
+}
+
+void format_pred(std::string& out, const Pred& p) {
+  switch (p.op) {
+    case Pred::Op::Atom:
+      format_match(out, p.atom);
+      return;
+    case Pred::Op::And:
+    case Pred::Op::Or: {
+      const char* sep = p.op == Pred::Op::And ? " && " : " || ";
+      if (p.kids.empty()) {
+        out += p.op == Pred::Op::And ? "true" : "false";
+        return;
+      }
+      out += '(';
+      for (std::size_t i = 0; i < p.kids.size(); ++i) {
+        if (i != 0) out += sep;
+        format_pred(out, p.kids[i]);
+      }
+      out += ')';
+      return;
+    }
+  }
+}
+
+void format_action(std::string& out, const Action& a) {
+  switch (a.kind) {
+    case Action::Kind::Count:
+      appendf(out, "count@%u", a.state_off);
+      return;
+    case Action::Kind::Sample:
+      appendf(out, "sample 1-in-%u @%u", a.n, a.state_off);
+      return;
+    case Action::Kind::StoreField:
+      appendf(out, "state[%u] = msg[%u:w%u]", a.state_off, a.field.offset,
+              a.field.width);
+      return;
+    case Action::Kind::StoreCksum:
+      appendf(out, "state[%u] = cksum(msg[%u..+%u])", a.state_off, a.msg_off,
+              a.len);
+      return;
+    case Action::Kind::CopyToState:
+      appendf(out, "state[%u..+%u] = msg[%u..]", a.state_off, a.len,
+              a.msg_off);
+      return;
+    case Action::Kind::Reply:
+      appendf(out, "reply state[%u..+%u]", a.state_off, a.len);
+      if (a.channel == kChannelArrival) {
+        out += " -> arrival";
+      } else {
+        appendf(out, " -> ch%d", a.channel);
+      }
+      for (const Splice& s : a.splices) {
+        if (s.from_state) {
+          appendf(out, ", splice@%u <- state[%u]", s.dst_off, s.state_src);
+        } else {
+          appendf(out, ", splice@%u <- msg[%u:w%u]", s.dst_off, s.src.offset,
+                  s.src.width);
+        }
+      }
+      return;
+    case Action::Kind::Steer:
+      if (a.channel == kChannelArrival) {
+        out += "steer -> arrival";
+      } else {
+        appendf(out, "steer -> ch%d", a.channel);
+      }
+      return;
+  }
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Pred p_atom(const Match& m) {
+  Pred p;
+  p.op = Pred::Op::Atom;
+  p.atom = m;
+  return p;
+}
+
+Pred p_and(std::vector<Pred> kids) {
+  Pred p;
+  p.op = Pred::Op::And;
+  p.kids = std::move(kids);
+  return p;
+}
+
+Pred p_or(std::vector<Pred> kids) {
+  Pred p;
+  p.op = Pred::Op::Or;
+  p.kids = std::move(kids);
+  return p;
+}
+
+Match m_eq(std::uint32_t offset, std::uint8_t width, std::uint32_t value) {
+  Match m;
+  m.field = {offset, width};
+  m.cmp = Cmp::Eq;
+  m.value = value;
+  return m;
+}
+
+Match m_ne(std::uint32_t offset, std::uint8_t width, std::uint32_t value) {
+  Match m = m_eq(offset, width, value);
+  m.cmp = Cmp::Ne;
+  return m;
+}
+
+Match m_mask(std::uint32_t offset, std::uint8_t width, std::uint32_t mask,
+             std::uint32_t value) {
+  Match m = m_eq(offset, width, value);
+  m.mask = mask;
+  return m;
+}
+
+Match m_range(std::uint32_t offset, std::uint8_t width, std::uint32_t lo,
+              std::uint32_t hi) {
+  Match m;
+  m.field = {offset, width};
+  m.cmp = Cmp::Range;
+  m.value = lo;
+  m.value2 = hi;
+  return m;
+}
+
+Match m_len_ge(std::uint32_t n) {
+  Match m;
+  m.kind = Match::Kind::LenGe;
+  m.value = n;
+  return m;
+}
+
+Match m_len_lt(std::uint32_t n) {
+  Match m;
+  m.kind = Match::Kind::LenLt;
+  m.value = n;
+  return m;
+}
+
+Action a_count(std::uint32_t state_off) {
+  Action a;
+  a.kind = Action::Kind::Count;
+  a.state_off = state_off;
+  return a;
+}
+
+Action a_sample(std::uint32_t n, std::uint32_t state_off) {
+  Action a;
+  a.kind = Action::Kind::Sample;
+  a.n = n;
+  a.state_off = state_off;
+  return a;
+}
+
+Action a_store_field(std::uint32_t state_off, Field field) {
+  Action a;
+  a.kind = Action::Kind::StoreField;
+  a.state_off = state_off;
+  a.field = field;
+  return a;
+}
+
+Action a_store_cksum(std::uint32_t state_off, std::uint32_t msg_off,
+                     std::uint32_t len) {
+  Action a;
+  a.kind = Action::Kind::StoreCksum;
+  a.state_off = state_off;
+  a.msg_off = msg_off;
+  a.len = len;
+  return a;
+}
+
+Action a_copy(std::uint32_t state_off, std::uint32_t msg_off,
+              std::uint32_t len) {
+  Action a;
+  a.kind = Action::Kind::CopyToState;
+  a.state_off = state_off;
+  a.msg_off = msg_off;
+  a.len = len;
+  return a;
+}
+
+Action a_reply(std::uint32_t state_off, std::uint32_t len, int channel,
+               std::vector<Splice> splices) {
+  Action a;
+  a.kind = Action::Kind::Reply;
+  a.state_off = state_off;
+  a.len = len;
+  a.channel = channel;
+  a.splices = std::move(splices);
+  return a;
+}
+
+Action a_steer(int channel) {
+  Action a;
+  a.kind = Action::Kind::Steer;
+  a.channel = channel;
+  return a;
+}
+
+std::vector<std::uint8_t> init_state(const RuleSet& rs) {
+  std::vector<std::uint8_t> state(rs.limits.state_bytes, 0);
+  for (const Template& t : rs.templates) {
+    for (std::size_t i = 0; i < t.bytes.size(); ++i) {
+      const std::uint64_t at = static_cast<std::uint64_t>(t.state_off) + i;
+      if (at >= state.size()) break;
+      state[at] = t.bytes[i];
+    }
+  }
+  return state;
+}
+
+std::string format(const RuleSet& rs) {
+  std::string out;
+  appendf(out, "ruleset %s: %zu rule(s), frame<=%u state=%u send<=%u, "
+               "default=%s\n",
+          rs.name.c_str(), rs.rules.size(), rs.limits.max_frame_bytes,
+          rs.limits.state_bytes, rs.limits.send_cap,
+          rs.default_verdict == Verdict::Accept ? "accept" : "deliver");
+  for (std::size_t i = 0; i < rs.rules.size(); ++i) {
+    const Rule& r = rs.rules[i];
+    appendf(out, "  [%zu] %s: ", i, r.name.c_str());
+    format_pred(out, r.pred);
+    out += "\n";
+    for (const Action& a : r.actions) {
+      out += "        -> ";
+      format_action(out, a);
+      out += "\n";
+    }
+    appendf(out, "        => %s\n",
+            r.verdict == Verdict::Accept ? "accept" : "deliver");
+  }
+  return out;
+}
+
+std::string to_json(const RuleSet& rs) {
+  std::string out = "{";
+  out += "\"name\":";
+  json_escape(out, rs.name);
+  appendf(out, ",\"max_frame_bytes\":%u,\"state_bytes\":%u,\"send_cap\":%u",
+          rs.limits.max_frame_bytes, rs.limits.state_bytes,
+          rs.limits.send_cap);
+  appendf(out, ",\"default\":\"%s\",\"rules\":[",
+          rs.default_verdict == Verdict::Accept ? "accept" : "deliver");
+  for (std::size_t i = 0; i < rs.rules.size(); ++i) {
+    const Rule& r = rs.rules[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":";
+    json_escape(out, r.name);
+    out += ",\"pred\":";
+    std::string pred;
+    format_pred(pred, r.pred);
+    json_escape(out, pred);
+    out += ",\"actions\":[";
+    for (std::size_t k = 0; k < r.actions.size(); ++k) {
+      if (k != 0) out += ',';
+      std::string act;
+      format_action(act, r.actions[k]);
+      json_escape(out, act);
+    }
+    appendf(out, "],\"verdict\":\"%s\"}",
+            r.verdict == Verdict::Accept ? "accept" : "deliver");
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ash::ashc

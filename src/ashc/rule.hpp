@@ -1,0 +1,205 @@
+// Declarative handler rules (ROADMAP item 5).
+//
+// A RuleSet is a first-match-wins list of rules over one in-flight
+// message: each rule is a predicate tree of header matches (field at
+// offset/width, masked, compared against a constant or range, composed
+// with and/or) bound to a list of actions (count, 1-in-N sample gating,
+// field/checksum transforms into handler state, copy-to-state, reply
+// from a template with spliced fields, steer the whole message to a
+// channel) and an exit verdict. This is the paper's DPF atom/compose
+// design extended from pure demultiplexing to whole message-processing
+// rules, in the spirit of Demaq (PAPERS.md): a ~20-line rule set replaces
+// a hand-written VCODE handler, and `ashc::compile()` (compile.hpp)
+// lowers it onto the unchanged verifier/backend/supervisor machinery.
+//
+// Two independent executions exist for every rule set:
+//   * ashc::compile()  -> a VCODE program run by the real kernel path;
+//   * ashc::eval()     -> a direct reference interpreter (eval.hpp).
+// The differential test layer (tests/ashc_diff_test.cpp) holds them
+// byte-equal on every backend; the semantics documented here are the
+// contract both sides implement.
+//
+// Message field semantics (must mirror AshEnv::t_msgload exactly): a
+// field of width w at offset o is extracted from the 32-bit
+// little-endian message word at logical offset o; when o + 4 exceeds
+// the frame length the WHOLE word reads as zero (even if the first
+// bytes exist), so the field value is 0. Fields are interpreted in
+// network byte order and converted to host order (the "byteswap
+// transform" — bswap16/bswap32 in the compiled code).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ash::ashc {
+
+/// A message header field: `width` in {1, 2, 4} bytes at byte `offset`,
+/// interpreted in network byte order.
+struct Field {
+  std::uint32_t offset = 0;
+  std::uint8_t width = 4;
+};
+
+enum class Cmp : std::uint8_t {
+  Eq,     // field == value
+  Ne,     // field != value
+  Lt,     // field <  value   (unsigned)
+  Gt,     // field >  value   (unsigned)
+  Range,  // value <= field <= value2 (unsigned, inclusive)
+};
+
+/// One predicate atom.
+struct Match {
+  enum class Kind : std::uint8_t {
+    Field,  // compare a masked header field
+    LenGe,  // frame length >= value
+    LenLt,  // frame length <  value
+  };
+  Kind kind = Kind::Field;
+  Field field{};
+  std::uint32_t mask = 0;  // 0 = full mask for the field width
+  Cmp cmp = Cmp::Eq;
+  std::uint32_t value = 0;
+  std::uint32_t value2 = 0;  // Range upper bound (inclusive)
+
+  /// The effective mask: `mask`, or the width's full mask when 0.
+  std::uint32_t effective_mask() const noexcept {
+    if (mask != 0) return mask;
+    return field.width == 1 ? 0xffu : field.width == 2 ? 0xffffu
+                                                       : 0xffffffffu;
+  }
+};
+
+/// Predicate tree: an atom, or an and/or over child predicates. An empty
+/// And is true; an empty Or is false.
+struct Pred {
+  enum class Op : std::uint8_t { Atom, And, Or };
+  Op op = Op::Atom;
+  Match atom{};
+  std::vector<Pred> kids;
+};
+
+Pred p_atom(const Match& m);
+Pred p_and(std::vector<Pred> kids);
+Pred p_or(std::vector<Pred> kids);
+
+// Convenience atom builders.
+Match m_eq(std::uint32_t offset, std::uint8_t width, std::uint32_t value);
+Match m_ne(std::uint32_t offset, std::uint8_t width, std::uint32_t value);
+Match m_mask(std::uint32_t offset, std::uint8_t width, std::uint32_t mask,
+             std::uint32_t value);
+Match m_range(std::uint32_t offset, std::uint8_t width, std::uint32_t lo,
+              std::uint32_t hi);
+Match m_len_ge(std::uint32_t n);
+Match m_len_lt(std::uint32_t n);
+
+/// Steer/Reply channel value meaning "the message's arrival/reply
+/// channel" (the handler's r4 argument) instead of a fixed channel.
+inline constexpr int kChannelArrival = -1;
+
+/// A spliced field inside a reply template: `width` bytes written at
+/// `dst_off` (relative to the template's state offset), sourced either
+/// from a message field (written in network byte order) or copied
+/// verbatim from 4 state bytes at `state_src`.
+struct Splice {
+  std::uint32_t dst_off = 0;
+  bool from_state = false;
+  Field src{};                  // message field (when !from_state)
+  std::uint32_t state_src = 0;  // state byte offset (when from_state)
+};
+
+/// One action. All state offsets are byte offsets into the rule set's
+/// state blob (RuleSet::Limits::state_bytes bytes at the attach-time
+/// user argument). Word-valued state (Count/Sample/StoreField/StoreCksum)
+/// must be 4-byte aligned — compile() rejects misaligned offsets.
+struct Action {
+  enum class Kind : std::uint8_t {
+    Count,        // u32 state[state_off] += 1
+    Sample,       // ++state[state_off]; continue this rule's remaining
+                  // actions only when the new count % n == 0
+    StoreField,   // state[state_off] = host-order field value (u32)
+    StoreCksum,   // state[state_off] = ones'-complement accumulation of
+                  // the message words at msg_off .. msg_off+len (len % 4
+                  // == 0; out-of-frame words read as zero)
+    CopyToState,  // state[state_off..+len) = message[msg_off..+len);
+                  // skipped entirely when msg_off+len exceeds the frame
+    Reply,        // splice fields into the template at state[state_off
+                  // ..+len), then send those state bytes on `channel`
+    Steer,        // send the whole message on `channel`
+  };
+  Kind kind = Kind::Count;
+  std::uint32_t state_off = 0;
+  Field field{};                // StoreField source
+  std::uint32_t n = 0;          // Sample modulus (must be > 0)
+  std::uint32_t msg_off = 0;    // StoreCksum / CopyToState source
+  std::uint32_t len = 0;        // StoreCksum / CopyToState / Reply length
+  int channel = kChannelArrival;  // Reply / Steer
+  std::vector<Splice> splices;  // Reply
+};
+
+Action a_count(std::uint32_t state_off);
+Action a_sample(std::uint32_t n, std::uint32_t state_off);
+Action a_store_field(std::uint32_t state_off, Field field);
+Action a_store_cksum(std::uint32_t state_off, std::uint32_t msg_off,
+                     std::uint32_t len);
+Action a_copy(std::uint32_t state_off, std::uint32_t msg_off,
+              std::uint32_t len);
+Action a_reply(std::uint32_t state_off, std::uint32_t len, int channel,
+               std::vector<Splice> splices = {});
+Action a_steer(int channel);
+
+/// Exit verdict: Accept commits (Halt — the message is consumed, and the
+/// rule's collected sends are released); Deliver aborts voluntarily
+/// (Abort — the message falls back to the normal delivery path and any
+/// collected sends are DISCARDED, mirroring the kernel's send-release
+/// contract).
+enum class Verdict : std::uint8_t { Accept, Deliver };
+
+struct Rule {
+  std::string name;
+  Pred pred;
+  std::vector<Action> actions;
+  Verdict verdict = Verdict::Accept;
+};
+
+/// A reply template's initial bytes, placed into the state blob by
+/// init_state(). Splices overwrite parts of it at run time.
+struct Template {
+  std::uint32_t state_off = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Declared resource bounds. These become the verifier's BoundsPolicy
+/// windows (vcode::VerifyPolicy::bounds): every compiled message load
+/// must start within `max_frame_bytes`, every state access must stay
+/// inside `state_bytes`, and no reply may exceed `send_cap` bytes.
+struct Limits {
+  std::uint32_t max_frame_bytes = 256;
+  std::uint32_t state_bytes = 64;
+  std::uint32_t send_cap = 128;
+};
+
+/// An ordered, first-match-wins rule list. When no rule matches, the
+/// default verdict applies with no actions.
+struct RuleSet {
+  std::string name;
+  std::vector<Rule> rules;
+  Verdict default_verdict = Verdict::Deliver;
+  Limits limits{};
+  std::vector<Template> templates;
+};
+
+/// The initial state image (Limits::state_bytes zero bytes with the
+/// templates placed). Template bytes falling outside the declared state
+/// region are silently dropped — the verifier rejects any rule that
+/// would touch them.
+std::vector<std::uint8_t> init_state(const RuleSet& rs);
+
+/// Human-readable dump of a rule set (what `ashtool rules` prints).
+std::string format(const RuleSet& rs);
+
+/// JSON dump of a rule set.
+std::string to_json(const RuleSet& rs);
+
+}  // namespace ash::ashc

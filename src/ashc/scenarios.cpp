@@ -1,0 +1,185 @@
+#include "ashc/scenarios.hpp"
+
+#include "util/byteorder.hpp"
+
+namespace ash::ashc {
+namespace {
+
+/// A frame of `len` zero bytes with a big-endian 16-bit value planted.
+std::vector<std::uint8_t> frame_be16(std::size_t len, std::uint32_t off,
+                                     std::uint16_t v) {
+  std::vector<std::uint8_t> f(len, 0);
+  util::store_be16(f.data() + off, v);
+  return f;
+}
+
+std::vector<std::uint8_t> kv_frame(std::uint32_t op, std::uint32_t key,
+                                   std::uint32_t value) {
+  std::vector<std::uint8_t> f(12, 0);
+  util::store_be32(f.data() + 0, op);
+  util::store_be32(f.data() + 4, key);
+  util::store_be32(f.data() + 8, value);
+  return f;
+}
+
+}  // namespace
+
+RuleSet lb_rules() {
+  RuleSet rs;
+  rs.name = "lb";
+  const auto backend = [](const char* name, std::uint32_t lo,
+                          std::uint32_t hi, int chan) {
+    Rule r;
+    r.name = name;
+    r.pred = p_and({p_atom(m_len_ge(40)), p_atom(m_range(36, 2, lo, hi))});
+    r.actions = {a_steer(chan)};
+    r.verdict = Verdict::Accept;
+    return r;
+  };
+  rs.rules.push_back(backend("pool-a", 8000, 8099, 1));
+  rs.rules.push_back(backend("pool-b", 8100, 8199, 2));
+  rs.rules.push_back(backend("pool-c", 8200, 8299, 3));
+  rs.default_verdict = Verdict::Deliver;
+  return rs;
+}
+
+RuleSet kv_rules() {
+  // State layout: [0] GET counter, [4] PUT counter, [8..12) cached value
+  // bytes, [16..28) the 12-byte GET reply template (magic "KVRP", then
+  // the spliced key, then the spliced cached value).
+  RuleSet rs;
+  rs.name = "kv";
+  rs.templates.push_back({16, {'K', 'V', 'R', 'P', 0, 0, 0, 0, 0, 0, 0, 0}});
+
+  Rule get;
+  get.name = "get";
+  get.pred = p_and({p_atom(m_eq(0, 4, 1)), p_atom(m_len_ge(12))});
+  Splice key;
+  key.dst_off = 4;
+  key.src = {4, 4};
+  Splice value;
+  value.dst_off = 8;
+  value.from_state = true;
+  value.state_src = 8;
+  get.actions = {a_count(0), a_reply(16, 12, kChannelArrival, {key, value})};
+  get.verdict = Verdict::Accept;
+  rs.rules.push_back(std::move(get));
+
+  Rule put;
+  put.name = "put";
+  put.pred = p_and({p_atom(m_eq(0, 4, 2)), p_atom(m_len_ge(12))});
+  put.actions = {a_count(4), a_copy(8, 8, 4)};
+  put.verdict = Verdict::Accept;
+  rs.rules.push_back(std::move(put));
+
+  rs.default_verdict = Verdict::Deliver;
+  return rs;
+}
+
+RuleSet sampler_rules() {
+  // State layout: [0] frame counter, [4] last digest, [8] sample counter,
+  // [16..24) the 8-byte digest reply template ("TD" tag + spliced digest).
+  RuleSet rs;
+  rs.name = "sampler";
+  rs.templates.push_back({16, {'T', 'D', 0, 0, 0, 0, 0, 0}});
+
+  Rule telemetry;
+  telemetry.name = "telemetry";
+  telemetry.pred = p_atom(m_eq(0, 2, 0x5454));
+  Splice digest;
+  digest.dst_off = 4;
+  digest.from_state = true;
+  digest.state_src = 4;
+  telemetry.actions = {a_count(0), a_store_cksum(4, 0, 16), a_sample(8, 8),
+                       a_reply(16, 8, kChannelArrival, {digest})};
+  telemetry.verdict = Verdict::Accept;
+  rs.rules.push_back(std::move(telemetry));
+
+  rs.default_verdict = Verdict::Deliver;
+  return rs;
+}
+
+RuleSet firewall_rules() {
+  // State layout: [0] short-frame drops, [4] policy drops.
+  RuleSet rs;
+  rs.name = "firewall";
+
+  const auto allow = [](const char* name, Pred pred) {
+    Rule r;
+    r.name = name;
+    r.pred = std::move(pred);
+    r.verdict = Verdict::Deliver;
+    return r;
+  };
+  rs.rules.push_back(allow(
+      "tcp-http", p_and({p_atom(m_eq(23, 1, 6)),
+                         p_or({p_atom(m_eq(36, 2, 80)),
+                               p_atom(m_eq(36, 2, 443))})})));
+  rs.rules.push_back(allow(
+      "udp-media", p_and({p_atom(m_eq(23, 1, 17)),
+                          p_atom(m_range(36, 2, 5000, 5100))})));
+
+  Rule runt;
+  runt.name = "drop-runt";
+  runt.pred = p_atom(m_len_lt(20));
+  runt.actions = {a_count(0)};
+  runt.verdict = Verdict::Accept;  // consume: silent drop
+  rs.rules.push_back(std::move(runt));
+
+  Rule deny;
+  deny.name = "drop-rest";
+  deny.pred = p_and({});  // always true
+  deny.actions = {a_count(4)};
+  deny.verdict = Verdict::Accept;
+  rs.rules.push_back(std::move(deny));
+
+  rs.default_verdict = Verdict::Deliver;  // unreachable behind drop-rest
+  return rs;
+}
+
+std::vector<std::string> scenario_names() {
+  return {"lb", "kv", "sampler", "firewall"};
+}
+
+RuleSet scenario(const std::string& name) {
+  if (name == "lb") return lb_rules();
+  if (name == "kv") return kv_rules();
+  if (name == "sampler") return sampler_rules();
+  if (name == "firewall") return firewall_rules();
+  return {};
+}
+
+std::vector<std::vector<std::uint8_t>> demo_frames(const std::string& name) {
+  std::vector<std::vector<std::uint8_t>> out;
+  if (name == "lb") {
+    out.push_back(frame_be16(64, 36, 8042));   // pool-a
+    out.push_back(frame_be16(64, 36, 8150));   // pool-b
+    out.push_back(frame_be16(64, 36, 9000));   // no pool: deliver
+    out.push_back(frame_be16(38, 36, 8042));   // too short: deliver
+  } else if (name == "kv") {
+    out.push_back(kv_frame(2, 0xabcd0001, 0x11223344));  // PUT
+    out.push_back(kv_frame(1, 0xabcd0001, 0));           // GET -> reply
+    out.push_back(kv_frame(7, 0, 0));                    // unknown op
+  } else if (name == "sampler") {
+    for (int i = 0; i < 9; ++i) {
+      auto f = frame_be16(32, 0, 0x5454);
+      f[4] = static_cast<std::uint8_t>(i);  // vary the digest input
+      out.push_back(std::move(f));
+    }
+    out.push_back(frame_be16(32, 0, 0x1111));  // untagged: deliver
+  } else if (name == "firewall") {
+    auto tcp80 = frame_be16(64, 36, 80);
+    tcp80[23] = 6;
+    out.push_back(std::move(tcp80));
+    auto udp5050 = frame_be16(64, 36, 5050);
+    udp5050[23] = 17;
+    out.push_back(std::move(udp5050));
+    auto tcp22 = frame_be16(64, 36, 22);
+    tcp22[23] = 6;
+    out.push_back(std::move(tcp22));           // policy drop
+    out.push_back(std::vector<std::uint8_t>(8, 0));  // runt drop
+  }
+  return out;
+}
+
+}  // namespace ash::ashc

@@ -1,0 +1,50 @@
+// The four rule-built reference scenarios (ISSUE/ROADMAP item 5): an L4
+// load-balancer, a single-slot KV cache, a 1-in-N telemetry sampler, and
+// a stateless default-deny firewall. Each is a ~20-line rule set where
+// the pre-rule-compiler repo needed a hand-written VCODE handler.
+//
+// They are shared by bench_rules (compiled vs hand-written twins),
+// `ashtool rules` (dump + demo evaluation), the examples, and the golden
+// tests — one definition, many consumers, so the goldens pin exactly
+// what the bench runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ashc/rule.hpp"
+
+namespace ash::ashc {
+
+/// L4 load balancer: frames with a big-endian destination port at byte
+/// 36 are steered to backend channels 1..3 by port range; everything
+/// else falls through to normal delivery.
+RuleSet lb_rules();
+
+/// Single-slot KV cache: op word at 0 (1 = GET, 2 = PUT), key at 4,
+/// value at 8. GET replies from a 12-byte template with the key and the
+/// cached value spliced in; PUT caches the value bytes.
+RuleSet kv_rules();
+
+/// Telemetry sampler: counts every 0x5454-tagged frame, checksums its
+/// first 16 bytes, and forwards a digest reply for 1 in 8.
+RuleSet sampler_rules();
+
+/// Stateless default-deny firewall: allow TCP:80, TCP:443 and
+/// UDP:5000-5100 through to normal delivery; count and silently consume
+/// everything else (short frames on their own counter).
+RuleSet firewall_rules();
+
+/// The scenario registry: stable keys, in display order.
+std::vector<std::string> scenario_names();
+
+/// Scenario by key ("lb", "kv", "sampler", "firewall"). Returns an empty
+/// rule set (no rules, empty name) for an unknown key.
+RuleSet scenario(const std::string& name);
+
+/// Deterministic demo frames for a scenario — what `ashtool rules` runs
+/// through eval() to show the rule set deciding.
+std::vector<std::vector<std::uint8_t>> demo_frames(const std::string& name);
+
+}  // namespace ash::ashc

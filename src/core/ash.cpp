@@ -2,9 +2,12 @@
 
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <stdexcept>
 
+#include "ashc/compile.hpp"
+#include "ashc/rule.hpp"
 #include "core/ash_env.hpp"
 #include "core/tenant.hpp"
 #include "trace/trace.hpp"
@@ -130,6 +133,48 @@ int AshSystem::download(sim::Process& owner, const vcode::Program& prog,
 
   installed_.push_back(std::move(entry));
   return static_cast<int>(installed_.size() - 1);
+}
+
+int AshSystem::download_rules(sim::Process& owner,
+                              const ashc::RuleSet& rules,
+                              std::uint32_t state_addr,
+                              const AshOptions& opts, std::string* error) {
+  ashc::Compiled compiled = ashc::compile(rules);
+  if (!compiled.ok) {
+    if (error != nullptr) *error = "rule compile failed: " + compiled.error;
+    return -1;
+  }
+  // The bounds pass is the rule layer's whole safety argument: a compiled
+  // program must PROVE every access stays in its declared windows before
+  // the ordinary download (structural verify + sandbox) even sees it.
+  const auto verdict =
+      vcode::verify(compiled.program, ashc::verify_policy(rules));
+  if (!verdict.ok()) {
+    if (error != nullptr) {
+      *error = "rule bounds verification failed:\n" + verdict.to_string();
+    }
+    return -1;
+  }
+
+  const sim::MemSegment& seg = owner.segment();
+  const std::uint32_t state_bytes = rules.limits.state_bytes;
+  if (state_addr % 4 != 0 || state_addr < seg.base ||
+      static_cast<std::uint64_t>(state_addr) + state_bytes >
+          static_cast<std::uint64_t>(seg.base) + seg.size) {
+    if (error != nullptr) {
+      *error = "rule state address outside the owner's segment";
+    }
+    return -1;
+  }
+  const std::vector<std::uint8_t> image = ashc::init_state(rules);
+  std::uint8_t* dst = node_.mem(state_addr, state_bytes);
+  if (dst == nullptr) {
+    if (error != nullptr) *error = "rule state address unmapped";
+    return -1;
+  }
+  std::memcpy(dst, image.data(), image.size());
+
+  return download(owner, compiled.program, opts, error);
 }
 
 void AshSystem::set_livelock_quota(std::uint32_t quota, sim::Cycles window) {

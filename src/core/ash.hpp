@@ -55,6 +55,10 @@ namespace ash::trace {
 enum class DenyReason : std::uint8_t;
 }  // namespace ash::trace
 
+namespace ash::ashc {
+struct RuleSet;
+}  // namespace ash::ashc
+
 namespace ash::core {
 
 class TenantScheduler;
@@ -173,6 +177,18 @@ class AshSystem {
   int download(sim::Process& owner, const vcode::Program& prog,
                const AshOptions& opts, std::string* error,
                sandbox::Report* report = nullptr);
+
+  /// Download a declarative rule set (src/ashc): compile it to VCODE,
+  /// verify the result under the rule set's bounds policy (message
+  /// window, state window, send cap — ashc::verify_policy), write the
+  /// initial state image at `state_addr` in the owner's segment
+  /// (4-aligned, Limits::state_bytes long), then install through the
+  /// normal download path. Attach with user_arg = state_addr so the
+  /// handler's r3 points at its state blob. Returns the ASH id, or -1
+  /// with `error` set at whichever stage rejected the rules.
+  int download_rules(sim::Process& owner, const ashc::RuleSet& rules,
+                     std::uint32_t state_addr, const AshOptions& opts,
+                     std::string* error);
 
   /// Attach a downloaded ASH to an AN2 virtual circuit. Replies via TSend
   /// go out on this device.

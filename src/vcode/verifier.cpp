@@ -1,15 +1,369 @@
 #include "vcode/verifier.hpp"
 
 #include <cstdio>
+#include <deque>
 
 namespace ash::vcode {
 namespace {
 
-void issue(VerifyResult& r, std::uint32_t pc, std::string msg) {
-  r.issues.push_back({pc, std::move(msg)});
+void issue(VerifyResult& r, std::uint32_t pc, std::string msg,
+           VerifyCode code = VerifyCode::Structural) {
+  r.issues.push_back({pc, std::move(msg), code});
+}
+
+// ---------------------------------------------------------------- bounds
+//
+// Forward dataflow over abstract register values. The lattice per
+// register is flat: Top (unknown), a compile-time constant, or an offset
+// from one of the invocation arguments (message base r1, message length
+// r2, state/user argument r3, arrival channel r4). The entry state knows
+// the argument registers and that everything else starts zeroed; meet of
+// two different values is Top. Compiled rule programs keep every offset
+// and length a materialized constant, so the pass stays exact on them —
+// anything else earns a typed *Untracked rejection.
+
+struct AbsVal {
+  enum class K : std::uint8_t { Top, Const, MsgBase, MsgLen, Arg, Chan };
+  K k = K::Top;
+  std::uint32_t off = 0;  // Const value / MsgBase/Arg byte offset
+
+  bool operator==(const AbsVal& o) const noexcept {
+    return k == o.k && (off == o.off || k == K::Top || k == K::MsgLen ||
+                        k == K::Chan);
+  }
+};
+
+constexpr AbsVal top() { return {AbsVal::K::Top, 0}; }
+constexpr AbsVal cst(std::uint32_t v) { return {AbsVal::K::Const, v}; }
+
+struct RegState {
+  AbsVal r[kNumRegs];
+};
+
+bool meet_into(RegState& dst, const RegState& src) {
+  bool changed = false;
+  for (std::uint32_t i = 0; i < kNumRegs; ++i) {
+    if (dst.r[i] == src.r[i]) continue;
+    if (dst.r[i].k != AbsVal::K::Top) {
+      dst.r[i] = top();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+AbsVal add_imm(const AbsVal& v, std::uint32_t imm) {
+  switch (v.k) {
+    case AbsVal::K::Const:
+    case AbsVal::K::MsgBase:
+    case AbsVal::K::Arg:
+      return {v.k, v.off + imm};
+    default:
+      return top();
+  }
+}
+
+AbsVal add_vals(const AbsVal& a, const AbsVal& b) {
+  if (a.k == AbsVal::K::Const) return add_imm(b, a.off);
+  if (b.k == AbsVal::K::Const) return add_imm(a, b.off);
+  return top();
+}
+
+AbsVal sub_vals(const AbsVal& a, const AbsVal& b) {
+  if (b.k != AbsVal::K::Const) return top();
+  switch (a.k) {
+    case AbsVal::K::Const:
+    case AbsVal::K::MsgBase:
+    case AbsVal::K::Arg:
+      return {a.k, a.off - b.off};
+    default:
+      return top();
+  }
+}
+
+/// Bytes a plain memory op touches.
+std::uint32_t mem_access_size(Op op) {
+  switch (op) {
+    case Op::Lw:
+    case Op::Sw:
+    case Op::Lwu_u:
+    case Op::Sw_u:
+      return 4;
+    case Op::Lhu:
+    case Op::Lh:
+    case Op::Sh:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+/// The transfer function: abstract effect of one instruction on `st`.
+void transfer(const Insn& insn, RegState& st) {
+  const OpInfo& info = op_info(insn.op);
+  const auto v = [&st](Reg r) -> AbsVal {
+    return r == 0 ? cst(0) : st.r[r];
+  };
+  const auto w = [&st](Reg r, AbsVal val) {
+    if (r != 0) st.r[r] = val;  // r0 stays hardwired zero
+  };
+
+  switch (insn.op) {
+    case Op::Movi:
+      w(insn.a, cst(insn.imm));
+      return;
+    case Op::Mov:
+      w(insn.a, v(insn.b));
+      return;
+    case Op::Addiu:
+      w(insn.a, add_imm(v(insn.b), insn.imm));
+      return;
+    case Op::Addu:
+      w(insn.a, add_vals(v(insn.b), v(insn.c)));
+      return;
+    case Op::Subu:
+      w(insn.a, sub_vals(v(insn.b), v(insn.c)));
+      return;
+    case Op::TMsgLen:
+      w(insn.a, {AbsVal::K::MsgLen, 0});
+      return;
+    case Op::TSend:
+    case Op::TDilp:
+    case Op::TUserCopy:
+      // These trusted calls report their status in r1.
+      w(kRegArg0, top());
+      return;
+    default:
+      if (info.writes_a) w(insn.a, top());
+      return;
+  }
+}
+
+void check_bounds(const Program& prog, const BoundsPolicy& bounds,
+                  VerifyResult& result) {
+  const std::uint32_t n = static_cast<std::uint32_t>(prog.insns.size());
+
+  // Entry state: argument registers bound, everything else zeroed.
+  RegState entry;
+  for (std::uint32_t i = 0; i < kNumRegs; ++i) entry.r[i] = cst(0);
+  entry.r[kRegArg0] = {AbsVal::K::MsgBase, 0};
+  entry.r[kRegArg1] = {AbsVal::K::MsgLen, 0};
+  entry.r[kRegArg2] = {AbsVal::K::Arg, 0};
+  entry.r[kRegArg3] = {AbsVal::K::Chan, 0};
+
+  // Conservative return-site set: Ret may resume after any Call.
+  std::vector<std::uint32_t> ret_sites;
+  for (std::uint32_t pc = 0; pc < n; ++pc) {
+    if (prog.insns[pc].op == Op::Call && pc + 1 < n) {
+      ret_sites.push_back(pc + 1);
+    }
+  }
+
+  std::vector<RegState> in(n);
+  std::vector<std::uint8_t> reached(n, 0);
+  std::deque<std::uint32_t> work;
+  in[0] = entry;
+  reached[0] = 1;
+  work.push_back(0);
+
+  const auto propagate = [&](std::uint32_t to, const RegState& st) {
+    if (to >= n) return;  // structural pass reports the bad target
+    if (!reached[to]) {
+      reached[to] = 1;
+      in[to] = st;
+      work.push_back(to);
+    } else if (meet_into(in[to], st)) {
+      work.push_back(to);
+    }
+  };
+
+  while (!work.empty()) {
+    const std::uint32_t pc = work.front();
+    work.pop_front();
+    const Insn& insn = prog.insns[pc];
+    RegState out = in[pc];
+    transfer(insn, out);
+
+    switch (insn.op) {
+      case Op::Halt:
+      case Op::Abort:
+        break;
+      case Op::Jmp:
+        propagate(insn.imm, out);
+        break;
+      case Op::Call:
+        propagate(insn.imm, out);
+        break;
+      case Op::Ret:
+        for (std::uint32_t site : ret_sites) propagate(site, out);
+        break;
+      case Op::Jr:
+      case Op::JrChk:
+        for (std::uint32_t t : prog.indirect_targets) propagate(t, out);
+        for (const auto& [from, to] : prog.indirect_map) {
+          (void)from;
+          propagate(to, out);
+        }
+        break;
+      default:
+        if (op_info(insn.op).is_branch) propagate(insn.imm, out);
+        propagate(pc + 1, out);
+        break;
+    }
+  }
+
+  // With the fixpoint in hand, check every reachable access site.
+  char buf[160];
+  const auto fail = [&](std::uint32_t pc, VerifyCode code, const char* fmt,
+                        auto... args) {
+    const int k = std::snprintf(buf, sizeof buf, fmt, args...);
+    issue(result, pc, std::string(buf, static_cast<std::size_t>(k > 0 ? k : 0)),
+          code);
+  };
+
+  for (std::uint32_t pc = 0; pc < n; ++pc) {
+    if (!reached[pc]) continue;
+    const Insn& insn = prog.insns[pc];
+    RegState st = in[pc];
+    const auto v = [&st](Reg r) -> AbsVal {
+      return r == 0 ? cst(0) : st.r[r];
+    };
+
+    switch (insn.op) {
+      case Op::TMsgLoad: {
+        const AbsVal off = add_imm(v(insn.b), insn.imm);
+        if (off.k != AbsVal::K::Const) {
+          fail(pc, VerifyCode::MsgLoadUntracked,
+               "bounds: message-load offset is not a tracked constant");
+        } else if (static_cast<std::uint64_t>(off.off) + 4 >
+                   bounds.msg_window) {
+          fail(pc, VerifyCode::MsgLoadOutOfWindow,
+               "bounds: message load at offset %u exceeds the declared "
+               "%u-byte message window",
+               off.off, bounds.msg_window);
+        }
+        break;
+      }
+      case Op::TUserCopy: {
+        const AbsVal dst = v(insn.a), src = v(insn.b), len = v(insn.c);
+        if (len.k != AbsVal::K::Const) {
+          fail(pc, VerifyCode::CopyUntracked,
+               "bounds: copy length is not a tracked constant");
+          break;
+        }
+        const std::uint64_t nbytes = len.off;
+        if (dst.k != AbsVal::K::Arg) {
+          fail(pc, VerifyCode::CopyUntracked,
+               "bounds: copy destination is not state-relative");
+        } else if (dst.off + nbytes > bounds.state_window) {
+          fail(pc, VerifyCode::CopyOutOfWindow,
+               "bounds: copy writes state bytes %u..%llu outside the "
+               "%u-byte state window",
+               dst.off, static_cast<unsigned long long>(dst.off + nbytes),
+               bounds.state_window);
+        }
+        if (src.k == AbsVal::K::MsgBase) {
+          if (src.off + nbytes > bounds.msg_window) {
+            fail(pc, VerifyCode::CopyOutOfWindow,
+                 "bounds: copy reads message bytes %u..%llu outside the "
+                 "%u-byte message window",
+                 src.off, static_cast<unsigned long long>(src.off + nbytes),
+                 bounds.msg_window);
+          }
+        } else if (src.k == AbsVal::K::Arg) {
+          if (src.off + nbytes > bounds.state_window) {
+            fail(pc, VerifyCode::CopyOutOfWindow,
+                 "bounds: copy reads state bytes %u..%llu outside the "
+                 "%u-byte state window",
+                 src.off, static_cast<unsigned long long>(src.off + nbytes),
+                 bounds.state_window);
+          }
+        } else {
+          fail(pc, VerifyCode::CopyUntracked,
+               "bounds: copy source is neither message- nor state-relative");
+        }
+        break;
+      }
+      case Op::TSend: {
+        const AbsVal addr = v(insn.b), len = v(insn.c);
+        // Forwarding the whole message (addr = r1, len = r2) is always
+        // admitted; the kernel's runtime range check covers it.
+        if (addr.k == AbsVal::K::MsgBase && addr.off == 0 &&
+            len.k == AbsVal::K::MsgLen) {
+          break;
+        }
+        if (len.k != AbsVal::K::Const) {
+          fail(pc, VerifyCode::SendUntracked,
+               "bounds: send length is neither the message length nor a "
+               "tracked constant");
+          break;
+        }
+        if (len.off > bounds.send_cap) {
+          fail(pc, VerifyCode::SendOverCap,
+               "bounds: send of %u bytes exceeds the %u-byte send cap",
+               len.off, bounds.send_cap);
+        }
+        const std::uint64_t nbytes = len.off;
+        if (addr.k == AbsVal::K::Arg) {
+          if (addr.off + nbytes > bounds.state_window) {
+            fail(pc, VerifyCode::SendOutOfWindow,
+                 "bounds: send of state bytes %u..%llu outside the "
+                 "%u-byte state window",
+                 addr.off,
+                 static_cast<unsigned long long>(addr.off + nbytes),
+                 bounds.state_window);
+          }
+        } else if (addr.k == AbsVal::K::MsgBase) {
+          if (addr.off + nbytes > bounds.msg_window) {
+            fail(pc, VerifyCode::SendOutOfWindow,
+                 "bounds: send of message bytes %u..%llu outside the "
+                 "%u-byte message window",
+                 addr.off,
+                 static_cast<unsigned long long>(addr.off + nbytes),
+                 bounds.msg_window);
+          }
+        } else {
+          fail(pc, VerifyCode::SendUntracked,
+               "bounds: send address is neither message- nor "
+               "state-relative");
+        }
+        break;
+      }
+      case Op::TDilp:
+        fail(pc, VerifyCode::DilpForbidden,
+             "bounds: TDilp is not admitted under a bounds policy");
+        break;
+      default: {
+        if (!op_info(insn.op).is_mem) break;
+        const AbsVal base = add_imm(v(insn.b), insn.imm);
+        const std::uint32_t size = mem_access_size(insn.op);
+        if (base.k != AbsVal::K::Arg) {
+          fail(pc, VerifyCode::MemUntracked,
+               "bounds: %s base is not state-relative",
+               op_info(insn.op).name);
+        } else if (static_cast<std::uint64_t>(base.off) + size >
+                   bounds.state_window) {
+          fail(pc, VerifyCode::MemOutOfWindow,
+               "bounds: %s of state bytes %u..%llu outside the %u-byte "
+               "state window",
+               op_info(insn.op).name, base.off,
+               static_cast<unsigned long long>(base.off + size),
+               bounds.state_window);
+        }
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace
+
+bool VerifyResult::has(VerifyCode code) const noexcept {
+  for (const VerifyIssue& i : issues) {
+    if (i.code == code) return true;
+  }
+  return false;
+}
 
 std::string VerifyResult::to_string() const {
   std::string out;
@@ -111,6 +465,12 @@ VerifyResult verify(const Program& prog, const VerifyPolicy& policy) {
       break;
     default:
       issue(result, n - 1, "control can fall off the end of the program");
+  }
+
+  // The bounds pass needs a structurally sound program (in-range branch
+  // targets, valid opcodes) to walk; run it only once that holds.
+  if (policy.bounds.enabled && result.ok()) {
+    check_bounds(prog, policy.bounds, result);
   }
 
   return result;

@@ -5,6 +5,15 @@
 // structurally well formed and that it uses no instruction class the policy
 // forbids (floating point, signed-overflow arithmetic, trusted entry points
 // it has no right to, pipe I/O outside pipe bodies).
+//
+// The optional BoundsPolicy adds the static half of the rule-compiler
+// contract (DESIGN.md "Declarative rule compiler"): a forward
+// constant-tracking dataflow pass proves that every message load, state
+// access, user copy, and send in the program stays inside windows the
+// downloader declared. It is designed for compiler output — programs whose
+// offsets and lengths are materialized constants relative to the argument
+// registers — and rejects anything it cannot track with a typed error,
+// never a crash.
 #pragma once
 
 #include <string>
@@ -14,6 +23,37 @@
 
 namespace ash::vcode {
 
+/// Typed verifier error classes. Structural covers every pre-existing
+/// shape/policy check; the Bounds* values are produced only by the
+/// BoundsPolicy pass below.
+enum class VerifyCode : std::uint8_t {
+  Structural,
+  MsgLoadUntracked,   // TMsgLoad offset is not a compile-time constant
+  MsgLoadOutOfWindow, // TMsgLoad word extends past the message window
+  CopyUntracked,      // TUserCopy operand not trackable / non-constant len
+  CopyOutOfWindow,    // TUserCopy range outside the state/message window
+  SendUntracked,      // TSend operands not trackable
+  SendOverCap,        // TSend constant length exceeds the send cap
+  SendOutOfWindow,    // TSend range outside the state/message window
+  MemUntracked,       // plain load/store base not state-relative
+  MemOutOfWindow,     // plain load/store outside the state window
+  DilpForbidden,      // TDilp is not admitted under a bounds policy
+};
+
+/// Declared windows for the bounds pass. All three are byte counts:
+/// message loads must start words inside `msg_window` (relative to
+/// logical message offset 0), plain memory accesses and state-side
+/// copy/send ranges must fit in `state_window` bytes at the r3 argument,
+/// and no constant-length send may exceed `send_cap` bytes. Forwarding
+/// the whole message (TSend of exactly r1/r2) is always admitted — the
+/// kernel's runtime range check covers it.
+struct BoundsPolicy {
+  bool enabled = false;
+  std::uint32_t msg_window = 0;
+  std::uint32_t state_window = 0;
+  std::uint32_t send_cap = 0;
+};
+
 /// What a given context allows a program to contain.
 struct VerifyPolicy {
   bool allow_fp = false;          // Section III-B1: FP banned in ASHs
@@ -21,16 +61,20 @@ struct VerifyPolicy {
   bool allow_trusted = true;      // kernel entry points (ASHs: yes)
   bool allow_pipe_io = false;     // Pin*/Pout* only inside pipe bodies
   bool allow_indirect = true;     // Jr
+  BoundsPolicy bounds{};          // off by default: structural checks only
 };
 
 struct VerifyIssue {
   std::uint32_t pc;
   std::string message;
+  VerifyCode code = VerifyCode::Structural;
 };
 
 struct VerifyResult {
   std::vector<VerifyIssue> issues;
   bool ok() const noexcept { return issues.empty(); }
+  /// True when any issue carries `code`.
+  bool has(VerifyCode code) const noexcept;
   /// All issues joined for error reporting.
   std::string to_string() const;
 };

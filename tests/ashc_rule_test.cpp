@@ -1,0 +1,276 @@
+// Unit tests for the rule language itself: builders, dumps, the state
+// image, field extraction under the whole-word contract, compiler output
+// shape, and the download_rules() kernel path (happy + every error leg).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ashc/compile.hpp"
+#include "ashc/eval.hpp"
+#include "ashc/rule.hpp"
+#include "ashc/scenarios.hpp"
+#include "core/ash.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+#include "vcode/program.hpp"
+
+namespace ash::ashc {
+namespace {
+
+using sim::Process;
+using sim::Simulator;
+using sim::Task;
+using sim::us;
+
+TEST(AshcRule, BuildersFillFields) {
+  const Match e = m_eq(12, 2, 0x0800);
+  EXPECT_EQ(e.kind, Match::Kind::Field);
+  EXPECT_EQ(e.field.offset, 12u);
+  EXPECT_EQ(e.field.width, 2);
+  EXPECT_EQ(e.cmp, Cmp::Eq);
+  EXPECT_EQ(e.value, 0x0800u);
+  EXPECT_EQ(e.effective_mask(), 0xffffu);
+
+  const Match m = m_mask(0, 4, 0xff00ff00u, 0x1200'3400u);
+  EXPECT_EQ(m.effective_mask(), 0xff00ff00u);
+
+  const Match r = m_range(36, 2, 8000, 8099);
+  EXPECT_EQ(r.cmp, Cmp::Range);
+  EXPECT_EQ(r.value, 8000u);
+  EXPECT_EQ(r.value2, 8099u);
+
+  EXPECT_EQ(m_len_ge(40).kind, Match::Kind::LenGe);
+  EXPECT_EQ(m_len_lt(20).kind, Match::Kind::LenLt);
+
+  const Pred p = p_or({p_atom(m_eq(0, 1, 6)), p_atom(m_eq(0, 1, 17))});
+  EXPECT_EQ(p.op, Pred::Op::Or);
+  EXPECT_EQ(p.kids.size(), 2u);
+
+  const Action s = a_sample(8, 12);
+  EXPECT_EQ(s.kind, Action::Kind::Sample);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_EQ(s.state_off, 12u);
+
+  const Action rp = a_reply(16, 12, kChannelArrival,
+                            {Splice{4, false, Field{4, 4}, 0}});
+  EXPECT_EQ(rp.kind, Action::Kind::Reply);
+  EXPECT_EQ(rp.splices.size(), 1u);
+  EXPECT_EQ(a_steer(2).channel, 2);
+}
+
+TEST(AshcRule, FieldValueWholeWordContract) {
+  // 8-byte frame; word at offset 4 fits exactly, word at 5 does not.
+  const std::vector<std::uint8_t> f = {0x12, 0x34, 0x56, 0x78,
+                                       0xaa, 0xbb, 0xcc, 0xdd};
+  // Network order: w4 at 0 is 0x12345678.
+  EXPECT_EQ(field_value(f, Field{0, 4}), 0x12345678u);
+  EXPECT_EQ(field_value(f, Field{0, 2}), 0x1234u);
+  EXPECT_EQ(field_value(f, Field{1, 1}), 0x34u);
+  EXPECT_EQ(field_value(f, Field{4, 4}), 0xaabbccddu);
+  // offset 5: word [5..9) extends past len 8 -> WHOLE word zero, so even
+  // the bytes that do exist read as zero.
+  EXPECT_EQ(field_value(f, Field{5, 1}), 0u);
+  EXPECT_EQ(field_value(f, Field{5, 2}), 0u);
+  EXPECT_EQ(field_value(f, Field{6, 1}), 0u);
+}
+
+TEST(AshcRule, InitStatePlacesTemplates) {
+  RuleSet rs;
+  rs.limits.state_bytes = 32;
+  rs.templates.push_back(Template{16, {'K', 'V', 'R', 'P'}});
+  const auto st = init_state(rs);
+  ASSERT_EQ(st.size(), 32u);
+  EXPECT_EQ(st[15], 0u);
+  EXPECT_EQ(st[16], 'K');
+  EXPECT_EQ(st[19], 'P');
+  EXPECT_EQ(st[20], 0u);
+
+  // Bytes past the declared region are silently dropped.
+  RuleSet over;
+  over.limits.state_bytes = 8;
+  over.templates.push_back(Template{6, {1, 2, 3, 4}});
+  const auto st2 = init_state(over);
+  ASSERT_EQ(st2.size(), 8u);
+  EXPECT_EQ(st2[6], 1u);
+  EXPECT_EQ(st2[7], 2u);
+}
+
+TEST(AshcRule, FormatAndJsonMentionEveryRule) {
+  for (const std::string& name : scenario_names()) {
+    const RuleSet rs = scenario(name);
+    const std::string text = format(rs);
+    const std::string json = to_json(rs);
+    for (const Rule& r : rs.rules) {
+      EXPECT_NE(text.find(r.name), std::string::npos)
+          << name << ": " << r.name;
+      EXPECT_NE(json.find("\"" + r.name + "\""), std::string::npos)
+          << name << ": " << r.name;
+    }
+    EXPECT_NE(json.find("\"name\""), std::string::npos);
+    EXPECT_NE(json.find("\"rules\""), std::string::npos);
+  }
+}
+
+TEST(AshcRule, CompileShapeIsVerifiableStraightLine) {
+  for (const std::string& name : scenario_names()) {
+    const RuleSet rs = scenario(name);
+    const Compiled c = compile(rs);
+    ASSERT_TRUE(c.ok) << name << ": " << c.error;
+    ASSERT_FALSE(c.program.insns.empty()) << name;
+    const auto res = vcode::verify(c.program, verify_policy(rs));
+    EXPECT_TRUE(res.ok()) << name << ":\n" << res.to_string();
+    // The disassembly exists and is one line per insn (sanity for the
+    // ashtool rules golden).
+    const std::string dis = vcode::disassemble(c.program);
+    EXPECT_FALSE(dis.empty()) << name;
+  }
+}
+
+TEST(AshcRule, CompileRejectsStructuralImpossibilities) {
+  {
+    RuleSet rs;
+    Rule r;
+    r.name = "misaligned";
+    r.pred = p_and({});
+    r.actions.push_back(a_count(2));  // not word aligned
+    rs.rules.push_back(r);
+    const Compiled c = compile(rs);
+    EXPECT_FALSE(c.ok);
+    EXPECT_FALSE(c.error.empty());
+  }
+  {
+    RuleSet rs;
+    Rule r;
+    r.name = "sample0";
+    r.pred = p_and({});
+    r.actions.push_back(a_sample(0, 0));  // modulus must be > 0
+    rs.rules.push_back(r);
+    EXPECT_FALSE(compile(rs).ok);
+  }
+  {
+    RuleSet rs;
+    Rule r;
+    r.name = "bigcksum";
+    r.pred = p_and({});
+    r.actions.push_back(a_store_cksum(0, 0, kMaxCksumBytes + 4));
+    rs.rules.push_back(r);
+    EXPECT_FALSE(compile(rs).ok);
+  }
+  {
+    RuleSet rs;
+    Rule r;
+    r.name = "badwidth";
+    r.pred = p_atom(m_eq(0, 3, 1));  // width must be 1/2/4
+    rs.rules.push_back(r);
+    EXPECT_FALSE(compile(rs).ok);
+  }
+}
+
+// ------------------------------------------------- download_rules() path
+
+struct DownloadResult {
+  int id = -1;
+  std::string error;
+  std::vector<std::uint8_t> state_image;
+};
+
+DownloadResult try_download(const RuleSet& rs,
+                            std::uint32_t state_addr_delta,
+                            bool misalign = false) {
+  Simulator sim;
+  sim::Node& n = sim.add_node("n");
+  core::AshSystem ash(n);
+  DownloadResult out;
+  n.kernel().spawn("owner", [&](Process& self) -> Task {
+    std::uint32_t addr = self.segment().base + state_addr_delta;
+    if (misalign) addr += 1;
+    out.id = ash.download_rules(self, rs, addr, {}, &out.error);
+    if (out.id >= 0) {
+      const std::uint8_t* p = n.mem(addr, rs.limits.state_bytes);
+      out.state_image.assign(p, p + rs.limits.state_bytes);
+    }
+    co_await self.sleep_for(us(10.0));
+  });
+  sim.run(us(100.0));
+  return out;
+}
+
+TEST(AshcRule, DownloadRulesInstallsAndSeedsState) {
+  const RuleSet rs = scenario("kv");
+  const DownloadResult r = try_download(rs, 0x1000);
+  ASSERT_GE(r.id, 0) << r.error;
+  EXPECT_EQ(r.state_image, init_state(rs));
+}
+
+TEST(AshcRule, DownloadRulesRejectsCompileFailure) {
+  RuleSet rs;
+  Rule r;
+  r.name = "bad";
+  r.pred = p_and({});
+  r.actions.push_back(a_sample(0, 0));
+  rs.rules.push_back(r);
+  const DownloadResult d = try_download(rs, 0x1000);
+  EXPECT_LT(d.id, 0);
+  EXPECT_NE(d.error.find("rule compile failed"), std::string::npos)
+      << d.error;
+}
+
+TEST(AshcRule, DownloadRulesRejectsBoundsViolation) {
+  RuleSet rs;
+  rs.limits.max_frame_bytes = 64;
+  Rule r;
+  r.name = "oob";
+  r.pred = p_atom(m_eq(200, 4, 1));  // word at 200 outside the 64B window
+  rs.rules.push_back(r);
+  const DownloadResult d = try_download(rs, 0x1000);
+  EXPECT_LT(d.id, 0);
+  EXPECT_NE(d.error.find("rule bounds verification failed"),
+            std::string::npos)
+      << d.error;
+}
+
+TEST(AshcRule, DownloadRulesRejectsBadStateAddress) {
+  const RuleSet rs = scenario("kv");
+  const DownloadResult mis = try_download(rs, 0x1000, /*misalign=*/true);
+  EXPECT_LT(mis.id, 0);
+  EXPECT_NE(mis.error.find("state address"), std::string::npos)
+      << mis.error;
+  // Past the end of the owner's segment.
+  const DownloadResult oob = try_download(rs, 0x7fffff00u);
+  EXPECT_LT(oob.id, 0);
+  EXPECT_NE(oob.error.find("state address"), std::string::npos)
+      << oob.error;
+}
+
+TEST(AshcRule, EvalReleasesSendsOnlyOnAccept) {
+  // Identical rules, opposite verdicts: the Deliver twin stages the same
+  // reply but the kernel contract discards it.
+  RuleSet rs;
+  rs.limits.state_bytes = 32;
+  rs.templates.push_back(Template{0, {1, 2, 3, 4}});
+  Rule acc;
+  acc.name = "acc";
+  acc.pred = p_and({});
+  acc.actions.push_back(a_reply(0, 4, 5));
+  acc.verdict = Verdict::Accept;
+  rs.rules.push_back(acc);
+
+  std::vector<std::uint8_t> st = init_state(rs);
+  const std::vector<std::uint8_t> frame(8, 0);
+  EvalResult r = eval(rs, frame, st, 9);
+  EXPECT_TRUE(r.consumed);
+  ASSERT_EQ(r.sends.size(), 1u);
+  EXPECT_EQ(r.sends[0].channel, 5u);
+  EXPECT_EQ(r.sends[0].bytes, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+
+  rs.rules[0].verdict = Verdict::Deliver;
+  std::vector<std::uint8_t> st2 = init_state(rs);
+  r = eval(rs, frame, st2, 9);
+  EXPECT_FALSE(r.consumed);
+  EXPECT_TRUE(r.sends.empty());
+}
+
+}  // namespace
+}  // namespace ash::ashc

@@ -1,0 +1,253 @@
+// The rejection half of the rule-compiler safety argument: hostile rule
+// sets must come back from the verifier's bounds pass with the RIGHT
+// typed error — and never crash, never install. Three layers:
+//   1. a table of hand-crafted hostile rule sets, each pinned to the
+//      VerifyCode its violation must produce;
+//   2. hand-written VCODE (not compiler output) that the bounds pass
+//      cannot track — the Untracked codes and the DILP ban;
+//   3. the generator's hostilize() oracle, looped: every mutation is
+//      rejected at exactly the stage it names.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ashc/compile.hpp"
+#include "ashc/gen.hpp"
+#include "ashc/rule.hpp"
+#include "util/rng.hpp"
+#include "vcode/builder.hpp"
+#include "vcode/verifier.hpp"
+
+namespace ash::ashc {
+namespace {
+
+using vcode::VerifyCode;
+
+/// Compile `rs` (must succeed) and return the bounds-pass verdict.
+vcode::VerifyResult verify_rules(const RuleSet& rs) {
+  const Compiled c = compile(rs);
+  EXPECT_TRUE(c.ok) << c.error;
+  if (!c.ok) return {};
+  return vcode::verify(c.program, verify_policy(rs));
+}
+
+RuleSet base_set() {
+  RuleSet rs;
+  rs.name = "hostile";
+  rs.limits.max_frame_bytes = 96;
+  rs.limits.state_bytes = 64;
+  rs.limits.send_cap = 64;
+  return rs;
+}
+
+Rule always(const char* name) {
+  Rule r;
+  r.name = name;
+  r.pred = p_and({});  // empty And: always true
+  return r;
+}
+
+TEST(AshcVerify, HostileRuleTable) {
+  struct Case {
+    const char* name;
+    RuleSet rs;
+    VerifyCode expect;
+  };
+  std::vector<Case> cases;
+
+  {  // Match word extends past the message window.
+    RuleSet rs = base_set();
+    Rule r = always("peek-oob");
+    r.pred = p_atom(m_eq(rs.limits.max_frame_bytes - 1, 4, 7));
+    rs.rules.push_back(r);
+    cases.push_back({"msgload-oob", rs, VerifyCode::MsgLoadOutOfWindow});
+  }
+  {  // Checksum source word past the window.
+    RuleSet rs = base_set();
+    Rule r = always("cksum-oob");
+    r.actions.push_back(
+        a_store_cksum(0, rs.limits.max_frame_bytes - 4, 12));
+    rs.rules.push_back(r);
+    cases.push_back({"cksum-oob", rs, VerifyCode::MsgLoadOutOfWindow});
+  }
+  {  // Reply longer than the declared send cap.
+    RuleSet rs = base_set();
+    Rule r = always("reply-over-cap");
+    r.actions.push_back(a_reply(0, rs.limits.send_cap + 4, 0));
+    rs.rules.push_back(r);
+    cases.push_back({"send-over-cap", rs, VerifyCode::SendOverCap});
+  }
+  {  // Reply range runs off the end of the state window.
+    RuleSet rs = base_set();
+    Rule r = always("reply-state-oob");
+    r.actions.push_back(a_reply(rs.limits.state_bytes - 4, 8, 0));
+    rs.rules.push_back(r);
+    cases.push_back({"send-oob", rs, VerifyCode::SendOutOfWindow});
+  }
+  {  // Copy destination range outside the state window.
+    RuleSet rs = base_set();
+    Rule r = always("copy-state-oob");
+    r.actions.push_back(a_copy(rs.limits.state_bytes - 2, 0, 8));
+    rs.rules.push_back(r);
+    cases.push_back({"copy-oob", rs, VerifyCode::CopyOutOfWindow});
+  }
+  {  // Counter word at state_bytes: plain sw outside the window.
+    RuleSet rs = base_set();
+    Rule r = always("count-oob");
+    r.actions.push_back(a_count(rs.limits.state_bytes));
+    rs.rules.push_back(r);
+    cases.push_back({"mem-oob", rs, VerifyCode::MemOutOfWindow});
+  }
+  {  // Splice destination writes template bytes beyond the state window.
+    RuleSet rs = base_set();
+    Rule r = always("splice-oob");
+    r.actions.push_back(a_reply(rs.limits.state_bytes - 8, 8, 0,
+                                {Splice{6, false, Field{0, 4}, 0}}));
+    rs.rules.push_back(r);
+    cases.push_back({"splice-oob", rs, VerifyCode::MemOutOfWindow});
+  }
+
+  for (const Case& c : cases) {
+    const auto res = verify_rules(c.rs);
+    EXPECT_FALSE(res.ok()) << c.name << ": hostile rule verified clean";
+    EXPECT_TRUE(res.has(c.expect))
+        << c.name << ": wrong code(s):\n" << res.to_string();
+    // Every issue out of the bounds pass is typed — nothing collapses to
+    // the generic structural bucket.
+    for (const auto& issue : res.issues) {
+      EXPECT_NE(issue.code, VerifyCode::Structural)
+          << c.name << " pc " << issue.pc << ": " << issue.message;
+    }
+  }
+}
+
+// --------------------------------------------- untrackable hand-written
+
+vcode::VerifyPolicy bounds_policy() {
+  vcode::VerifyPolicy p;
+  p.allow_indirect = false;
+  p.bounds.enabled = true;
+  p.bounds.msg_window = 96;
+  p.bounds.state_window = 64;
+  p.bounds.send_cap = 64;
+  return p;
+}
+
+TEST(AshcVerify, UntrackedMsgLoadOffset) {
+  vcode::Builder b;
+  const vcode::Reg t = b.reg();
+  // Offset derived from message CONTENTS — not a constant the dataflow
+  // can bound.
+  b.t_msgload(t, vcode::kRegZero, 0);
+  b.t_msgload(t, t, 0);
+  b.halt();
+  const auto res = vcode::verify(b.take(), bounds_policy());
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.has(VerifyCode::MsgLoadUntracked)) << res.to_string();
+}
+
+TEST(AshcVerify, UntrackedPlainMemoryBase) {
+  vcode::Builder b;
+  const vcode::Reg t = b.reg();
+  b.t_msgload(t, vcode::kRegZero, 0);
+  b.lw(t, t, 0);  // base register holds message data: untracked
+  b.halt();
+  const auto res = vcode::verify(b.take(), bounds_policy());
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.has(VerifyCode::MemUntracked)) << res.to_string();
+}
+
+TEST(AshcVerify, UntrackedSendOperands) {
+  vcode::Builder b;
+  const vcode::Reg a = b.reg();
+  const vcode::Reg l = b.reg();
+  b.t_msgload(a, vcode::kRegZero, 0);
+  b.movi(l, 4);
+  b.t_send(vcode::kRegArg3, a, l);  // address from message contents
+  b.halt();
+  const auto res = vcode::verify(b.take(), bounds_policy());
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.has(VerifyCode::SendUntracked)) << res.to_string();
+}
+
+TEST(AshcVerify, UntrackedCopyLength) {
+  vcode::Builder b;
+  const vcode::Reg len = b.reg();
+  b.t_msgload(len, vcode::kRegZero, 0);
+  b.t_usercopy(vcode::kRegArg2, vcode::kRegArg0, len);
+  b.halt();
+  const auto res = vcode::verify(b.take(), bounds_policy());
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.has(VerifyCode::CopyUntracked)) << res.to_string();
+}
+
+TEST(AshcVerify, DilpForbiddenUnderBounds) {
+  vcode::Builder b;
+  const vcode::Reg id = b.reg();
+  b.movi(id, 0);
+  b.t_dilp(id, vcode::kRegArg0, vcode::kRegArg2, vcode::kRegArg1);
+  b.halt();
+  const auto res = vcode::verify(b.take(), bounds_policy());
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.has(VerifyCode::DilpForbidden)) << res.to_string();
+}
+
+TEST(AshcVerify, ForwardWholeMessageAlwaysAdmitted) {
+  // The steer form — TSend of exactly (r1, r2) — is admitted regardless
+  // of the windows; the kernel's runtime range check covers it.
+  vcode::Builder b;
+  b.t_send(vcode::kRegArg3, vcode::kRegArg0, vcode::kRegArg1);
+  b.halt();
+  const auto res = vcode::verify(b.take(), bounds_policy());
+  EXPECT_TRUE(res.ok()) << res.to_string();
+}
+
+TEST(AshcVerify, BoundsPassOffByDefault) {
+  // Without bounds.enabled the same out-of-window program is (only)
+  // structurally checked — pre-existing handlers are untouched by PR 10.
+  vcode::Builder b;
+  const vcode::Reg t = b.reg();
+  b.t_msgload(t, vcode::kRegZero, 4096);
+  b.halt();
+  vcode::VerifyPolicy p;
+  p.allow_indirect = false;
+  const auto res = vcode::verify(b.take(), p);
+  EXPECT_TRUE(res.ok()) << res.to_string();
+}
+
+// ------------------------------------------------ hostilize() oracle loop
+
+TEST(AshcVerify, HostilizedRuleSetsRejectedAtNamedStage) {
+  int compile_stage = 0, verify_stage = 0;
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    util::Rng rng(0xbad'0000u + seed);
+    RuleSet rs = random_rule_set(rng);
+    const Hostile h = hostilize(rng, rs);
+    const Compiled c = compile(rs);
+    if (h.stage == HostileStage::Compile) {
+      ++compile_stage;
+      EXPECT_FALSE(c.ok) << "seed " << seed << " (" << h.what
+                         << "): hostile rule set compiled";
+      EXPECT_FALSE(c.error.empty()) << "seed " << seed;
+    } else {
+      ++verify_stage;
+      ASSERT_TRUE(c.ok) << "seed " << seed << " (" << h.what
+                        << "): " << c.error;
+      const auto res = vcode::verify(c.program, verify_policy(rs));
+      EXPECT_FALSE(res.ok()) << "seed " << seed << " (" << h.what
+                             << "): hostile rule set verified clean";
+      for (const auto& issue : res.issues) {
+        EXPECT_NE(issue.code, VerifyCode::Structural)
+            << "seed " << seed << " (" << h.what << ") pc " << issue.pc
+            << ": " << issue.message;
+      }
+    }
+  }
+  // Both stages must actually be exercised by the mutation table.
+  EXPECT_GT(compile_stage, 50);
+  EXPECT_GT(verify_stage, 50);
+}
+
+}  // namespace
+}  // namespace ash::ashc

@@ -19,6 +19,8 @@
 #include <cstring>
 #include <vector>
 
+#include "ashc/eval.hpp"
+#include "ashc/rule.hpp"
 #include "proto/ip_frag.hpp"
 #include "proto/tcp.hpp"
 #include "sim/kernel.hpp"
@@ -275,6 +277,123 @@ TEST(TcpRegression, EstablishedConnectionAbortsCleanlyWhenLinkDies) {
   EXPECT_EQ(retx_left, 0u);
   EXPECT_EQ(aborts, 1u);
   EXPECT_EQ(post_abort_read, 0u);  // aborted connection reads as EOF
+}
+
+// --------------------------------------------------------------------------
+// Minimized rule-compiler contract cases (from the packetfuzz rules /
+// rulesverify legs and the ashc differential suite). Each pins one
+// semantic edge where the compiled VCODE and the reference interpreter
+// are easiest to drive apart; the frames are the minimized repro shapes.
+// --------------------------------------------------------------------------
+
+TEST(AshcRegression, WholeWordZeroAtFrameBoundary) {
+  // A field whose 32-bit word sticks one byte past the frame reads as
+  // ZERO — including the bytes that do exist. An implementation reading
+  // "the available prefix" diverges exactly at len == offset+3.
+  ashc::RuleSet rs;
+  ashc::Rule r;
+  r.name = "m";
+  r.pred = ashc::p_atom(ashc::m_eq(4, 1, 0xaa));
+  r.actions.push_back(ashc::a_count(0));
+  rs.rules.push_back(r);
+
+  std::vector<std::uint8_t> st = ashc::init_state(rs);
+  std::vector<std::uint8_t> f(7, 0xaa);  // word [4..8) needs len 8
+  EXPECT_FALSE(ashc::eval(rs, f, st, 0).consumed);
+  f.resize(8, 0xaa);  // now the word fits
+  EXPECT_TRUE(ashc::eval(rs, f, st, 0).consumed);
+  EXPECT_EQ(st[0], 1u);  // only the len-8 frame counted
+}
+
+TEST(AshcRegression, StateWritesPersistAcrossDeliverVerdict) {
+  // The kernel never rolls back memory writes on Abort; a Deliver
+  // verdict must still leave the counter incremented (while discarding
+  // any staged sends). An eval() that "undoes" the non-consumed path
+  // diverges from every backend.
+  ashc::RuleSet rs;
+  rs.templates.push_back(ashc::Template{8, {9, 9, 9, 9}});
+  ashc::Rule r;
+  r.name = "peek";
+  r.pred = ashc::p_and({});
+  r.actions.push_back(ashc::a_count(0));
+  r.actions.push_back(ashc::a_reply(8, 4, 2));
+  r.verdict = ashc::Verdict::Deliver;
+  rs.rules.push_back(r);
+
+  std::vector<std::uint8_t> st = ashc::init_state(rs);
+  const std::vector<std::uint8_t> f(16, 0);
+  const auto res = ashc::eval(rs, f, st, 0);
+  EXPECT_FALSE(res.consumed);
+  EXPECT_TRUE(res.sends.empty());  // staged reply discarded...
+  EXPECT_EQ(st[0], 1u);            // ...but the count survived
+}
+
+TEST(AshcRegression, SampleGatesActionsNotTheVerdict) {
+  // Sample(n) skips the REMAINING actions on off-modulus messages; the
+  // rule's verdict applies regardless. A compiler branching the gate to
+  // the next rule instead of this rule's verdict consumes the wrong
+  // frames.
+  ashc::RuleSet rs;
+  ashc::Rule r;
+  r.name = "s";
+  r.pred = ashc::p_and({});
+  r.actions.push_back(ashc::a_sample(2, 0));
+  r.actions.push_back(ashc::a_count(4));
+  rs.rules.push_back(r);
+
+  std::vector<std::uint8_t> st = ashc::init_state(rs);
+  const std::vector<std::uint8_t> f(8, 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ashc::eval(rs, f, st, 0).consumed) << i;  // always accept
+  }
+  EXPECT_EQ(st[0], 4u);  // sample counter saw all 4
+  EXPECT_EQ(st[4], 2u);  // downstream count only on-modulus (2 of 4)
+}
+
+TEST(AshcRegression, SpliceOverwritesTemplateInPlace) {
+  // Reply splices physically rewrite the template bytes in state before
+  // the send snapshots them — the mutation persists into the NEXT
+  // message's reply when that message leaves the spliced field unwritten
+  // (whole-word zero splices 00s, not the stale bytes).
+  ashc::RuleSet rs;
+  rs.templates.push_back(ashc::Template{0, {1, 2, 3, 4, 5, 6, 7, 8}});
+  ashc::Rule r;
+  r.name = "echo";
+  r.pred = ashc::p_and({});
+  r.actions.push_back(ashc::a_reply(
+      0, 8, 3, {ashc::Splice{4, false, ashc::Field{0, 4}, 0}}));
+  rs.rules.push_back(r);
+
+  std::vector<std::uint8_t> st = ashc::init_state(rs);
+  const std::vector<std::uint8_t> big = {0xde, 0xad, 0xbe, 0xef};
+  auto res = ashc::eval(rs, big, st, 0);
+  ASSERT_EQ(res.sends.size(), 1u);
+  EXPECT_EQ(res.sends[0].bytes,
+            (std::vector<std::uint8_t>{1, 2, 3, 4, 0xde, 0xad, 0xbe, 0xef}));
+  // Splice persisted into state...
+  EXPECT_EQ(st[4], 0xde);
+  // ...and a short frame (word [0..4) doesn't fit in 2 bytes) splices
+  // zeros over it, not the stale 0xdeadbeef.
+  const std::vector<std::uint8_t> runt = {0x55, 0x55};
+  res = ashc::eval(rs, runt, st, 0);
+  ASSERT_EQ(res.sends.size(), 1u);
+  EXPECT_EQ(res.sends[0].bytes,
+            (std::vector<std::uint8_t>{1, 2, 3, 4, 0, 0, 0, 0}));
+}
+
+TEST(AshcRegression, Width2FieldIgnoresNeighboringBytes) {
+  // A w2 field at offset 0 must compare only bytes 0..1 (bswap16 zeroes
+  // the high half). A compiler using bswap32 on the preloaded word sees
+  // bytes 2..3 too and rejects this frame.
+  ashc::RuleSet rs;
+  ashc::Rule r;
+  r.name = "w2";
+  r.pred = ashc::p_atom(ashc::m_eq(0, 2, 0x1234));
+  rs.rules.push_back(r);
+
+  std::vector<std::uint8_t> st = ashc::init_state(rs);
+  const std::vector<std::uint8_t> f = {0x12, 0x34, 0xff, 0xee};
+  EXPECT_TRUE(ashc::eval(rs, f, st, 0).consumed);
 }
 
 }  // namespace

@@ -12,7 +12,8 @@
 #   cmake -DASHTOOL=<path> -DMODE=<mode> -DGOLDEN=<file> -DWORK_DIR=<dir>
 #         [-DRECORD=1] -P run_golden.cmake
 # Modes: status trace trace-json trace-chrome metrics metrics-json
-#        queues queues-json offload offload-json dump-translated
+#        queues queues-json offload offload-json rules rules-json
+#        dump-translated
 # RECORD=1 rewrites the golden instead of comparing (for intentional
 # output changes; review the diff).
 
@@ -56,6 +57,12 @@ elseif(MODE STREQUAL "offload")
   set(cmd offload ${image} 44)
 elseif(MODE STREQUAL "offload-json")
   set(cmd offload ${image} 44 --json)
+elseif(MODE STREQUAL "rules")
+  # No image needed: the scenario is built in. No cycle values either, so
+  # the normalizer passes the output through untouched.
+  set(cmd rules kv)
+elseif(MODE STREQUAL "rules-json")
+  set(cmd rules kv --json)
 elseif(MODE STREQUAL "dump-translated")
   # Both translated forms of the sandboxed image: the threaded codecache
   # listing and the superblock JIT CFG + emitted-form listing.

@@ -53,6 +53,16 @@
 //                                         columns plus the device summary
 //                                         (per-queue exec / punt taxonomy
 //                                         / reply counts)
+//   ashtool rules <scenario> [--json]     print one of the canned
+//                                         declarative rule-set scenarios
+//                                         (lb | kv | sampler | firewall):
+//                                         the rule listing, the compiled
+//                                         VCODE program with its bounds-
+//                                         verification verdict, and the
+//                                         reference interpreter's decision
+//                                         for each of the scenario's demo
+//                                         frames. --json prints the rule
+//                                         set as JSON instead.
 //   ashtool tenants <file> [msgs] [--json]
 //                                         download the image for three
 //                                         tenants (DRR weights 1/2/4)
@@ -75,6 +85,10 @@
 #include <string>
 #include <vector>
 
+#include "ashc/compile.hpp"
+#include "ashc/eval.hpp"
+#include "ashc/rule.hpp"
+#include "ashc/scenarios.hpp"
 #include "ashlib/handlers.hpp"
 #include "core/ash.hpp"
 #include "core/tenant.hpp"
@@ -105,6 +119,7 @@ int usage() {
                "       ashtool metrics <file> [msgs] [--json]\n"
                "       ashtool queues <file> [msgs] [--json]\n"
                "       ashtool offload <file> [msgs] [--json]\n"
+               "       ashtool rules <lb|kv|sampler|firewall> [--json]\n"
                "       ashtool tenants <file> [msgs] [--json]\n");
   return 2;
 }
@@ -539,6 +554,54 @@ int cmd_tenants(const std::string& file, int msgs, const std::string& mode) {
   return 0;
 }
 
+// The whole rule-compiler pipeline over one canned scenario, in one
+// deterministic dump (no cycle values — the goldens pin every byte):
+// rule listing -> compiled program + bounds verdict -> disassembly ->
+// the reference interpreter's decision per demo frame.
+int cmd_rules(const std::string& name, const std::string& mode) {
+  const ash::ashc::RuleSet rs = ash::ashc::scenario(name);
+  if (rs.rules.empty()) {
+    std::fprintf(stderr, "unknown scenario '%s' (want lb|kv|sampler|"
+                 "firewall)\n",
+                 name.c_str());
+    return 1;
+  }
+  if (mode == "--json") {
+    std::printf("%s\n", ash::ashc::to_json(rs).c_str());
+    return 0;
+  }
+  std::fputs(ash::ashc::format(rs).c_str(), stdout);
+
+  const ash::ashc::Compiled c = ash::ashc::compile(rs);
+  if (!c.ok) {
+    std::fprintf(stderr, "compile failed: %s\n", c.error.c_str());
+    return 1;
+  }
+  const auto verdict =
+      ash::vcode::verify(c.program, ash::ashc::verify_policy(rs));
+  std::printf("\ncompiled: %zu instructions, bounds verification %s\n\n",
+              c.program.insns.size(), verdict.ok() ? "OK" : "FAILED");
+  if (!verdict.ok()) {
+    std::fputs(verdict.to_string().c_str(), stdout);
+    return 1;
+  }
+  std::fputs(ash::vcode::disassemble(c.program).c_str(), stdout);
+
+  std::printf("\ndemo frames (reference interpreter, arrival channel 4):\n");
+  std::vector<std::uint8_t> state = ash::ashc::init_state(rs);
+  const auto frames = ash::ashc::demo_frames(name);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto r = ash::ashc::eval(rs, frames[i], state, 4);
+    std::printf("  frame %zu (%zu bytes): %s", i, frames[i].size(),
+                r.consumed ? "accept" : "deliver");
+    for (const auto& s : r.sends) {
+      std::printf(", send %zuB -> ch %u", s.bytes.size(), s.channel);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int cmd_dump_translated(const std::string& file) {
   const auto bytes = read_file(file);
   const auto prog = Program::deserialize(bytes);
@@ -592,6 +655,11 @@ int main(int argc, char** argv) {
     }
     if (msgs <= 0 || !(mode.empty() || mode == "--json")) return usage();
     return cmd_queues(argv[2], msgs, mode, /*offload=*/cmd == "offload");
+  }
+  if (cmd == "rules" && (argc == 3 || argc == 4)) {
+    const std::string mode = argc == 4 ? argv[3] : "";
+    if (!(mode.empty() || mode == "--json")) return usage();
+    return cmd_rules(argv[2], mode);
   }
   if (cmd == "tenants" && argc >= 3 && argc <= 5) {
     int msgs = 40;  // four 1 ms quota rounds at 100 us pacing

@@ -25,6 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "ashc/compile.hpp"
+#include "ashc/eval.hpp"
+#include "ashc/gen.hpp"
+#include "ashc/rule.hpp"
+#include "core/ash.hpp"
 #include "dpf/dpf.hpp"
 #include "net/an2.hpp"
 #include "net/ethernet.hpp"
@@ -36,6 +41,8 @@
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "vcode/backend.hpp"
+#include "vcode/verifier.hpp"
 
 namespace {
 
@@ -43,6 +50,7 @@ using ash::util::Rng;
 namespace proto = ash::proto;
 namespace net = ash::net;
 namespace dpf = ash::dpf;
+namespace ashc = ash::ashc;
 
 int g_failures = 0;
 
@@ -466,10 +474,187 @@ void fuzz_tcp(std::uint64_t iters, std::uint64_t seed) {
   }
 }
 
+// --------------------------------------------------- declarative rules
+
+/// One rule-set leg: download the compiled rules on `backend` and run the
+/// frame sequence through the real kernel invoke path.
+struct RuleLeg {
+  bool download_ok = false;
+  std::string error;
+  std::vector<char> consumed;
+  std::vector<std::vector<std::pair<int, std::vector<std::uint8_t>>>> sends;
+  std::vector<std::uint8_t> state;
+};
+
+constexpr int kRuleArrival = 7;
+
+RuleLeg run_rule_leg(const ashc::RuleSet& rs,
+                     const std::vector<std::vector<std::uint8_t>>& frames,
+                     ash::vcode::Backend backend) {
+  ash::sim::Simulator sim;
+  ash::sim::Node& n = sim.add_node("n");
+  ash::core::AshSystem ashsys(n);
+
+  RuleLeg out;
+  out.consumed.assign(frames.size(), 0);
+  out.sends.resize(frames.size());
+
+  std::uint32_t state_addr = 0;
+  std::uint32_t frame_addr = 0;
+  int id = -1;
+  n.kernel().spawn("owner", [&](ash::sim::Process& self) -> ash::sim::Task {
+    state_addr = self.segment().base + 0x1000;
+    frame_addr = self.segment().base + 0x4000;
+    ash::core::AshOptions opts;
+    opts.backend = backend;
+    id = ashsys.download_rules(self, rs, state_addr, opts, &out.error);
+    out.download_ok = id >= 0;
+    co_await self.sleep_for(ash::sim::us(1e6));
+  });
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    sim.queue().schedule_at(
+        ash::sim::us(100.0 + 50.0 * static_cast<double>(i)), [&, i] {
+          if (id < 0) return;
+          const auto& f = frames[i];
+          if (!f.empty()) {
+            std::memcpy(
+                n.mem(frame_addr, static_cast<std::uint32_t>(f.size())),
+                f.data(), f.size());
+          }
+          ash::core::MsgContext m;
+          m.addr = frame_addr;
+          m.len = static_cast<std::uint32_t>(f.size());
+          m.channel = kRuleArrival;
+          m.user_arg = state_addr;
+          out.consumed[i] =
+              ashsys.invoke(id, m,
+                            [&out, i](int ch,
+                                      std::span<const std::uint8_t> b) {
+                              out.sends[i].emplace_back(
+                                  ch, std::vector<std::uint8_t>(b.begin(),
+                                                                b.end()));
+                              return true;
+                            },
+                            0)
+                  ? 1
+                  : 0;
+        });
+  }
+  sim.run(ash::sim::us(2e6));
+  if (id >= 0) {
+    const std::uint8_t* p = n.mem(state_addr, rs.limits.state_bytes);
+    out.state.assign(p, p + rs.limits.state_bytes);
+  }
+  return out;
+}
+
+/// Random rule sets over fuzz frame corpora (including mutated
+/// adversarial frames): the compiled program must verify, and every
+/// backend must agree with the reference interpreter on decisions, send
+/// bytes, and final state.
+void fuzz_rules(std::uint64_t iters, std::uint64_t seed) {
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    Rng rng(seed ^ (it * 0x9e3779b97f4a7c15ull) ^ 0xa54ull);
+    const ashc::RuleSet rs = ashc::random_rule_set(rng);
+    const ashc::Compiled c = ashc::compile(rs);
+    FUZZ_CHECK(c.ok, "rules: generated rule set failed to compile "
+               "(iter %llu): %s",
+               (unsigned long long)it, c.error.c_str());
+    if (!c.ok) continue;
+    const auto verdict =
+        ash::vcode::verify(c.program, ashc::verify_policy(rs));
+    FUZZ_CHECK(verdict.ok(),
+               "rules: generated rule set failed verification (iter %llu):"
+               "\n%s",
+               (unsigned long long)it, verdict.to_string().c_str());
+    if (!verdict.ok()) continue;
+
+    auto frames = ashc::gen_frames(rng, rs, 6);
+    // Two extra adversarial frames: structure-aware mutations of planted
+    // frames, so predicates half-fire on torn headers.
+    for (int k = 0; k < 2 && !frames.empty(); ++k) {
+      std::vector<std::uint8_t> f = frames[rng.below(frames.size())];
+      mutate(f, rng);
+      if (f.size() > 160) f.resize(160);
+      frames.push_back(std::move(f));
+    }
+
+    // Ground truth.
+    std::vector<std::uint8_t> state = ashc::init_state(rs);
+    std::vector<char> want_consumed;
+    std::vector<std::vector<std::pair<int, std::vector<std::uint8_t>>>>
+        want_sends;
+    for (const auto& f : frames) {
+      const ashc::EvalResult r = ashc::eval(rs, f, state, kRuleArrival);
+      want_consumed.push_back(r.consumed ? 1 : 0);
+      std::vector<std::pair<int, std::vector<std::uint8_t>>> s;
+      for (const auto& snd : r.sends) {
+        s.emplace_back(static_cast<int>(snd.channel), snd.bytes);
+      }
+      want_sends.push_back(std::move(s));
+    }
+
+    const ash::vcode::Backend backends[] = {ash::vcode::Backend::Interp,
+                                            ash::vcode::Backend::CodeCache,
+                                            ash::vcode::Backend::Jit};
+    for (const auto be : backends) {
+      const RuleLeg leg = run_rule_leg(rs, frames, be);
+      FUZZ_CHECK(leg.download_ok, "rules: download failed (iter %llu): %s",
+                 (unsigned long long)it, leg.error.c_str());
+      if (!leg.download_ok) continue;
+      FUZZ_CHECK(leg.consumed == want_consumed,
+                 "rules: backend %d decision mismatch (iter %llu)",
+                 static_cast<int>(be), (unsigned long long)it);
+      FUZZ_CHECK(leg.sends == want_sends,
+                 "rules: backend %d send mismatch (iter %llu)",
+                 static_cast<int>(be), (unsigned long long)it);
+      FUZZ_CHECK(leg.state == state,
+                 "rules: backend %d state mismatch (iter %llu)",
+                 static_cast<int>(be), (unsigned long long)it);
+    }
+  }
+}
+
+/// Hostile rule sets: hostilize() breaks one property and names the stage
+/// that must reject the result — compile() returns ok=false, or the
+/// verifier's bounds pass fails with typed issues. Never a crash, never
+/// a clean verification.
+void fuzz_rulesverify(std::uint64_t iters, std::uint64_t seed) {
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    Rng rng(seed ^ (it * 0xbf58476d1ce4e5b9ull) ^ 0xbadull);
+    ashc::RuleSet rs = ashc::random_rule_set(rng);
+    const ashc::Hostile h = ashc::hostilize(rng, rs);
+    const ashc::Compiled c = ashc::compile(rs);
+    if (h.stage == ashc::HostileStage::Compile) {
+      FUZZ_CHECK(!c.ok,
+                 "rulesverify: '%s' mutation compiled clean (iter %llu)",
+                 h.what, (unsigned long long)it);
+      continue;
+    }
+    FUZZ_CHECK(c.ok,
+               "rulesverify: '%s' mutation failed to compile (iter %llu): "
+               "%s",
+               h.what, (unsigned long long)it, c.error.c_str());
+    if (!c.ok) continue;
+    const auto verdict =
+        ash::vcode::verify(c.program, ashc::verify_policy(rs));
+    FUZZ_CHECK(!verdict.ok(),
+               "rulesverify: '%s' mutation verified clean (iter %llu)",
+               h.what, (unsigned long long)it);
+    for (const auto& issue : verdict.issues) {
+      FUZZ_CHECK(issue.code != ash::vcode::VerifyCode::Structural,
+                 "rulesverify: '%s' produced an untyped structural issue "
+                 "at pc %u (iter %llu): %s",
+                 h.what, issue.pc, (unsigned long long)it,
+                 issue.message.c_str());
+    }
+  }
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: packetfuzz --target headers|dpf|reassembler|tcp|all"
-               " [--iters N] [--seed S]\n");
+               "usage: packetfuzz --target headers|dpf|reassembler|tcp|"
+               "rules|rulesverify|all [--iters N] [--seed S]\n");
   return 2;
 }
 
@@ -499,6 +684,13 @@ int main(int argc, char** argv) {
   if (all || target == "dpf") fuzz_dpf(iters, seed), ran = true;
   if (all || target == "reassembler") fuzz_reassembler(iters, seed), ran = true;
   if (all || target == "tcp") fuzz_tcp(iters, seed), ran = true;
+  // The rule legs iterate whole rule-set x corpus x backend bundles, not
+  // single frames; scale the shared --iters down so `all` stays bounded.
+  if (all || target == "rules") fuzz_rules(iters / 10 + 1, seed), ran = true;
+  if (all || target == "rulesverify") {
+    fuzz_rulesverify(iters, seed);
+    ran = true;
+  }
   if (!ran) return usage();
 
   if (g_failures != 0) {
